@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench experiments experiments-full fuzz fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/runtime ./internal/netrun
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-full:
+	$(GO) run ./cmd/experiments -full -o EXPERIMENTS.tables.md
+
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzDecodePayload -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzDecodeValue -fuzztime 30s
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,81 @@
+// Command experiments regenerates the reproduction tables of EXPERIMENTS.md:
+// one table per theorem/algorithm/scenario of the paper (E1–E10) and per
+// quantitative figure (Q1–Q5).
+//
+// Usage:
+//
+//	experiments [-e E1,Q4] [-full] [-seeds N]
+//
+// With no -e flag, every experiment runs in canonical order. The process
+// exits nonzero if any selected experiment fails its claim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nuconsensus/internal/experiments"
+)
+
+func main() {
+	var (
+		sel   = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		full  = flag.Bool("full", false, "run at full scale (slower, more seeds)")
+		seeds = flag.Int("seeds", 0, "override the number of seeds per configuration")
+		out   = flag.String("o", "", "also write the rendered tables to this file")
+	)
+	flag.Parse()
+
+	var fileOut *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		fileOut = f
+	}
+
+	sc := experiments.Quick
+	if *full {
+		sc = experiments.Full
+	}
+	if *seeds > 0 {
+		sc.Seeds = *seeds
+	}
+
+	ids := experiments.IDs()
+	if *sel != "" {
+		ids = nil
+		for _, id := range strings.Split(*sel, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments.Registry[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(experiments.IDs(), ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	allPass := true
+	for _, id := range ids {
+		start := time.Now()
+		table := experiments.Registry[id](sc)
+		fmt.Println(table.Render())
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if fileOut != nil {
+			fmt.Fprintln(fileOut, table.Render())
+		}
+		if !table.Pass {
+			allPass = false
+		}
+	}
+	if !allPass {
+		fmt.Fprintln(os.Stderr, "FAIL: at least one experiment did not support its claim")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,184 @@
+// Command nucsim runs one consensus execution from command-line flags and
+// reports decisions, latency and message counts.
+//
+// Usage:
+//
+//	nucsim -n 5 -f 2 -alg anuc -seed 3 [-runtime] [-proposals 0,1,1,0,1]
+//
+// Algorithms: anuc (A_nuc with (Ω,Σν+)), boosted (T_{Σν→Σν+}∘A_nuc with
+// (Ω,Σν)), mrmaj (MR with majorities and Ω), mrsigma (MR with (Ω,Σ)),
+// naive (the incorrect MR+Σν adaptation of §6.3 — expect violations under
+// adversarial seeds), oraclefree (heartbeat Ω + from-scratch Σν+ + A_nuc,
+// no failure detector; requires f < n/2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nuconsensus"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 5, "number of processes (2..64)")
+		f         = flag.Int("f", 1, "number of faulty processes")
+		alg       = flag.String("alg", "anuc", "algorithm: anuc|boosted|mrmaj|mrsigma|naive|oraclefree")
+		seed      = flag.Int64("seed", 1, "scheduler/history seed")
+		stabilize = flag.Int64("stabilize", 120, "failure-detector stabilization time")
+		maxSteps  = flag.Int("maxsteps", 50000, "step budget")
+		useRT     = flag.Bool("runtime", false, "run on the goroutine runtime instead of the simulator")
+		useTCP    = flag.Bool("tcp", false, "run over a real TCP loopback mesh (implies concurrent execution)")
+		propsFlag = flag.String("proposals", "", "comma-separated proposals (default: alternating 0/1)")
+		record    = flag.String("record", "", "write the scheduling choices of the run to this JSON file")
+		replay    = flag.String("replay", "", "replay the scheduling choices from this JSON file (simulator only)")
+	)
+	flag.Parse()
+
+	if *f >= *n {
+		log.Fatalf("need f < n (got n=%d f=%d)", *n, *f)
+	}
+	proposals := make([]int, *n)
+	if *propsFlag != "" {
+		parts := strings.Split(*propsFlag, ",")
+		if len(parts) != *n {
+			log.Fatalf("need exactly %d proposals, got %d", *n, len(parts))
+		}
+		for i, s := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad proposal %q: %v", s, err)
+			}
+			proposals[i] = v
+		}
+	} else {
+		for i := range proposals {
+			proposals[i] = i % 2
+		}
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	pattern := nuconsensus.NewFailurePattern(*n)
+	for _, p := range rng.Perm(*n)[:*f] {
+		pattern.SetCrash(nuconsensus.ProcessID(p), nuconsensus.Time(1+rng.Int63n(*stabilize)))
+	}
+
+	stab := nuconsensus.Time(*stabilize)
+	var (
+		aut     nuconsensus.Automaton
+		history nuconsensus.History
+		uniform bool
+	)
+	switch *alg {
+	case "anuc":
+		aut = nuconsensus.ANuc(proposals)
+		history = nuconsensus.Pair(nuconsensus.Omega(pattern, stab, *seed), nuconsensus.SigmaNuPlus(pattern, stab, *seed))
+	case "boosted":
+		aut = nuconsensus.BoostedANuc(proposals)
+		history = nuconsensus.Pair(nuconsensus.Omega(pattern, stab, *seed), nuconsensus.SigmaNu(pattern, stab, *seed))
+	case "mrmaj":
+		if 2**f >= *n {
+			log.Fatalf("mrmaj requires a correct majority (f < n/2); it blocks otherwise")
+		}
+		aut = nuconsensus.MRMajority(proposals)
+		history = nuconsensus.Omega(pattern, stab, *seed)
+		uniform = true
+	case "mrsigma":
+		aut = nuconsensus.MRSigma(proposals)
+		history = nuconsensus.Pair(nuconsensus.Omega(pattern, stab, *seed), nuconsensus.Sigma(pattern, stab, *seed))
+		uniform = true
+	case "naive":
+		aut = nuconsensus.MRNaiveNu(proposals)
+		history = nuconsensus.Pair(nuconsensus.Omega(pattern, stab, *seed), nuconsensus.SigmaNu(pattern, stab, *seed))
+	case "oraclefree":
+		if 2**f >= *n {
+			log.Fatalf("oraclefree requires f < n/2 (from-scratch Σν+ needs a correct majority)")
+		}
+		aut = nuconsensus.OracleFreeANuc(proposals, (*n-1)/2)
+		history = nil // no failure detector at all
+	default:
+		log.Fatalf("unknown algorithm %q", *alg)
+	}
+
+	fmt.Printf("algorithm=%s n=%d f=%d seed=%d pattern=%v\n", aut.Name(), *n, *f, *seed, pattern)
+
+	var (
+		res *nuconsensus.SimResult
+		err error
+	)
+	switch {
+	case *replay != "":
+		rec, lerr := nuconsensus.LoadRecordedRun(*replay)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		res, err = nuconsensus.Replay(nuconsensus.SimOptions{
+			Automaton: aut, Pattern: pattern, History: history, Seed: *seed,
+			StopWhenDecided: true,
+		}, rec)
+	case *record != "":
+		var rec *nuconsensus.RecordedRun
+		res, rec, err = nuconsensus.SimulateRecorded(nuconsensus.SimOptions{
+			Automaton: aut, Pattern: pattern, History: history, Seed: *seed,
+			MaxSteps: *maxSteps, StopWhenDecided: true,
+		})
+		if err == nil {
+			if werr := nuconsensus.SaveRecordedRun(*record, rec); werr != nil {
+				log.Fatal(werr)
+			}
+			fmt.Printf("recorded %d scheduling choices to %s\n", len(rec.Choices), *record)
+		}
+	case *useTCP:
+		res, err = nuconsensus.RunTCP(nuconsensus.ClusterOptions{
+			Automaton: aut, Pattern: pattern, History: history, Seed: *seed,
+			MaxTicks: nuconsensus.Time(*maxSteps),
+		})
+	case *useRT:
+		res, err = nuconsensus.RunCluster(nuconsensus.ClusterOptions{
+			Automaton: aut, Pattern: pattern, History: history, Seed: *seed,
+			MaxTicks: nuconsensus.Time(*maxSteps),
+		})
+	default:
+		res, err = nuconsensus.Simulate(nuconsensus.SimOptions{
+			Automaton: aut, Pattern: pattern, History: history, Seed: *seed,
+			MaxSteps: *maxSteps, StopWhenDecided: true,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("steps=%d messages=%d decided=%v\n", res.Steps, res.MessagesSent, res.Decided)
+	var ps []nuconsensus.ProcessID
+	for p := range res.Decisions {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	for _, p := range ps {
+		fmt.Printf("  %v decided %d\n", p, res.Decisions[p])
+	}
+	kinds := make([]string, 0, len(res.SentKinds))
+	for k := range res.SentKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  sent %-5s %d\n", k, res.SentKinds[k])
+	}
+
+	checkErr := nuconsensus.CheckNonuniformConsensus(res.Config, pattern)
+	if uniform {
+		checkErr = nuconsensus.CheckUniformConsensus(res.Config, pattern)
+	}
+	if checkErr != nil {
+		fmt.Printf("CONSENSUS VIOLATED: %v\n", checkErr)
+		os.Exit(1)
+	}
+	fmt.Println("consensus properties hold")
+}

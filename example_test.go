@@ -1,0 +1,41 @@
+package nuconsensus_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"nuconsensus"
+)
+
+// ExampleSimulate runs the paper's algorithm A_nuc among four processes —
+// one of which crashes — and checks the three properties of nonuniform
+// consensus. Executions are deterministic functions of the seeds, so the
+// output is stable.
+func ExampleSimulate() {
+	pattern := nuconsensus.Crashes(4, map[nuconsensus.ProcessID]nuconsensus.Time{2: 40})
+	res, err := nuconsensus.Simulate(nuconsensus.SimOptions{
+		Automaton:       nuconsensus.ANuc([]int{7, 3, 7, 3}),
+		Pattern:         pattern,
+		History:         nuconsensus.PairForANuc(pattern, 60, 5),
+		Seed:            5,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ps []nuconsensus.ProcessID
+	for p := range res.Decisions {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	for _, p := range ps {
+		fmt.Printf("%v decided %d\n", p, res.Decisions[p])
+	}
+	fmt.Println("consensus:", nuconsensus.CheckNonuniformConsensus(res.Config, pattern) == nil)
+	// Output:
+	// p0 decided 7
+	// p1 decided 7
+	// p3 decided 7
+	// consensus: true
+}

@@ -1,0 +1,3 @@
+module nuconsensus
+
+go 1.22

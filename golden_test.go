@@ -1,0 +1,42 @@
+package nuconsensus_test
+
+import (
+	"testing"
+
+	"nuconsensus"
+)
+
+// TestGoldenDeterministicRun pins an exact execution: a fixed failure
+// pattern, history and seed must always produce the same decisions and step
+// count. The simulator, the scheduler, every algorithm step and the
+// detector histories are deterministic functions of their seeds, so any
+// change to this outcome signals a semantic change to one of them — review
+// it deliberately and update the constants if intended.
+func TestGoldenDeterministicRun(t *testing.T) {
+	pattern := nuconsensus.Crashes(4, map[nuconsensus.ProcessID]nuconsensus.Time{2: 40})
+	res, err := nuconsensus.Simulate(nuconsensus.SimOptions{
+		Automaton: nuconsensus.ANuc([]int{0, 1, 0, 1}),
+		Pattern:   pattern,
+		History: nuconsensus.Pair(
+			nuconsensus.Omega(pattern, 60, 5),
+			nuconsensus.SigmaNuPlus(pattern, 60, 5),
+		),
+		Seed:            5,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		wantSteps = 142
+		wantValue = 0
+	)
+	if res.Steps != wantSteps {
+		t.Errorf("steps = %d, want %d (golden)", res.Steps, wantSteps)
+	}
+	for _, p := range []nuconsensus.ProcessID{0, 1, 3} {
+		if v, ok := res.Decisions[p]; !ok || v != wantValue {
+			t.Errorf("%v decided %d (ok=%v), want %d (golden)", p, v, ok, wantValue)
+		}
+	}
+}

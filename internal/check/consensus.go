@@ -1,0 +1,121 @@
+package check
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/model"
+)
+
+// ConsensusOutcome is what a consensus execution produced: who proposed
+// what and who decided what. Drivers build it from traces or final
+// configurations.
+type ConsensusOutcome struct {
+	Proposals map[model.ProcessID]int
+	Decisions map[model.ProcessID]int
+}
+
+// OutcomeFromConfig extracts proposals and decisions from a final
+// configuration whose states implement model.Proposer / model.Decider.
+func OutcomeFromConfig(c *model.Configuration) ConsensusOutcome {
+	out := ConsensusOutcome{
+		Proposals: make(map[model.ProcessID]int, len(c.States)),
+		Decisions: make(map[model.ProcessID]int),
+	}
+	for i, s := range c.States {
+		p := model.ProcessID(i)
+		if pr, ok := s.(model.Proposer); ok {
+			out.Proposals[p] = pr.Proposal()
+		}
+		if v, ok := model.DecisionOf(s); ok {
+			out.Decisions[p] = v
+		}
+	}
+	return out
+}
+
+// Termination checks that every correct process decided (§2.8).
+func (o ConsensusOutcome) Termination(f *model.FailurePattern) error {
+	var err error
+	f.Correct().ForEach(func(p model.ProcessID) {
+		if err != nil {
+			return
+		}
+		if _, ok := o.Decisions[p]; !ok {
+			err = fmt.Errorf("check: correct process %s did not decide", p)
+		}
+	})
+	return err
+}
+
+// Validity checks that every decided value was proposed by some process.
+func (o ConsensusOutcome) Validity() error {
+	proposed := make(map[int]bool, len(o.Proposals))
+	for _, v := range o.Proposals {
+		proposed[v] = true
+	}
+	for p, v := range o.Decisions {
+		if !proposed[v] {
+			return fmt.Errorf("check: %s decided %d, which no process proposed", p, v)
+		}
+	}
+	return nil
+}
+
+// NonuniformAgreement checks that no two correct processes decided
+// different values.
+func (o ConsensusOutcome) NonuniformAgreement(f *model.FailurePattern) error {
+	correct := f.Correct()
+	val, who := 0, model.NoProcess
+	for p, v := range o.Decisions {
+		if !correct.Has(p) {
+			continue
+		}
+		if who == model.NoProcess {
+			val, who = v, p
+			continue
+		}
+		if v != val {
+			return fmt.Errorf("check: correct processes %s and %s decided %d and %d", who, p, val, v)
+		}
+	}
+	return nil
+}
+
+// UniformAgreement checks that no two processes (correct or faulty)
+// decided different values.
+func (o ConsensusOutcome) UniformAgreement() error {
+	val, who := 0, model.NoProcess
+	for p, v := range o.Decisions {
+		if who == model.NoProcess {
+			val, who = v, p
+			continue
+		}
+		if v != val {
+			return fmt.Errorf("check: processes %s and %s decided %d and %d", who, p, val, v)
+		}
+	}
+	return nil
+}
+
+// NonuniformConsensus checks all three properties of nonuniform consensus
+// (§2.8) on the outcome.
+func (o ConsensusOutcome) NonuniformConsensus(f *model.FailurePattern) error {
+	if err := o.Termination(f); err != nil {
+		return err
+	}
+	if err := o.Validity(); err != nil {
+		return err
+	}
+	return o.NonuniformAgreement(f)
+}
+
+// UniformConsensus checks termination, validity and uniform agreement.
+func (o ConsensusOutcome) UniformConsensus(f *model.FailurePattern) error {
+	if err := o.Termination(f); err != nil {
+		return err
+	}
+	if err := o.Validity(); err != nil {
+		return err
+	}
+	return o.UniformAgreement()
+}

@@ -1,0 +1,134 @@
+package consensus_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/sim"
+)
+
+// TestLemma620And621Invariants runs A_nuc under adversarial Σν+ histories
+// and checks, at every step of every process:
+//
+//	Lemma 6.20: p never considers itself faulty (p ∉ F_p);
+//	Lemma 6.21: a correct process never considers another correct process
+//	            faulty (their Σν+ quorums always intersect).
+func TestLemma620And621Invariants(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		pattern := model.PatternFromCrashes(4, map[model.ProcessID]model.Time{3: 60})
+		correct := pattern.Correct()
+		aut := consensus.NewANuc([]int{0, 1, 0, 1})
+		_, err := sim.Run(sim.Options{
+			Automaton: aut,
+			Pattern:   pattern,
+			History:   pairNuPlus(pattern, 90, seed),
+			Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
+			MaxSteps:  800,
+			StopWhen: func(c *model.Configuration, _ model.Time) bool {
+				for i, s := range c.States {
+					p := model.ProcessID(i)
+					fv, ok := s.(consensus.FaultView)
+					if !ok {
+						t.Fatal("A_nuc state must expose FaultView")
+					}
+					fp := fv.ConsideredFaulty()
+					if fp.Has(p) {
+						t.Fatalf("Lemma 6.20 violated: %v ∈ F_%v", p, p)
+					}
+					if correct.Has(p) && fp.Intersects(correct) {
+						t.Fatalf("Lemma 6.21 violated: correct %v considers correct %v faulty",
+							p, fp.Intersect(correct))
+					}
+				}
+				return false
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestANucSafetyFuzz is a property-based safety check: for random failure
+// patterns, proposals and schedules, validity and nonuniform agreement must
+// hold in every (possibly unfinished) execution. Termination is checked
+// elsewhere with explicit budgets; safety must never depend on them.
+func TestANucSafetyFuzz(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(99))}
+	property := func(seed int64, rawN, crashMask uint8, propBits uint8) bool {
+		n := 3 + int(rawN%4) // 3..6
+		pattern := model.NewFailurePattern(n)
+		for i := 0; i < n; i++ {
+			// Leave at least p_{n-1} alive.
+			if crashMask&(1<<uint(i)) != 0 && i != n-1 {
+				pattern.SetCrash(model.ProcessID(i), model.Time(1+(int64(seed)+int64(i)*13)%120&0x7f))
+			}
+		}
+		props := make([]int, n)
+		for i := range props {
+			props[i] = int(propBits >> uint(i) & 1)
+		}
+		res, err := sim.Run(sim.Options{
+			Automaton: consensus.NewANuc(props),
+			Pattern:   pattern,
+			History:   pairNuPlus(pattern, 70, seed),
+			Scheduler: sim.NewFairScheduler(seed, 0.7, 4),
+			MaxSteps:  400, // deliberately short: safety mustn't need liveness
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		out := check.OutcomeFromConfig(res.Config)
+		if err := out.Validity(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := out.NonuniformAgreement(pattern); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMRSigmaSafetyFuzz does the same for the uniform baseline, with the
+// stronger uniform agreement property.
+func TestMRSigmaSafetyFuzz(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}
+	property := func(seed int64, rawN, crashMask uint8) bool {
+		n := 3 + int(rawN%4)
+		pattern := model.NewFailurePattern(n)
+		for i := 0; i < n-1; i++ {
+			if crashMask&(1<<uint(i)) != 0 {
+				pattern.SetCrash(model.ProcessID(i), model.Time(1+int64(i)*17))
+			}
+		}
+		props := make([]int, n)
+		for i := range props {
+			props[i] = i % 2
+		}
+		res, err := sim.Run(sim.Options{
+			Automaton: consensus.NewMRSigma(props),
+			Pattern:   pattern,
+			History:   pairSigma(pattern, 70, seed),
+			Scheduler: sim.NewFairScheduler(seed, 0.7, 4),
+			MaxSteps:  400,
+		})
+		if err != nil {
+			return false
+		}
+		out := check.OutcomeFromConfig(res.Config)
+		return out.Validity() == nil && out.UniformAgreement() == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Package consensus implements the paper's consensus algorithms as model
+// automata:
+//
+//   - ANuc — the core contribution: algorithm A_nuc of §6.3 (Figs. 4–5),
+//     which solves nonuniform consensus using (Ω, Σν+) in any environment
+//     (Theorem 6.27);
+//   - MR — the Mostéfaoui–Raynal leader-based algorithm the paper builds
+//     on, in its three variants: majorities (uniform consensus with a
+//     correct majority), Σ quorums (uniform consensus in any environment,
+//     footnote 5), and the *naive* Σν-quorum adaptation that §6.3 shows is
+//     contaminated and violates nonuniform agreement.
+//
+// Every automaton follows the paper's step discipline: the blocking waits
+// of the pseudocode become phases, one wait-iteration (one failure-detector
+// query) per atomic step, with the straight-line code between waits
+// executing in the step whose wait completed.
+package consensus
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/quorum"
+)
+
+// Unknown stands for the special proposal value "?" of the third phase.
+// Payloads encode it with HasV = false.
+const Unknown = -1
+
+// LeadPayload is the leader message (LEAD, k, x, H) of the first phase
+// (Fig. 4 line 15). Hist is nil for MR variants, which carry no quorum
+// histories.
+type LeadPayload struct {
+	K    int
+	V    int
+	Hist quorum.Histories // cloned at send; nil for MR
+}
+
+// Kind implements model.Payload.
+func (LeadPayload) Kind() string { return "LEAD" }
+
+// String implements model.Payload.
+func (m LeadPayload) String() string { return fmt.Sprintf("LEAD(k=%d,v=%d)", m.K, m.V) }
+
+// ReportPayload is the report message (REP, k, x) of the second phase
+// (Fig. 4 line 19).
+type ReportPayload struct {
+	K int
+	V int
+}
+
+// Kind implements model.Payload.
+func (ReportPayload) Kind() string { return "REP" }
+
+// String implements model.Payload.
+func (m ReportPayload) String() string { return fmt.Sprintf("REP(k=%d,v=%d)", m.K, m.V) }
+
+// ProposalPayload is the proposal message (PROP, k, v|?, H) of the third
+// phase (Fig. 4 lines 22/24).
+type ProposalPayload struct {
+	K    int
+	V    int
+	HasV bool             // false encodes "?"
+	Hist quorum.Histories // nil for MR
+}
+
+// Kind implements model.Payload.
+func (ProposalPayload) Kind() string { return "PROP" }
+
+// String implements model.Payload.
+func (m ProposalPayload) String() string {
+	if !m.HasV {
+		return fmt.Sprintf("PROP(k=%d,?)", m.K)
+	}
+	return fmt.Sprintf("PROP(k=%d,v=%d)", m.K, m.V)
+}
+
+// SawPayload is the quorum-awareness message (SAW, p, Q) (Fig. 4 line 32);
+// the sender p is the message's From field.
+type SawPayload struct {
+	Q model.ProcessSet
+}
+
+// Kind implements model.Payload.
+func (SawPayload) Kind() string { return "SAW" }
+
+// String implements model.Payload.
+func (m SawPayload) String() string { return fmt.Sprintf("SAW(%s)", m.Q) }
+
+// AckPayload is the acknowledgment (ACK, q, Q, k) (Fig. 4 line 37): the
+// sender acknowledges having inserted Q into H_q[p] during its round K.
+type AckPayload struct {
+	Q model.ProcessSet
+	K int
+}
+
+// Kind implements model.Payload.
+func (AckPayload) Kind() string { return "ACK" }
+
+// String implements model.Payload.
+func (m AckPayload) String() string { return fmt.Sprintf("ACK(%s,k=%d)", m.Q, m.K) }

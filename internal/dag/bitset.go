@@ -1,0 +1,57 @@
+package dag
+
+import "math/bits"
+
+// bitset is a growable set of node indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << uint(i%64) }
+
+func (b bitset) get(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<uint(i%64)) != 0
+}
+
+// grow returns a bitset of word-capacity for n bits, preserving contents.
+func (b bitset) grow(n int) bitset {
+	want := (n + 63) / 64
+	if want <= len(b) {
+		return b
+	}
+	nb := make(bitset, want)
+	copy(nb, b)
+	return nb
+}
+
+func (b bitset) clone() bitset {
+	nb := make(bitset, len(b))
+	copy(nb, b)
+	return nb
+}
+
+func (b bitset) or(o bitset) bitset {
+	b = b.grow(len(o) * 64)
+	for i := range o {
+		b[i] |= o[i]
+	}
+	return b
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach calls f with each set index in increasing order.
+func (b bitset) forEach(f func(int)) {
+	for wi, w := range b {
+		for ; w != 0; w &= w - 1 {
+			f(wi*64 + bits.TrailingZeros64(w))
+		}
+	}
+}

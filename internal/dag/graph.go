@@ -1,0 +1,251 @@
+// Package dag implements the DAGs of failure-detector samples of §4: the
+// DAG-building algorithm A_DAG (Fig. 1), the induced "fresh" subgraphs G|u,
+// canonical paths, and the simulation of schedules of an arbitrary
+// algorithm A that are compatible with DAG paths (the sets Sch(G, I) of
+// §4.2). These are the engine of both transformation algorithms in
+// internal/transform.
+package dag
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/model"
+)
+
+// Node is a sample (q, d, k): process q obtained value d from its local
+// failure-detector module when it queried it for the k-th time (§4.1).
+type Node struct {
+	P model.ProcessID
+	K int
+	D model.FDValue
+}
+
+// String implements fmt.Stringer.
+func (n Node) String() string { return fmt.Sprintf("(%s,%s,%d)", n.P, n.D, n.K) }
+
+// Key identifies a sample: distinct samplings yield distinct (P, K) pairs.
+type Key struct {
+	P model.ProcessID
+	K int
+}
+
+// Key returns the node's identity.
+func (n Node) Key() Key { return Key{P: n.P, K: n.K} }
+
+// Graph is a DAG of samples. Nodes are stored in insertion order; an A_DAG
+// execution maintains the invariant that every edge goes from an
+// earlier-inserted node to a later-inserted one (graphs only grow and are
+// exchanged wholesale, so any graph containing a node also contains all the
+// nodes it was inserted after — see the Union assertion), which makes
+// insertion order a topological order.
+type Graph struct {
+	nodes []Node
+	index map[Key]int
+	preds []bitset // preds[i] = indices of nodes with an edge into node i
+}
+
+// NewGraph returns the empty graph.
+func NewGraph() *Graph {
+	return &Graph{index: make(map[Key]int)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns the node at index i.
+func (g *Graph) Node(i int) Node { return g.nodes[i] }
+
+// IndexOf returns the index of the node with key k, or -1.
+func (g *Graph) IndexOf(k Key) int {
+	if i, ok := g.index[k]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasEdge reports whether there is an edge u → v.
+func (g *Graph) HasEdge(u, v int) bool { return g.preds[v].get(u) }
+
+// AddSample appends the sample (p, d, k) and adds an edge from every other
+// node to it (Fig. 1 line 10). It returns the new node's index.
+func (g *Graph) AddSample(p model.ProcessID, d model.FDValue, k int) int {
+	key := Key{P: p, K: k}
+	if _, dup := g.index[key]; dup {
+		panic(fmt.Sprintf("dag: duplicate sample %v", key))
+	}
+	i := len(g.nodes)
+	g.nodes = append(g.nodes, Node{P: p, K: k, D: d})
+	g.index[key] = i
+	pr := newBitset(i + 1)
+	for j := 0; j < i; j++ {
+		pr.set(j)
+	}
+	g.preds = append(g.preds, pr)
+	return i
+}
+
+// AddSampleWithPreds appends a sample with an explicit predecessor set —
+// the wire decoder's entry point for reconstructing a received snapshot.
+// Predecessor indices must be smaller than the new node's index.
+func (g *Graph) AddSampleWithPreds(p model.ProcessID, d model.FDValue, k int, preds []int) int {
+	key := Key{P: p, K: k}
+	if _, dup := g.index[key]; dup {
+		panic(fmt.Sprintf("dag: duplicate sample %v", key))
+	}
+	i := len(g.nodes)
+	g.nodes = append(g.nodes, Node{P: p, K: k, D: d})
+	g.index[key] = i
+	pr := newBitset(i + 1)
+	for _, u := range preds {
+		if u >= i {
+			panic(fmt.Sprintf("dag: predecessor %d of node %d violates insertion order", u, i))
+		}
+		pr.set(u)
+	}
+	g.preds = append(g.preds, pr)
+	return i
+}
+
+// Union merges other into g (Fig. 1 line 7: G_p ← G_p ∪ m). New nodes are
+// appended in other's insertion order; edges are unioned. It panics if the
+// merge would break the earlier-to-later edge invariant, which cannot
+// happen for graphs produced by a genuine A_DAG execution.
+func (g *Graph) Union(other *Graph) {
+	if other == nil {
+		return
+	}
+	// Map other's indices to g's indices, appending missing nodes.
+	xlat := make([]int, other.Len())
+	for oi, n := range other.nodes {
+		key := n.Key()
+		gi, ok := g.index[key]
+		if !ok {
+			gi = len(g.nodes)
+			g.nodes = append(g.nodes, n)
+			g.index[key] = gi
+			g.preds = append(g.preds, newBitset(gi+1))
+		}
+		xlat[oi] = gi
+	}
+	for oi := range other.nodes {
+		gi := xlat[oi]
+		g.preds[gi] = g.preds[gi].grow(len(g.nodes))
+		other.preds[oi].forEach(func(opj int) {
+			gj := xlat[opj]
+			if gj >= gi {
+				panic(fmt.Sprintf("dag: union would create edge %d→%d violating insertion-order invariant", gj, gi))
+			}
+			g.preds[gi].set(gj)
+		})
+	}
+}
+
+// Clone returns a deep copy of g. Nodes (and their FDValues) are immutable
+// and shared.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes: append([]Node(nil), g.nodes...),
+		index: make(map[Key]int, len(g.index)),
+		preds: make([]bitset, len(g.preds)),
+	}
+	for k, v := range g.index {
+		c.index[k] = v
+	}
+	for i, b := range g.preds {
+		c.preds[i] = b.clone()
+	}
+	return c
+}
+
+// Descendants returns the set of nodes reachable from u, including u itself
+// — the node set of the induced subgraph G|u of §4.1.
+func (g *Graph) Descendants(u int) bitset {
+	out := newBitset(len(g.nodes))
+	out.set(u)
+	// Edges respect insertion order, so a single forward scan suffices.
+	for v := u + 1; v < len(g.nodes); v++ {
+		reachable := false
+		g.preds[v].forEach(func(w int) {
+			if !reachable && out.get(w) {
+				reachable = true
+			}
+		})
+		if reachable {
+			out.set(v)
+		}
+	}
+	return out
+}
+
+// SamplesOf returns the set of processes owning nodes in mask.
+func (g *Graph) SamplesOf(mask bitset) model.ProcessSet {
+	var ps model.ProcessSet
+	mask.forEach(func(i int) { ps = ps.Add(g.nodes[i].P) })
+	return ps
+}
+
+// LongestPathFrom returns a maximum-length path of G that starts at u and
+// stays within mask (which must contain u), as a slice of node indices.
+// This is the canonical path used for the bounded schedule search: in fair
+// executions the sample DAG is chain-dense (every insertion links from all
+// known nodes), so the longest chain from a fresh u visits samples of every
+// live process many times — it plays the role of the path g^∞ of Lemma 4.8.
+func (g *Graph) LongestPathFrom(u int, mask bitset) []int {
+	n := len(g.nodes)
+	// best[v] = length of the longest masked path u → … → v; prev[v] backlink.
+	best := make([]int, n)
+	prev := make([]int, n)
+	for i := range best {
+		best[i] = -1
+		prev[i] = -1
+	}
+	best[u] = 1
+	for v := u + 1; v < n; v++ {
+		if !mask.get(v) {
+			continue
+		}
+		g.preds[v].forEach(func(w int) {
+			if w >= u && best[w] > 0 && best[w]+1 > best[v] {
+				best[v] = best[w] + 1
+				prev[v] = w
+			}
+		})
+	}
+	end, bl := u, 1
+	for v := u; v < n; v++ {
+		if best[v] > bl {
+			bl, end = best[v], v
+		}
+	}
+	path := make([]int, 0, bl)
+	for v := end; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// OwnChainFrom returns the chain of p's own samples within mask starting
+// at or after u (own samples are totally ordered, Observation 4.2). Used by
+// the extraction's OwnChain ablation.
+func (g *Graph) OwnChainFrom(u int, mask bitset, p model.ProcessID) []int {
+	var out []int
+	for v := u; v < len(g.nodes); v++ {
+		if mask.get(v) && g.nodes[v].P == p {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Nodes returns the nodes at the given indices.
+func (g *Graph) Nodes(idx []int) []Node {
+	out := make([]Node, len(idx))
+	for i, v := range idx {
+		out[i] = g.nodes[v]
+	}
+	return out
+}

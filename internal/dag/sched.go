@@ -1,0 +1,68 @@
+package dag
+
+import "nuconsensus/internal/model"
+
+// This file implements the simulated schedules of §4.2: given a path
+// g = (p1,d1,k1), (p2,d2,k2), … of a sample DAG and an initial
+// configuration I of an algorithm A, the schedules compatible with g are
+// the schedules (p1,m1,d1), (p2,m2,d2), … applicable to I, one per choice
+// of received messages. Sch(G, I) — all schedules compatible with some path
+// of G — is exponential; the searches below follow the canonical choice of
+// Lemma 4.10 (deliver the *oldest* pending message, or λ), which is the
+// choice whose infinite limit is an admissible run. This is the bounded
+// substitution documented in DESIGN.md §4(5): if the canonical schedule
+// along the canonical path decides, a deciding schedule exists in Sch(G, I);
+// completeness of the search holds in the limit because the canonical path
+// eventually contains enough fresh samples of every correct process.
+
+// Simulate executes the canonical schedule compatible with path, applicable
+// to the initial configuration of aut: the i-th step is taken by path[i].P
+// with failure-detector value path[i].D, receiving the oldest pending
+// message (λ if none). After each step, observe (if non-nil) is called with
+// the number of steps applied so far and the current configuration;
+// returning true stops the simulation early. Simulate returns the final
+// configuration.
+func Simulate(aut model.Automaton, path []Node, observe func(steps int, c *model.Configuration) bool) *model.Configuration {
+	c := model.InitialConfiguration(aut)
+	for i, node := range path {
+		e := model.Step{P: node.P, M: c.Buffer.Oldest(node.P), D: node.D}
+		c.Apply(aut, e)
+		if observe != nil && observe(i+1, c) {
+			break
+		}
+	}
+	return c
+}
+
+// DecidesAlong reports whether process p decides in the canonical schedule
+// along path. If so it returns the participants of the shortest deciding
+// prefix (the schedule S with "p decides in S(I)" of Fig. 2 line 17) and
+// the decided value.
+func DecidesAlong(aut model.Automaton, path []Node, p model.ProcessID) (model.ProcessSet, int, bool) {
+	var participants model.ProcessSet
+	decidedVal := 0
+	decided := false
+	Simulate(aut, path, func(steps int, c *model.Configuration) bool {
+		participants = participants.Add(path[steps-1].P)
+		if v, ok := model.DecisionOf(c.States[p]); ok {
+			decidedVal = v
+			decided = true
+			return true
+		}
+		return false
+	})
+	if !decided {
+		return 0, 0, false
+	}
+	return participants, decidedVal, true
+}
+
+// Participants returns the set of processes appearing in the path
+// (participants(g) of Fig. 3 lines 20–21).
+func Participants(path []Node) model.ProcessSet {
+	var ps model.ProcessSet
+	for _, n := range path {
+		ps = ps.Add(n.P)
+	}
+	return ps
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/hb"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/trace"
+	"nuconsensus/internal/transform"
+)
+
+// E13 exercises the ◇P view of the heartbeat detector: under partial
+// synchrony, the emitted suspect sets eventually equal exactly the faulty
+// set at every correct process (strong completeness + eventual strong
+// accuracy).
+func E13(sc Scale) Table {
+	t := Table{
+		ID:    "E13",
+		Title: "Heartbeat suspicion is eventually perfect (◇P) (extension)",
+		Claim: "Adaptive-timeout heartbeats under eventual timeliness suspect exactly " +
+			"the crashed processes, permanently — the ◇P specification.",
+		Columns: []string{"n", "f", "runs", "ok", "avg accurate-from t"},
+		Pass:    true,
+	}
+	for _, n := range []int{3, 5, 8} {
+		fs := []int{1}
+		if n/2 > 1 {
+			fs = append(fs, n/2)
+		}
+		for _, f := range fs {
+			var runs, ok int
+			var stabSum model.Time
+			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
+				pattern := model.NewFailurePattern(n)
+				for i := 0; i < f; i++ {
+					pattern.SetCrash(model.ProcessID(n-1-i), model.Time(40+30*i))
+				}
+				rec := &trace.Recorder{}
+				res, err := sim.Run(sim.Options{
+					Automaton: hb.NewSuspector(n, 0, 0),
+					Pattern:   pattern,
+					History:   fd.Null,
+					Scheduler: &sim.PartialSyncScheduler{
+						GST:    300,
+						Before: sim.NewFairScheduler(seed, 0.2, 20),
+						After:  sim.NewFairScheduler(seed+99, 0.9, 2),
+					},
+					MaxSteps: 2500,
+					Recorder: rec,
+				})
+				runs++
+				if err != nil {
+					t.Pass = false
+					continue
+				}
+				stab := suspicionHorizon(rec.Outputs, pattern)
+				if stab > res.Time*4/5 {
+					t.Pass = false
+					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: suspicion unstable until %d of %d", n, f, seed, stab, res.Time))
+					continue
+				}
+				if err := check.EventuallyPerfect(rec.Outputs, pattern, stab); err != nil {
+					t.Pass = false
+					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: %v", n, f, seed, err))
+					continue
+				}
+				ok++
+				if stab > 0 {
+					stabSum += stab
+				}
+			}
+			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f),
+				fmt.Sprintf("%d", runs), fmt.Sprintf("%d", ok), avg(int(stabSum), ok))
+		}
+	}
+	return t
+}
+
+// suspicionHorizon returns the last time a correct process's suspect set
+// differed from faulty(F), or -1.
+func suspicionHorizon(outs []trace.Sample, pattern *model.FailurePattern) model.Time {
+	correct := pattern.Correct()
+	faulty := pattern.Faulty()
+	last := model.Time(-1)
+	for _, s := range outs {
+		if !correct.Has(s.P) {
+			continue
+		}
+		if sus, ok := fd.SuspectsOf(s.Val); ok && sus != faulty && s.T > last {
+			last = s.T
+		}
+	}
+	return last
+}
+
+// E14 demonstrates the nonuniform/uniform gap the paper's title is about:
+// A_nuc with (Ω, Σν+) admits runs in which a *faulty* process decides a
+// different value than the correct ones (legal for nonuniform consensus),
+// while MR-Σ with (Ω, Σ) — a uniform algorithm — never does on the same
+// failure patterns. This is why Σν (and Σν+) are strictly cheaper
+// detectors than Σ: they buy agreement only among the correct.
+func E14(sc Scale) Table {
+	t := Table{
+		ID:    "E14",
+		Title: "The nonuniform/uniform gap: faulty divergence under A_nuc",
+		Claim: "§1: in nonuniform consensus 'a faulty process can reach a decision on " +
+			"any proposed value' — and A_nuc actually exhibits such runs, while a " +
+			"uniform algorithm (MR-Σ) never can.",
+		Columns: []string{"algorithm", "runs", "faulty-divergent runs", "correct-divergent runs"},
+	}
+	seeds := sc.Seeds * 10
+	n := 3
+	countDivergence := func(build func(props []int) model.Automaton, hist func(*model.FailurePattern, int64) model.History, uniform bool) (int, int, int) {
+		var runs, faultyDiv, correctDiv int
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			// The faulty process proposes the odd value out and crashes late
+			// enough to decide on its own junk quorum.
+			pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{2: 150})
+			r, err := runConsensus(build([]int{0, 0, 1}), pattern, hist(pattern, seed), seed, 30000)
+			if err != nil || !r.Decided {
+				continue
+			}
+			runs++
+			if r.Outcome.NonuniformAgreement(pattern) != nil {
+				correctDiv++
+			} else if r.Outcome.UniformAgreement() != nil {
+				faultyDiv++
+			}
+			_ = uniform
+		}
+		return runs, faultyDiv, correctDiv
+	}
+
+	anucRuns, anucFaulty, anucCorrect := countDivergence(
+		func(props []int) model.Automaton { return consensus.NewANuc(props) },
+		func(p *model.FailurePattern, seed int64) model.History {
+			return fd.PairHistory{First: fd.NewOmega(p, 200, seed), Second: fd.NewSigmaNuPlus(p, 200, seed)}
+		}, false)
+	t.AddRow("A_nuc + (Ω,Σν+)", fmt.Sprintf("%d", anucRuns), fmt.Sprintf("%d", anucFaulty), fmt.Sprintf("%d", anucCorrect))
+
+	mrRuns, mrFaulty, mrCorrect := countDivergence(
+		func(props []int) model.Automaton { return consensus.NewMRSigma(props) },
+		func(p *model.FailurePattern, seed int64) model.History {
+			return fd.PairHistory{First: fd.NewOmega(p, 200, seed), Second: fd.NewSigma(p, 200, seed)}
+		}, true)
+	t.AddRow("MR-Σ + (Ω,Σ)", fmt.Sprintf("%d", mrRuns), fmt.Sprintf("%d", mrFaulty), fmt.Sprintf("%d", mrCorrect))
+
+	// The gap is real iff A_nuc exhibits faulty divergence (but never
+	// correct divergence) and the uniform algorithm exhibits neither.
+	t.Pass = anucFaulty > 0 && anucCorrect == 0 && mrFaulty == 0 && mrCorrect == 0
+	if anucFaulty == 0 {
+		t.Notes = append(t.Notes, "A_nuc never showed faulty divergence — adversary too weak to exhibit the gap")
+	}
+	return t
+}
+
+// Q6 ablates the extraction's schedule-search path strategy: the canonical
+// longest chain simulates cross-process schedules and converges; searching
+// only the process's own samples can never find deciding schedules (a solo
+// run of a consensus algorithm cannot decide), so the emulation stays stuck
+// at Π and completeness is never achieved.
+func Q6(sc Scale) Table {
+	t := Table{
+		ID:    "Q6",
+		Title: "Extraction search ablation: longest chain vs own-samples chain",
+		Claim: "§4.2/Lemma 4.10: the simulated schedules must interleave all live " +
+			"processes; the path choice is load-bearing, not an implementation detail.",
+		Columns: []string{"strategy", "runs", "emulation valid", "stuck at Π"},
+		Pass:    true,
+	}
+	n := 3
+	seeds := min(sc.Seeds, 3)
+	for _, strat := range []struct {
+		name string
+		s    transform.PathStrategy
+	}{
+		{"longest-chain", transform.LongestChain},
+		{"own-chain (ablated)", transform.OwnChain},
+	} {
+		var runs, valid, stuck int
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{2: 30})
+			hist := fd.PairHistory{First: fd.NewOmega(pattern, 40, seed), Second: fd.NewSigmaNuPlus(pattern, 40, seed)}
+			aut := transform.NewSigmaNuExtractorWithStrategy(n,
+				func(props []int) model.Automaton { return consensus.NewANuc(props) }, 1, strat.s)
+			outs, stab, end, err := runTransformer(aut, pattern, hist, seed, extractionBudget(n))
+			if err != nil {
+				t.Pass = false
+				continue
+			}
+			runs++
+			if stab <= end*4/5 && check.SigmaNu(outs, pattern, stab) == nil && stab >= 0 {
+				// Valid requires genuinely tightening beyond Π at correct
+				// processes, else "valid" is vacuous (Π forever fails
+				// completeness whenever f > 0 — which stab > end*4/5 caught).
+				valid++
+			}
+			allPi := true
+			for _, s := range outs {
+				if q, _ := fd.QuorumOf(s.Val); pattern.Correct().Has(s.P) && q != pattern.All() {
+					allPi = false
+					break
+				}
+			}
+			if allPi {
+				stuck++
+			}
+		}
+		t.AddRow(strat.name, fmt.Sprintf("%d", runs), fmt.Sprintf("%d", valid), fmt.Sprintf("%d", stuck))
+		if strat.s == transform.LongestChain && valid != runs {
+			t.Pass = false
+		}
+		if strat.s == transform.OwnChain && stuck != runs {
+			t.Pass = false
+			t.Notes = append(t.Notes, "own-chain ablation unexpectedly made progress")
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the ablated strategy stays at Π forever: with f > 0 its emulation can never satisfy completeness")
+	return t
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/hb"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/trace"
+	"nuconsensus/internal/transform"
+)
+
+// E11 exercises the heartbeat implementation of Ω (internal/hb): under
+// partial synchrony — including a hostile pre-GST prefix — the emitted
+// leader history satisfies the Ω specification.
+func E11(sc Scale) Table {
+	t := Table{
+		ID:    "E11",
+		Title: "Heartbeat Ω under partial synchrony (extension)",
+		Claim: "Ω is implementable without oracles given eventual timeliness: " +
+			"adaptive-timeout heartbeats converge on the smallest correct process " +
+			"at all correct processes.",
+		Columns: []string{"n", "f", "GST", "runs", "ok", "avg leader-stable t"},
+		Pass:    true,
+	}
+	for _, n := range []int{3, 5, 8} {
+		fs := []int{1}
+		if mid := (n - 1) / 2; mid != 1 {
+			fs = append(fs, mid)
+		}
+		for _, f := range fs {
+			gst := model.Time(300)
+			var runs, ok int
+			var stabSum model.Time
+			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
+				pattern := model.NewFailurePattern(n)
+				for i := 0; i < f; i++ {
+					pattern.SetCrash(model.ProcessID(i), model.Time(30+20*i))
+				}
+				rec := &trace.Recorder{}
+				res, err := sim.Run(sim.Options{
+					Automaton: hb.NewOmega(n, 0, 0),
+					Pattern:   pattern,
+					History:   fd.Null,
+					Scheduler: &sim.PartialSyncScheduler{
+						GST:    gst,
+						Before: sim.NewFairScheduler(seed, 0.2, 20),
+						After:  sim.NewFairScheduler(seed+99, 0.9, 2),
+					},
+					MaxSteps: 2500,
+					Recorder: rec,
+				})
+				runs++
+				if err != nil {
+					t.Pass = false
+					continue
+				}
+				stab := leaderHorizon(rec.Outputs, pattern)
+				if stab > res.Time*4/5 {
+					t.Pass = false
+					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: leader unstable until %d of %d", n, f, seed, stab, res.Time))
+					continue
+				}
+				if err := check.OmegaOutputs(rec.Outputs, pattern, stab); err != nil {
+					t.Pass = false
+					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: %v", n, f, seed, err))
+					continue
+				}
+				ok++
+				if stab > 0 {
+					stabSum += stab
+				}
+			}
+			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f), fmt.Sprintf("%d", gst),
+				fmt.Sprintf("%d", runs), fmt.Sprintf("%d", ok), avg(int(stabSum), ok))
+		}
+	}
+	return t
+}
+
+// leaderHorizon returns the last time a correct process's emitted leader
+// differed from the eventual leader (min correct), or -1.
+func leaderHorizon(outs []trace.Sample, pattern *model.FailurePattern) model.Time {
+	correct := pattern.Correct()
+	leader := correct.Min()
+	last := model.Time(-1)
+	for _, s := range outs {
+		if !correct.Has(s.P) {
+			continue
+		}
+		if l, ok := fd.LeaderOf(s.Val); ok && l != leader && s.T > last {
+			last = s.T
+		}
+	}
+	return last
+}
+
+// E12 exercises the oracle-free stack: heartbeat Ω + from-scratch Σν+ +
+// A_nuc solves nonuniform consensus with no failure detector in
+// majority-correct environments under partial synchrony.
+func E12(sc Scale) Table {
+	t := Table{
+		ID:    "E12",
+		Title: "Oracle-free nonuniform consensus (extension)",
+		Claim: "With a correct majority and eventual timeliness, the weakest-detector " +
+			"pair (Ω, Σν+) is constructible from scratch, so A_nuc runs with zero " +
+			"oracles (heartbeats + Theorem 7.1 IF threshold quorums).",
+		Columns: []string{"n", "f", "runs", "ok", "avg steps"},
+		Pass:    true,
+	}
+	for _, n := range []int{3, 5, 7} {
+		tf := (n - 1) / 2
+		for _, f := range []int{0, tf} {
+			var runs, ok, steps int
+			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
+				pattern := model.NewFailurePattern(n)
+				for i := 0; i < f; i++ {
+					pattern.SetCrash(model.ProcessID(i), model.Time(40+25*i))
+				}
+				props := make([]int, n)
+				for i := range props {
+					props[i] = i % 2
+				}
+				aut := transform.NewOracleFree(
+					hb.NewOmega(n, 0, 0),
+					transform.NewScratchSigmaNuPlus(n, tf),
+					consensus.NewANuc(props),
+				)
+				res, err := sim.Run(sim.Options{
+					Automaton: aut,
+					Pattern:   pattern,
+					History:   fd.Null,
+					Scheduler: &sim.PartialSyncScheduler{
+						GST:    250,
+						Before: sim.NewFairScheduler(seed, 0.3, 10),
+						After:  sim.NewFairScheduler(seed+99, 0.9, 2),
+					},
+					MaxSteps: sc.MaxSteps,
+					StopWhen: sim.AllCorrectDecided(pattern),
+				})
+				runs++
+				if err != nil || !res.Stopped {
+					t.Pass = false
+					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: err=%v stopped=%v", n, f, seed, err, res != nil && res.Stopped))
+					continue
+				}
+				if err := check.OutcomeFromConfig(res.Config).NonuniformConsensus(pattern); err != nil {
+					t.Pass = false
+					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: %v", n, f, seed, err))
+					continue
+				}
+				ok++
+				steps += res.Steps
+			}
+			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f), fmt.Sprintf("%d", runs),
+				fmt.Sprintf("%d", ok), avg(steps, ok))
+		}
+	}
+	return t
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/trace"
+	"nuconsensus/internal/transform"
+)
+
+// PartitionOutcome is the result of staging the Theorem 7.1 (ONLY-IF)
+// partition argument against one candidate transformation algorithm.
+type PartitionOutcome struct {
+	Candidate string
+	N         int
+	T         int
+	AQuorum   model.ProcessSet // A' ⊆ A output in run R (and R′, by indistinguishability)
+	BQuorum   model.ProcessSet // B' ⊆ B output in run R′
+	Tau       model.Time       // time τ at which A' was output in R
+	Disjoint  bool             // A' ∩ B' = ∅ — the Σ intersection violation
+	Err       error
+}
+
+// RunPartition stages the two runs R and R′ of Theorem 7.1's ONLY-IF proof
+// against a candidate algorithm that purports to transform (Ω, Σν) to Σ in
+// E_t with t ≥ n/2:
+//
+//	R:  all of B crashes at time 0; every process's (Ω, Σν) module outputs
+//	    (min A, A) in A and (min B, B) in B — a legal Σν history because
+//	    quorums at *correct* processes (all in A) intersect. Completeness
+//	    forces the candidate to eventually output some A' ⊆ A at a ∈ A, at
+//	    a time τ.
+//	R′: identical prefix for A (B's messages delayed past τ; B takes no
+//	    steps before τ), then A crashes at τ+1 and B runs alone. A cannot
+//	    distinguish R′ from R through time τ, so a outputs the same A' at
+//	    τ; completeness then forces some B' ⊆ B at b ∈ B. A' ∩ B' = ∅
+//	    violates Σ's intersection — no candidate can win.
+func RunPartition(name string, candidate model.Automaton, n, tFaults int) PartitionOutcome {
+	out := PartitionOutcome{Candidate: name, N: n, T: tFaults}
+	if n%2 != 0 || tFaults < n/2 {
+		out.Err = fmt.Errorf("experiments: partition needs even n and t ≥ n/2 (got n=%d t=%d)", n, tFaults)
+		return out
+	}
+	sideA := model.FullSet(n / 2)
+	sideB := model.FullSet(n).Minus(sideA)
+	a, b := sideA.Min(), sideB.Min()
+
+	// The hand-crafted (Ω, Σν) history of the proof, identical in R and R′.
+	vals := make([]model.FDValue, n)
+	for p := 0; p < n; p++ {
+		side, leader := sideA, a
+		if sideB.Has(model.ProcessID(p)) {
+			side, leader = sideB, b
+		}
+		vals[p] = fd.PairValue{
+			First:  fd.LeaderValue{Leader: leader},
+			Second: fd.QuorumValue{Quorum: side},
+		}
+	}
+	hist := fd.ConstPerProcess{Values: vals}
+
+	// Run R: B crashes before taking a step.
+	patternR := model.NewFailurePattern(n)
+	sideB.ForEach(func(p model.ProcessID) { patternR.SetCrash(p, 0) })
+	stopAtSubsetOutput := func(p model.ProcessID, side model.ProcessSet) func(*model.Configuration, model.Time) bool {
+		return func(c *model.Configuration, _ model.Time) bool {
+			o, ok := c.States[p].(model.FDOutput)
+			if !ok {
+				return false
+			}
+			q, ok := fd.QuorumOf(o.EmulatedOutput())
+			return ok && q.SubsetOf(side)
+		}
+	}
+	resR, err := sim.Run(sim.Options{
+		Automaton:    candidate,
+		Pattern:      patternR,
+		History:      hist,
+		Scheduler:    sim.NewFairScheduler(1, 0.9, 3),
+		MaxSteps:     4000,
+		StopWhen:     stopAtSubsetOutput(a, sideA),
+		KeepSchedule: true,
+	})
+	if err != nil {
+		out.Err = fmt.Errorf("run R: %w", err)
+		return out
+	}
+	if !resR.Stopped {
+		out.Err = fmt.Errorf("run R: candidate never output a quorum ⊆ A at %s — completeness of Σ violated already", a)
+		return out
+	}
+	qa, _ := fd.QuorumOf(resR.Config.States[a].(model.FDOutput).EmulatedOutput())
+	out.AQuorum = qa
+	out.Tau = resR.Time
+
+	// Run R′: replay R's schedule (A-only steps; B silent), then crash A at
+	// τ+1 and let B run alone.
+	script := make([]sim.Choice, len(resR.Schedule))
+	for i, e := range resR.Schedule {
+		script[i] = sim.Choice{P: e.P, Deliver: e.M != nil}
+	}
+	patternRp := model.NewFailurePattern(n)
+	sideA.ForEach(func(p model.ProcessID) { patternRp.SetCrash(p, out.Tau+1) })
+	resRp, err := sim.Run(sim.Options{
+		Automaton: candidate,
+		Pattern:   patternRp,
+		History:   hist,
+		Scheduler: &sim.ScriptedScheduler{Script: script, Fallback: sim.NewFairScheduler(2, 0.9, 3)},
+		MaxSteps:  8000,
+		StopWhen:  stopAtSubsetOutput(b, sideB),
+	})
+	if err != nil {
+		out.Err = fmt.Errorf("run R′: %w", err)
+		return out
+	}
+	if !resRp.Stopped {
+		out.Err = fmt.Errorf("run R′: candidate never output a quorum ⊆ B at %s — completeness of Σ violated already", b)
+		return out
+	}
+	qb, _ := fd.QuorumOf(resRp.Config.States[b].(model.FDOutput).EmulatedOutput())
+	out.BQuorum = qb
+	out.Disjoint = !qa.Intersects(qb)
+	return out
+}
+
+// E7 exercises Theorem 7.1 (ONLY-IF): for t ≥ n/2 there is no algorithm
+// transforming (Ω, Σν) to Σ. We run the proof's partition argument against
+// two natural candidates and exhibit, for each, a pair of runs whose
+// emitted quorums violate Σ's intersection property.
+func E7(_ Scale) Table {
+	t := Table{
+		ID:    "E7",
+		Title: "Partition argument: (Ω, Σν) cannot be transformed to Σ when t ≥ n/2",
+		Claim: "Theorem 7.1 (ONLY-IF): runs R and R′ force any candidate to output " +
+			"disjoint quorums A' ⊆ A and B' ⊆ B, violating Σ's intersection.",
+		Columns: []string{"candidate", "n", "t", "A' (run R, at τ)", "B' (run R′)", "disjoint?"},
+		Pass:    true,
+	}
+	for _, n := range []int{4, 6} {
+		tf := n / 2
+		cands := []struct {
+			name string
+			aut  model.Automaton
+		}{
+			{"(n−t)-threshold", transform.NewThresholdQuorum(n, tf)},
+			{"Σν-passthrough", transform.NewPassthroughQuorum(n)},
+		}
+		for _, c := range cands {
+			o := RunPartition(c.name, c.aut, n, tf)
+			if o.Err != nil {
+				t.Pass = false
+				t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: %v", c.name, n, o.Err))
+				continue
+			}
+			if !o.Disjoint {
+				t.Pass = false
+			}
+			t.AddRow(c.name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", tf),
+				fmt.Sprintf("%s @t=%d", o.AQuorum, o.Tau), o.BQuorum.String(),
+				fmt.Sprintf("%v", o.Disjoint))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"every candidate that satisfies completeness in both runs is forced into the intersection violation; a candidate that avoided it would have to fail completeness instead")
+	return t
+}
+
+// E8 exercises Theorem 7.1 (IF): with t < n/2, Σ is implementable from
+// scratch — no failure detector at all.
+func E8(sc Scale) Table {
+	t := Table{
+		ID:    "E8",
+		Title: "From-scratch Σ in majority-correct environments",
+		Claim: "Theorem 7.1 (IF): for t < n/2, the (n−t)-threshold round algorithm " +
+			"implements Σ without any failure detector.",
+		Columns: []string{"n", "t", "f", "runs", "ok"},
+		Pass:    true,
+	}
+	for _, n := range []int{3, 5, 7, 9} {
+		tf := (n - 1) / 2
+		for _, f := range []int{0, tf} {
+			var runs, ok int
+			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
+				rng := rand.New(rand.NewSource(seed*9000 + int64(n*10+f)))
+				pattern := randomPattern(n, f, 50, rng)
+				rec := &trace.Recorder{}
+				res, err := sim.Run(sim.Options{
+					Automaton: transform.NewScratchSigma(n, tf),
+					Pattern:   pattern,
+					History:   fd.Null,
+					Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
+					MaxSteps:  800,
+					Recorder:  rec,
+				})
+				runs++
+				if err != nil {
+					t.Pass = false
+					continue
+				}
+				stab, herr := check.LastCompletenessViolation(rec.Outputs, pattern)
+				if herr == nil && stab <= res.Time*4/5 && check.Sigma(rec.Outputs, pattern, stab) == nil {
+					ok++
+				} else {
+					t.Pass = false
+					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: horizon=%d %v %v", n, f, seed, stab, herr, check.Sigma(rec.Outputs, pattern, stab)))
+				}
+			}
+			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", tf), fmt.Sprintf("%d", f),
+				fmt.Sprintf("%d", runs), fmt.Sprintf("%d", ok))
+		}
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/trace"
+)
+
+// Q7 measures the replicated-log application built on per-slot A_nuc
+// instances: steps and messages per appended slot, and the agreement of
+// correct replicas' logs, across n and f.
+func Q7(sc Scale) Table {
+	t := Table{
+		ID:    "Q7",
+		Title: "Replicated log (SMR over A_nuc): cost per slot",
+		Claim: "§1 motivation: consensus is the substrate of fault-tolerant " +
+			"replication. The per-slot pipeline (live old instances, command " +
+			"forwarding, no DECIDED-gossip — unsound under nonuniformity, see E14) " +
+			"sustains a steady per-slot cost.",
+		Columns: []string{"n", "f", "slots", "runs", "ok", "avg steps/slot", "avg msgs/slot"},
+		Pass:    true,
+	}
+	const slots = 5
+	for _, n := range []int{3, 4, 5} {
+		for _, f := range []int{0, 1} {
+			var runs, ok, steps, msgs int
+			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
+				pattern := model.NewFailurePattern(n)
+				for i := 0; i < f; i++ {
+					pattern.SetCrash(model.ProcessID(n-1-i), model.Time(40+20*i))
+				}
+				cmds := make([][]int, n)
+				for p := range cmds {
+					cmds[p] = []int{100*p + 1}
+				}
+				rec := &trace.Recorder{}
+				res, err := sim.Run(sim.Options{
+					Automaton: rsm.NewLog(cmds, slots),
+					Pattern:   pattern,
+					History:   rsm.PairForLog(pattern, 80, seed),
+					Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
+					MaxSteps:  min(sc.MaxSteps*4, 200000),
+					StopWhen:  rsm.AllAppended(pattern, slots),
+					Recorder:  rec,
+				})
+				runs++
+				if err != nil || !res.Stopped {
+					t.Pass = false
+					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: err=%v filled=%v", n, f, seed, err, res != nil && res.Stopped))
+					continue
+				}
+				// All correct replicas must hold identical logs.
+				agree := true
+				var ref []int
+				pattern.Correct().ForEach(func(p model.ProcessID) {
+					entries := res.Config.States[p].(rsm.LogHolder).Entries()
+					if ref == nil {
+						ref = entries
+						return
+					}
+					if len(entries) != len(ref) {
+						agree = false
+						return
+					}
+					for i := range ref {
+						if entries[i] != ref[i] {
+							agree = false
+						}
+					}
+				})
+				if !agree {
+					t.Pass = false
+					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: correct logs diverged", n, f, seed))
+					continue
+				}
+				ok++
+				steps += res.Steps
+				msgs += rec.MessagesSent
+			}
+			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f), fmt.Sprintf("%d", slots),
+				fmt.Sprintf("%d", runs), fmt.Sprintf("%d", ok),
+				avg(steps/slots, ok), avg(msgs/slots, ok))
+		}
+	}
+	return t
+}

@@ -1,0 +1,138 @@
+// Package experiments implements the reproduction experiments of
+// EXPERIMENTS.md: one function per experiment (E1–E10) and per quantitative
+// figure (Q1–Q5), each returning a Table that cmd/experiments renders and
+// bench_test.go regenerates. Every theorem, algorithm and proof scenario of
+// the paper maps to one of these.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/trace"
+)
+
+// Table is one regenerated experiment table.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's claim being exercised
+	Columns []string
+	Rows    [][]string
+	Pass    bool
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render prints the table as GitHub-flavored markdown.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "Claim: %s\n\n", t.Claim)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(r, " | "))
+	}
+	b.WriteString("\n")
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "- %s\n", n)
+	}
+	fmt.Fprintf(&b, "- verdict: %s\n", map[bool]string{true: "PASS", false: "FAIL"}[t.Pass])
+	return b.String()
+}
+
+// Scale controls how much work the experiments do; benchmarks and the CLI
+// use Quick, the recorded EXPERIMENTS.md run uses Full.
+type Scale struct {
+	Seeds    int
+	MaxSteps int
+}
+
+// Quick is the default scale for tests and benchmarks.
+var Quick = Scale{Seeds: 3, MaxSteps: 30000}
+
+// Full is the scale used to record EXPERIMENTS.md.
+var Full = Scale{Seeds: 10, MaxSteps: 60000}
+
+// randomPattern draws a failure pattern with exactly f crashes at times in
+// [1, maxCrash].
+func randomPattern(n, f int, maxCrash model.Time, rng *rand.Rand) *model.FailurePattern {
+	pat := model.NewFailurePattern(n)
+	perm := rng.Perm(n)
+	for i := 0; i < f; i++ {
+		pat.SetCrash(model.ProcessID(perm[i]), 1+model.Time(rng.Int63n(int64(maxCrash))))
+	}
+	return pat
+}
+
+// mixedProposals assigns binary proposals, guaranteeing both values appear.
+func mixedProposals(n int, rng *rand.Rand) []int {
+	ps := make([]int, n)
+	for i := range ps {
+		ps[i] = rng.Intn(2)
+	}
+	ps[0], ps[n-1] = 0, 1
+	return ps
+}
+
+// consensusRun is one measured consensus execution.
+type consensusRun struct {
+	Decided  bool
+	Steps    int
+	MaxRound int
+	Sent     int
+	Kinds    map[string]int
+	Outcome  check.ConsensusOutcome
+}
+
+// runConsensus drives a consensus automaton under the simulator until every
+// correct process decides (or maxSteps).
+func runConsensus(aut model.Automaton, pattern *model.FailurePattern, hist model.History, seed int64, maxSteps int) (consensusRun, error) {
+	rec := &trace.Recorder{}
+	res, err := sim.Run(sim.Options{
+		Automaton: aut,
+		Pattern:   pattern,
+		History:   hist,
+		Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
+		MaxSteps:  maxSteps,
+		StopWhen:  sim.AllCorrectDecided(pattern),
+		Recorder:  rec,
+	})
+	if err != nil {
+		return consensusRun{}, err
+	}
+	out := check.OutcomeFromConfig(res.Config)
+	maxRound := 0
+	for _, s := range res.Config.States {
+		if r, ok := model.RoundOf(s); ok && r > maxRound {
+			maxRound = r
+		}
+	}
+	return consensusRun{
+		Decided:  res.Stopped,
+		Steps:    res.Steps,
+		MaxRound: maxRound,
+		Sent:     rec.MessagesSent,
+		Kinds:    rec.SentKinds,
+		Outcome:  out,
+	}, nil
+}
+
+// avg is a small integer-average helper for table cells.
+func avg(sum, n int) string {
+	if n == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f", float64(sum)/float64(n))
+}

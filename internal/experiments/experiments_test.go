@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is the smallest scale that still exercises each experiment's logic.
+var tiny = Scale{Seeds: 1, MaxSteps: 30000}
+
+// TestRegistryComplete ensures the registry matches EXPERIMENTS.md's index.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "E14", "E15", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFastExperimentsPass runs the cheap experiments end to end; the
+// expensive DAG-extraction ones run in short form only when -short is not
+// set.
+func TestFastExperimentsPass(t *testing.T) {
+	fast := []string{"E1", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "Q1", "Q2", "Q5", "Q7"}
+	for _, id := range fast {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			table := Registry[id](tiny)
+			if !table.Pass {
+				t.Fatalf("%s failed:\n%s", id, table.Render())
+			}
+		})
+	}
+}
+
+func TestSlowExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping DAG-extraction experiments in -short mode")
+	}
+	slow := []string{"E2", "E3", "E6", "Q6"}
+	for _, id := range slow {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			table := Registry[id](tiny)
+			if !table.Pass {
+				t.Fatalf("%s failed:\n%s", id, table.Render())
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		ID:      "X1",
+		Title:   "demo",
+		Claim:   "something",
+		Columns: []string{"a", "b"},
+		Pass:    true,
+		Notes:   []string{"note"},
+	}
+	tb.AddRow("1", "2")
+	out := tb.Render()
+	for _, want := range []string{"## X1", "| a | b |", "| 1 | 2 |", "- note", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAvg(t *testing.T) {
+	if got := avg(10, 4); got != "2.5" {
+		t.Errorf("avg = %q", got)
+	}
+	if got := avg(10, 0); got != "—" {
+		t.Errorf("avg with zero runs = %q", got)
+	}
+}
+
+func TestRandomPattern(t *testing.T) {
+	tab := E9(tiny) // also doubles as a quick E9 sanity check
+	if !tab.Pass {
+		t.Fatalf("E9 failed:\n%s", tab.Render())
+	}
+}

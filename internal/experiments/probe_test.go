@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/trace"
+)
+
+// TestProbeContamination is a diagnostic: it traces the naive algorithm
+// under the contamination adversary for a few seeds.
+func TestProbeContamination(t *testing.T) {
+	adv := contaminationAdversary{n: 3, misleader: 2, period: 40, stabilize: 280}
+	for seed := int64(1); seed <= 6; seed++ {
+		pattern := adv.pattern()
+		props := []int{0, 0, 1}
+		hist := adv.sigmaNuHistory(pattern, seed)
+		aut := consensus.NewMRNaiveNu(props)
+		rec := &trace.Recorder{}
+		res, err := sim.Run(sim.Options{
+			Automaton: aut,
+			Pattern:   pattern,
+			History:   hist,
+			Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
+			MaxSteps:  20000,
+			StopWhen:  sim.AllCorrectDecided(pattern),
+			Recorder:  rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := fmt.Sprintf("seed=%d stopped=%v t=%d:", seed, res.Stopped, res.Time)
+		for _, d := range rec.Decisions {
+			line += fmt.Sprintf(" %s→%d@t=%d", d.P, d.Val, d.T)
+		}
+		for i, s := range res.Config.States {
+			r, _ := model.RoundOf(s)
+			line += fmt.Sprintf(" [p%d round=%d]", i, r)
+		}
+		t.Log(line)
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import "sort"
+
+// Registry maps experiment IDs to their implementations, in the order they
+// appear in EXPERIMENTS.md.
+var Registry = map[string]func(Scale) Table{
+	"E1":  E1,
+	"E2":  E2,
+	"E3":  E3,
+	"E4":  E4,
+	"E5":  E5,
+	"E6":  E6,
+	"E7":  E7,
+	"E8":  E8,
+	"E9":  E9,
+	"E10": E10,
+	"E11": E11,
+	"E12": E12,
+	"E13": E13,
+	"E14": E14,
+	"E15": E15,
+	"Q1":  Q1,
+	"Q2":  Q2,
+	"Q3":  Q3,
+	"Q4":  Q4,
+	"Q5":  Q5,
+	"Q6":  Q6,
+	"Q7":  Q7,
+}
+
+// IDs returns the experiment identifiers in canonical order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a[0] != b[0] {
+			return a[0] < b[0] // E* before Q*
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b) // E2 before E10
+		}
+		return a < b
+	})
+	return ids
+}
+
+// All runs every experiment at the given scale.
+func All(sc Scale) []Table {
+	out := make([]Table, 0, len(Registry))
+	for _, id := range IDs() {
+		out = append(out, Registry[id](sc))
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+// Package fd implements the failure detectors of the paper: the leader
+// failure detector Ω (Chandra–Hadzilacos–Toueg), the quorum failure
+// detector Σ (Delporte-Gallet–Fauconnier–Guerraoui), the paper's nonuniform
+// quorum detector Σν (§3.3) and its strengthening Σν+ (§6.1), plus the pair
+// combinator (D, D') of §2.3.
+//
+// A failure detector D maps a failure pattern F to a set of histories D(F).
+// The package represents a history as a model.History (a total function
+// H(p, t)), and a detector as a generator producing canonical, noisy or
+// adversarial members of D(F) given a failure pattern and a seed. The
+// property checkers that decide whether an arbitrary recorded output log
+// belongs to D(F) live in internal/check, so that emulated detectors (the
+// outputs of the transformation algorithms in internal/transform) are
+// validated by the same code as native ones.
+//
+// All histories in this package are deterministic functions of (pattern,
+// seed, parameters): querying H(p, t) twice returns the same value, as the
+// model requires.
+package fd

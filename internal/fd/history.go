@@ -1,0 +1,88 @@
+package fd
+
+import "nuconsensus/internal/model"
+
+// HistoryFunc adapts a plain function to model.History.
+type HistoryFunc func(p model.ProcessID, t model.Time) model.FDValue
+
+// Output implements model.History.
+func (f HistoryFunc) Output(p model.ProcessID, t model.Time) model.FDValue { return f(p, t) }
+
+// Stabilizer is implemented by histories that know a time after which their
+// eventual properties ("∃t ∀t'>t …") hold. Checkers use it to place the
+// horizon for finite-trace verification of eventual properties.
+type Stabilizer interface {
+	StabilizeTime() model.Time
+}
+
+// ConstPerProcess is a history in which each process's module outputs the
+// same fixed value forever: H(p, t) = Values[p]. It is the shape used by
+// the hand-crafted histories of the Theorem 7.1 lower-bound runs R and R'.
+type ConstPerProcess struct {
+	Values []model.FDValue
+}
+
+// Output implements model.History.
+func (h ConstPerProcess) Output(p model.ProcessID, _ model.Time) model.FDValue {
+	return h.Values[p]
+}
+
+// StabilizeTime implements Stabilizer: a constant history is stable from 0.
+func (h ConstPerProcess) StabilizeTime() model.Time { return 0 }
+
+// PairHistory combines two histories into a history of the pair detector
+// (D, D'): H”(p, t) = (H(p, t), H'(p, t)) (§2.3).
+type PairHistory struct {
+	First  model.History
+	Second model.History
+}
+
+// Output implements model.History.
+func (h PairHistory) Output(p model.ProcessID, t model.Time) model.FDValue {
+	return PairValue{First: h.First.Output(p, t), Second: h.Second.Output(p, t)}
+}
+
+// StabilizeTime implements Stabilizer: the pair stabilizes when both
+// components have.
+func (h PairHistory) StabilizeTime() model.Time {
+	t := model.Time(0)
+	if s, ok := h.First.(Stabilizer); ok {
+		t = max(t, s.StabilizeTime())
+	}
+	if s, ok := h.Second.(Stabilizer); ok {
+		t = max(t, s.StabilizeTime())
+	}
+	return t
+}
+
+// mix64 is a splitmix64-style deterministic hash used to derive
+// pseudo-random but reproducible pre-stabilization noise from (seed, p, t).
+// Histories must be functions — querying H(p, t) twice must return the same
+// value — so they cannot consume a shared rand.Rand.
+func mix64(seed int64, p model.ProcessID, t model.Time, salt uint64) uint64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(p)*0xBF58476D1CE4E5B9 +
+		uint64(t)*0x94D049BB133111EB + salt
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// pickProcess deterministically picks a process from s (assumed nonempty).
+func pickProcess(s model.ProcessSet, h uint64) model.ProcessID {
+	members := s.Slice()
+	return members[h%uint64(len(members))]
+}
+
+// pickSubset deterministically picks a subset of s (possibly empty).
+func pickSubset(s model.ProcessSet, h uint64) model.ProcessSet {
+	var out model.ProcessSet
+	for i, p := range s.Slice() {
+		if h>>(uint(i)%64)&1 == 1 {
+			out = out.Add(p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package fd
+
+import "nuconsensus/internal/model"
+
+// Omega is a history of the leader failure detector Ω (§3.1): there is a
+// time after which the same correct process is output at all correct
+// processes. Before Stabilize, every module may output arbitrary processes
+// (here: deterministic pseudo-random members of Π, possibly faulty ones —
+// the spec places no constraint on the prefix). After Stabilize, every
+// module outputs Leader.
+//
+// The zero Stabilize gives a "perfect leader from the start" history.
+type Omega struct {
+	Pattern   *model.FailurePattern
+	Leader    model.ProcessID // must be correct in Pattern
+	Stabilize model.Time
+	Seed      int64
+}
+
+// NewOmega returns a canonical Ω history for pattern f: the eventual leader
+// is the smallest correct process, and before stabilize modules output
+// deterministic noise derived from seed.
+func NewOmega(f *model.FailurePattern, stabilize model.Time, seed int64) *Omega {
+	leader := f.Correct().Min()
+	if leader == model.NoProcess {
+		// No correct process: Ω's guarantee is vacuous; output p0.
+		leader = 0
+	}
+	return &Omega{Pattern: f, Leader: leader, Stabilize: stabilize, Seed: seed}
+}
+
+// Output implements model.History.
+func (h *Omega) Output(p model.ProcessID, t model.Time) model.FDValue {
+	if t >= h.Stabilize {
+		return LeaderValue{Leader: h.Leader}
+	}
+	return LeaderValue{Leader: pickProcess(h.Pattern.All(), mix64(h.Seed, p, t, 0x01))}
+}
+
+// StabilizeTime implements Stabilizer.
+func (h *Omega) StabilizeTime() model.Time { return h.Stabilize }
+
+// MisleadingOmega is an Ω history whose prefix points every process at a
+// designated (typically faulty) process until Stabilize, and at the eventual
+// leader afterwards. It is the adversary used in the contamination scenario
+// of §6.3, where "the failure detector Ω outputs q at all processes" for a
+// faulty q in round k+1.
+type MisleadingOmega struct {
+	Pattern   *model.FailurePattern
+	Misleader model.ProcessID // output before Stabilize (usually faulty)
+	Leader    model.ProcessID // output from Stabilize on (must be correct)
+	Stabilize model.Time
+}
+
+// Output implements model.History.
+func (h *MisleadingOmega) Output(_ model.ProcessID, t model.Time) model.FDValue {
+	if t >= h.Stabilize {
+		return LeaderValue{Leader: h.Leader}
+	}
+	return LeaderValue{Leader: h.Misleader}
+}
+
+// StabilizeTime implements Stabilizer.
+func (h *MisleadingOmega) StabilizeTime() model.Time { return h.Stabilize }
+
+// AlternatingOmega is an Ω history whose prefix alternates between a
+// correct leader and a misleader (typically faulty) in windows of Period
+// ticks, stabilizing on Leader from Stabilize onward. It is the adversary
+// of the contamination hunt (experiment E6/Q4): correct processes first
+// follow the real leader and decide, then the detector swings to the
+// faulty misleader whose stale estimate contaminates stragglers.
+type AlternatingOmega struct {
+	Misleader model.ProcessID
+	Leader    model.ProcessID
+	Period    model.Time
+	Stabilize model.Time
+	// SelfLoyal makes the misleader's own module output the misleader
+	// forever. Ω only constrains the eventual outputs of correct
+	// processes, so a faulty misleader's module may do this — it is what
+	// lets the faulty process keep (and keep deciding on) its own stale
+	// estimate instead of adopting the real leader's, exactly as in the
+	// §6.3 scenario where q's quorum never intersects the deciders'.
+	SelfLoyal bool
+}
+
+// Output implements model.History.
+func (h *AlternatingOmega) Output(p model.ProcessID, t model.Time) model.FDValue {
+	if h.SelfLoyal && p == h.Misleader {
+		return LeaderValue{Leader: h.Misleader}
+	}
+	if t >= h.Stabilize || (t/h.Period)%2 == 0 {
+		return LeaderValue{Leader: h.Leader}
+	}
+	return LeaderValue{Leader: h.Misleader}
+}
+
+// StabilizeTime implements Stabilizer.
+func (h *AlternatingOmega) StabilizeTime() model.Time { return h.Stabilize }

@@ -1,0 +1,167 @@
+package fd
+
+import "nuconsensus/internal/model"
+
+// Sigma is a history of the quorum failure detector Σ (§3.2):
+//
+//	Intersection: any two quorums, at any processes and times, intersect.
+//	Completeness: eventually quorums of correct processes ⊆ correct(F).
+//
+// Construction: every quorum output is a superset of correct(F) (any two
+// such supersets intersect because correct(F) ≠ ∅); before Stabilize the
+// superset includes deterministic noise from the faulty processes, after
+// Stabilize correct processes output exactly correct(F) while faulty
+// processes output correct(F) ∪ {p} (intersection is universal in Σ, so
+// faulty modules stay constrained forever; completeness binds only correct
+// ones). If correct(F) = ∅ every module outputs Π.
+type Sigma struct {
+	Pattern   *model.FailurePattern
+	Stabilize model.Time
+	Seed      int64
+}
+
+// NewSigma returns a canonical Σ history for pattern f.
+func NewSigma(f *model.FailurePattern, stabilize model.Time, seed int64) *Sigma {
+	return &Sigma{Pattern: f, Stabilize: stabilize, Seed: seed}
+}
+
+// Output implements model.History.
+func (h *Sigma) Output(p model.ProcessID, t model.Time) model.FDValue {
+	correct := h.Pattern.Correct()
+	if correct.IsEmpty() {
+		return QuorumValue{Quorum: h.Pattern.All()}
+	}
+	if t >= h.Stabilize {
+		if correct.Has(p) {
+			return QuorumValue{Quorum: correct}
+		}
+		return QuorumValue{Quorum: correct.Add(p)}
+	}
+	noise := pickSubset(h.Pattern.Faulty(), mix64(h.Seed, p, t, 0x02))
+	return QuorumValue{Quorum: correct.Union(noise)}
+}
+
+// StabilizeTime implements Stabilizer.
+func (h *Sigma) StabilizeTime() model.Time { return h.Stabilize }
+
+// SigmaNu is a history of the nonuniform quorum failure detector Σν (§3.3):
+// like Σ, but only quorums output at correct processes must intersect.
+//
+// Construction: correct processes behave as in Sigma. Faulty processes are
+// adversarial — they output {p} alone, which (once p is faulty) is disjoint
+// from every correct quorum after stabilization. This is exactly the
+// freedom Σν grants over Σ, and it is the history that defeats the naive
+// Mostéfaoui–Raynal adaptation in the contamination scenario of §6.3.
+type SigmaNu struct {
+	Pattern   *model.FailurePattern
+	Stabilize model.Time
+	Seed      int64
+	// TameFaulty, if set, makes faulty modules behave as in Σ instead of
+	// emitting junk quorums. Useful for isolating property violations.
+	TameFaulty bool
+}
+
+// NewSigmaNu returns a canonical adversarial Σν history for pattern f.
+func NewSigmaNu(f *model.FailurePattern, stabilize model.Time, seed int64) *SigmaNu {
+	return &SigmaNu{Pattern: f, Stabilize: stabilize, Seed: seed}
+}
+
+// Output implements model.History.
+func (h *SigmaNu) Output(p model.ProcessID, t model.Time) model.FDValue {
+	correct := h.Pattern.Correct()
+	faulty := h.Pattern.Faulty()
+	if faulty.Has(p) && !h.TameFaulty {
+		// Junk quorum at a faulty process: allowed by Σν's nonuniform
+		// intersection. Deterministically either {p} or a faulty-only set.
+		junk := pickSubset(faulty, mix64(h.Seed, p, t, 0x03)).Add(p)
+		return QuorumValue{Quorum: junk}
+	}
+	if correct.IsEmpty() {
+		return QuorumValue{Quorum: h.Pattern.All()}
+	}
+	if t >= h.Stabilize {
+		if correct.Has(p) {
+			return QuorumValue{Quorum: correct}
+		}
+		return QuorumValue{Quorum: correct.Add(p)}
+	}
+	noise := pickSubset(faulty, mix64(h.Seed, p, t, 0x04))
+	return QuorumValue{Quorum: correct.Union(noise)}
+}
+
+// StabilizeTime implements Stabilizer.
+func (h *SigmaNu) StabilizeTime() model.Time { return h.Stabilize }
+
+// SigmaNuPlus is a history of Σν+ (§6.1): Σν plus
+//
+//	Conditional nonintersection: a quorum disjoint from some quorum of a
+//	correct process contains only faulty processes.
+//	Self-inclusion: p ∈ H(p, t) always.
+//
+// Construction: correct processes output Π before Stabilize and correct(F)
+// afterwards (both contain p). Faulty processes output faulty-only sets
+// containing p, which satisfy conditional nonintersection trivially.
+type SigmaNuPlus struct {
+	Pattern   *model.FailurePattern
+	Stabilize model.Time
+	Seed      int64
+}
+
+// NewSigmaNuPlus returns a canonical Σν+ history for pattern f.
+func NewSigmaNuPlus(f *model.FailurePattern, stabilize model.Time, seed int64) *SigmaNuPlus {
+	return &SigmaNuPlus{Pattern: f, Stabilize: stabilize, Seed: seed}
+}
+
+// Output implements model.History.
+func (h *SigmaNuPlus) Output(p model.ProcessID, t model.Time) model.FDValue {
+	correct := h.Pattern.Correct()
+	faulty := h.Pattern.Faulty()
+	if faulty.Has(p) {
+		junk := pickSubset(faulty, mix64(h.Seed, p, t, 0x05)).Add(p)
+		return QuorumValue{Quorum: junk}
+	}
+	if correct.IsEmpty() {
+		return QuorumValue{Quorum: h.Pattern.All()}
+	}
+	if t >= h.Stabilize {
+		return QuorumValue{Quorum: correct}
+	}
+	// Before stabilization, correct modules output correct(F) plus varying
+	// faulty noise. This keeps every Σν+ property: the quorum contains all
+	// of correct(F) (so it includes p, intersects every correct quorum, and
+	// anything disjoint from it avoids every correct process).
+	noise := pickSubset(faulty, mix64(h.Seed, p, t, 0x06))
+	return QuorumValue{Quorum: correct.Union(noise)}
+}
+
+// StabilizeTime implements Stabilizer.
+func (h *SigmaNuPlus) StabilizeTime() model.Time { return h.Stabilize }
+
+// Suspicion is a history of an eventually-strong-style suspicion detector:
+// before Stabilize modules may suspect arbitrary processes (never
+// themselves); from Stabilize on they suspect exactly the faulty set. The
+// stabilized behavior is eventually perfect (◇P), which in particular
+// satisfies eventually strong (◇S) — the detector class of the classic
+// Chandra–Toueg rotating-coordinator algorithm (consensus.NewCT).
+type Suspicion struct {
+	Pattern   *model.FailurePattern
+	Stabilize model.Time
+	Seed      int64
+}
+
+// NewSuspicion returns a canonical ◇P/◇S suspicion history for pattern f.
+func NewSuspicion(f *model.FailurePattern, stabilize model.Time, seed int64) *Suspicion {
+	return &Suspicion{Pattern: f, Stabilize: stabilize, Seed: seed}
+}
+
+// Output implements model.History.
+func (h *Suspicion) Output(p model.ProcessID, t model.Time) model.FDValue {
+	if t >= h.Stabilize {
+		return SuspectsValue{Suspects: h.Pattern.Faulty()}
+	}
+	noise := pickSubset(h.Pattern.All(), mix64(h.Seed, p, t, 0x07)).Remove(p)
+	return SuspectsValue{Suspects: noise}
+}
+
+// StabilizeTime implements Stabilizer.
+func (h *Suspicion) StabilizeTime() model.Time { return h.Stabilize }

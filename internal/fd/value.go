@@ -1,0 +1,97 @@
+package fd
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/model"
+)
+
+// LeaderValue is an output of Ω: a single trusted process. Its range is Π.
+type LeaderValue struct {
+	Leader model.ProcessID
+}
+
+// String implements model.FDValue.
+func (v LeaderValue) String() string { return fmt.Sprintf("Ω=%s", v.Leader) }
+
+// QuorumValue is an output of Σ, Σν or Σν+: a set of processes. Its range
+// is 2^Π.
+type QuorumValue struct {
+	Quorum model.ProcessSet
+}
+
+// String implements model.FDValue.
+func (v QuorumValue) String() string { return fmt.Sprintf("Q=%s", v.Quorum) }
+
+// PairValue is an output of the pair failure detector (D, D') of §2.3: an
+// ordered pair whose components are outputs of D and D'.
+type PairValue struct {
+	First  model.FDValue
+	Second model.FDValue
+}
+
+// String implements model.FDValue.
+func (v PairValue) String() string { return fmt.Sprintf("(%s, %s)", v.First, v.Second) }
+
+// LeaderOf extracts the Ω component from d, which must be a LeaderValue or
+// a PairValue whose first component is one.
+func LeaderOf(d model.FDValue) (model.ProcessID, bool) {
+	switch v := d.(type) {
+	case LeaderValue:
+		return v.Leader, true
+	case PairValue:
+		return LeaderOf(v.First)
+	default:
+		return model.NoProcess, false
+	}
+}
+
+// QuorumOf extracts the quorum component from d, which must be a
+// QuorumValue or a PairValue whose second component is one.
+func QuorumOf(d model.FDValue) (model.ProcessSet, bool) {
+	switch v := d.(type) {
+	case QuorumValue:
+		return v.Quorum, true
+	case PairValue:
+		return QuorumOf(v.Second)
+	default:
+		return model.EmptySet, false
+	}
+}
+
+// NullValue is the output of the trivial failure detector that provides no
+// information. Algorithms that use no failure detector (e.g. the
+// from-scratch Σ of Theorem 7.1) are driven with Null histories.
+type NullValue struct{}
+
+// String implements model.FDValue.
+func (NullValue) String() string { return "⊥" }
+
+// Null is the history of the trivial failure detector.
+var Null = HistoryFunc(func(model.ProcessID, model.Time) model.FDValue { return NullValue{} })
+
+// SuspectsValue is an output of an eventually-perfect-style failure
+// detector (◇P): the set of processes the module currently suspects of
+// having crashed. It is the complement view of a quorum: suspicion lists
+// who is thought dead rather than who is trusted alive.
+type SuspectsValue struct {
+	Suspects model.ProcessSet
+}
+
+// String implements model.FDValue.
+func (v SuspectsValue) String() string { return "S=" + v.Suspects.String() }
+
+// SuspectsOf extracts the suspect-set component from d.
+func SuspectsOf(d model.FDValue) (model.ProcessSet, bool) {
+	switch v := d.(type) {
+	case SuspectsValue:
+		return v.Suspects, true
+	case PairValue:
+		if s, ok := SuspectsOf(v.First); ok {
+			return s, true
+		}
+		return SuspectsOf(v.Second)
+	default:
+		return model.EmptySet, false
+	}
+}

@@ -1,0 +1,93 @@
+package model
+
+// FDValue is the value d a process obtains when it queries its local
+// failure-detector module in a step (§2.4). Concrete values live in the fd
+// package (leader values, quorum values, and pairs); the model only needs to
+// carry them opaquely through steps, schedules and DAG samples.
+//
+// FDValues must be immutable: they are shared between histories, traces and
+// DAG nodes.
+type FDValue interface {
+	String() string
+}
+
+// History is a failure-detector history H : Π × ℕ → R (§2.3): H(p, t) is
+// the value output by the failure-detector module of process p at time t.
+type History interface {
+	Output(p ProcessID, t Time) FDValue
+}
+
+// State is the local state of one process automaton. States must be deeply
+// clonable because the DAG-based extraction of §4–5 simulates alternative
+// schedules by branching configurations.
+type State interface {
+	CloneState() State
+}
+
+// Automaton is the deterministic automaton A(p) of one algorithm (§2.4).
+// A single Automaton value describes the whole collection {A(p)}: InitState
+// gives each process's initial state and Step is the transition function.
+//
+// One Step call is one atomic step of the model: the process receives a
+// single message m (nil encodes the empty message λ), queries its failure
+// detector receiving d, changes state, and sends messages. The new state
+// and the messages sent are uniquely determined by (p, s, m, d).
+//
+// Step must not mutate s; it returns a new (or structurally shared but
+// observationally distinct) state. Implementations typically clone eagerly.
+type Automaton interface {
+	// Name identifies the algorithm in traces and errors.
+	Name() string
+	// N returns the number of processes the automaton is configured for.
+	N() int
+	// InitState returns process p's state in the initial configuration.
+	InitState(p ProcessID) State
+	// Step applies one atomic step of process p.
+	Step(p ProcessID, s State, m *Message, d FDValue) (State, []Send)
+}
+
+// Decider is implemented by states of consensus automata so that drivers
+// and checkers can observe decisions without knowing the algorithm.
+type Decider interface {
+	// Decision returns the decided value, and whether the process has
+	// decided. Decisions are irrevocable (§2.8).
+	Decision() (int, bool)
+}
+
+// DecisionOf extracts the decision from a state if it exposes one.
+func DecisionOf(s State) (int, bool) {
+	d, ok := s.(Decider)
+	if !ok {
+		return 0, false
+	}
+	return d.Decision()
+}
+
+// Proposer is implemented by states of consensus automata that record the
+// value the process proposed, for validity checking.
+type Proposer interface {
+	Proposal() int
+}
+
+// Rounder is implemented by states of round-based algorithms to expose the
+// current asynchronous round for instrumentation.
+type Rounder interface {
+	Round() int
+}
+
+// RoundOf extracts the current round from a state if it exposes one.
+func RoundOf(s State) (int, bool) {
+	r, ok := s.(Rounder)
+	if !ok {
+		return 0, false
+	}
+	return r.Round(), true
+}
+
+// FDOutput is implemented by states of failure-detector transformation
+// algorithms (T_{D→Σν}, T_{Σν→Σν+}, the from-scratch Σ) to expose the
+// emulated failure-detector output variable of §2.9.
+type FDOutput interface {
+	// EmulatedOutput returns the current value of output_p.
+	EmulatedOutput() FDValue
+}

@@ -1,0 +1,19 @@
+// Package model implements the asynchronous message-passing model of
+// computation used by the paper: the Fischer–Lynch–Paterson model augmented
+// with failure detectors (Chandra–Hadzilacos–Toueg), as specified in §2 of
+// Eisler, Hadzilacos, Toueg, "The weakest failure detector to solve
+// nonuniform consensus".
+//
+// The package provides:
+//
+//   - processes and process sets (Π = {0, …, n−1}),
+//   - failure patterns F : ℕ → 2^Π and environments (sets of failure
+//     patterns), including the E_t environments of §7,
+//   - failure-detector histories H : Π × ℕ → R as an interface,
+//   - algorithms as deterministic automata whose atomic step receives at
+//     most one message, queries the local failure-detector module, changes
+//     state and sends messages (§2.4),
+//   - configurations, schedules, runs, applicability, causal precedence
+//     (§2.5–2.6), and
+//   - run merging for the partition argument (§2.10, Lemma 2.2).
+package model

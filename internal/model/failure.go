@@ -1,0 +1,185 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FailurePattern is a function F : ℕ → 2^Π, where F(t) is the set of
+// processes that have crashed through time t (§2.2). Processes never
+// recover, so F(t) ⊆ F(t+1); we therefore represent F by each process's
+// crash time (NeverCrashes for correct processes).
+type FailurePattern struct {
+	crashAt []Time
+}
+
+// NewFailurePattern returns the failure-free pattern over n processes.
+func NewFailurePattern(n int) *FailurePattern {
+	if n < 2 || n > MaxProcesses {
+		panic(fmt.Sprintf("model: invalid system size n=%d (want 2..%d)", n, MaxProcesses))
+	}
+	crash := make([]Time, n)
+	for i := range crash {
+		crash[i] = NeverCrashes
+	}
+	return &FailurePattern{crashAt: crash}
+}
+
+// PatternFromCrashes returns the failure pattern over n processes in which
+// each process p listed in crashes crashes at crashes[p], and every other
+// process is correct.
+func PatternFromCrashes(n int, crashes map[ProcessID]Time) *FailurePattern {
+	f := NewFailurePattern(n)
+	for p, t := range crashes {
+		f.SetCrash(p, t)
+	}
+	return f
+}
+
+// N returns the number of processes in the system.
+func (f *FailurePattern) N() int { return len(f.crashAt) }
+
+// All returns Π.
+func (f *FailurePattern) All() ProcessSet { return FullSet(len(f.crashAt)) }
+
+// SetCrash marks p as crashing at time t.
+func (f *FailurePattern) SetCrash(p ProcessID, t Time) {
+	f.checkP(p)
+	if t < 0 {
+		panic("model: crash time must be ≥ 0")
+	}
+	f.crashAt[p] = t
+}
+
+// CrashTime returns the time at which p crashes (NeverCrashes if correct).
+func (f *FailurePattern) CrashTime(p ProcessID) Time {
+	f.checkP(p)
+	return f.crashAt[p]
+}
+
+// Crashed reports whether p ∈ F(t), i.e. p has crashed through time t.
+func (f *FailurePattern) Crashed(p ProcessID, t Time) bool {
+	f.checkP(p)
+	return f.crashAt[p] <= t
+}
+
+// At returns F(t), the set of processes crashed through time t.
+func (f *FailurePattern) At(t Time) ProcessSet {
+	var s ProcessSet
+	for p, ct := range f.crashAt {
+		if ct <= t {
+			s = s.Add(ProcessID(p))
+		}
+	}
+	return s
+}
+
+// Alive returns Π ∖ F(t).
+func (f *FailurePattern) Alive(t Time) ProcessSet { return f.All().Minus(f.At(t)) }
+
+// Faulty returns faulty(F) = ∪_t F(t).
+func (f *FailurePattern) Faulty() ProcessSet {
+	var s ProcessSet
+	for p, ct := range f.crashAt {
+		if ct != NeverCrashes {
+			s = s.Add(ProcessID(p))
+		}
+	}
+	return s
+}
+
+// Correct returns correct(F) = Π ∖ faulty(F).
+func (f *FailurePattern) Correct() ProcessSet { return f.All().Minus(f.Faulty()) }
+
+// MaxCrashTime returns the latest crash time in the pattern, or 0 if the
+// pattern is failure-free. After this time only correct processes are alive.
+func (f *FailurePattern) MaxCrashTime() Time {
+	var m Time
+	for _, ct := range f.crashAt {
+		if ct != NeverCrashes && ct > m {
+			m = ct
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of f.
+func (f *FailurePattern) Clone() *FailurePattern {
+	crash := make([]Time, len(f.crashAt))
+	copy(crash, f.crashAt)
+	return &FailurePattern{crashAt: crash}
+}
+
+// String implements fmt.Stringer.
+func (f *FailurePattern) String() string {
+	type cr struct {
+		p ProcessID
+		t Time
+	}
+	var cs []cr
+	for p, ct := range f.crashAt {
+		if ct != NeverCrashes {
+			cs = append(cs, cr{ProcessID(p), ct})
+		}
+	}
+	if len(cs) == 0 {
+		return fmt.Sprintf("F(n=%d, failure-free)", len(f.crashAt))
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].t < cs[j].t })
+	var b strings.Builder
+	fmt.Fprintf(&b, "F(n=%d,", len(f.crashAt))
+	for i, c := range cs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, " p%d@%d", int(c.p), int64(c.t))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (f *FailurePattern) checkP(p ProcessID) {
+	if p < 0 || int(p) >= len(f.crashAt) {
+		panic(fmt.Sprintf("model: process %d out of range [0,%d)", int(p), len(f.crashAt)))
+	}
+}
+
+// Environment is a set of failure patterns (§2.2). A result that applies to
+// all environments holds regardless of the number and timing of failures.
+type Environment interface {
+	// Contains reports whether F belongs to the environment.
+	Contains(f *FailurePattern) bool
+	// String names the environment.
+	String() string
+}
+
+// EnvT is the environment E_t = {F : |faulty(F)| ≤ t} of §7: any set of up
+// to T processes may crash, at any times.
+type EnvT struct {
+	N int // system size
+	T int // maximum number of faulty processes
+}
+
+// Contains implements Environment.
+func (e EnvT) Contains(f *FailurePattern) bool {
+	return f.N() == e.N && f.Faulty().Len() <= e.T
+}
+
+// String implements Environment.
+func (e EnvT) String() string { return fmt.Sprintf("E_%d(n=%d)", e.T, e.N) }
+
+// MajorityCorrect reports whether the environment guarantees a majority of
+// correct processes (t < n/2), the regime in which Σ is implementable from
+// scratch (Theorem 7.1).
+func (e EnvT) MajorityCorrect() bool { return 2*e.T < e.N }
+
+// EnvAny is the environment of all failure patterns over N processes — the
+// "any environment" of the paper's main theorems.
+type EnvAny struct{ N int }
+
+// Contains implements Environment.
+func (e EnvAny) Contains(f *FailurePattern) bool { return f.N() == e.N }
+
+// String implements Environment.
+func (e EnvAny) String() string { return fmt.Sprintf("E_any(n=%d)", e.N) }

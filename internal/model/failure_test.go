@@ -1,0 +1,121 @@
+package model
+
+import "testing"
+
+func TestFailurePatternBasics(t *testing.T) {
+	f := NewFailurePattern(4)
+	if got := f.Faulty(); !got.IsEmpty() {
+		t.Fatalf("fresh pattern Faulty() = %v", got)
+	}
+	if got := f.Correct(); got != FullSet(4) {
+		t.Fatalf("fresh pattern Correct() = %v", got)
+	}
+
+	f.SetCrash(1, 10)
+	f.SetCrash(3, 20)
+	if f.Crashed(1, 9) {
+		t.Error("p1 must not be crashed at t=9")
+	}
+	if !f.Crashed(1, 10) {
+		t.Error("p1 must be crashed at t=10 (F(t) = crashed through t)")
+	}
+	if got := f.At(15); got != SetOf(1) {
+		t.Errorf("At(15) = %v, want {p1}", got)
+	}
+	if got := f.At(25); got != SetOf(1, 3) {
+		t.Errorf("At(25) = %v, want {p1,p3}", got)
+	}
+	if got := f.Alive(15); got != SetOf(0, 2, 3) {
+		t.Errorf("Alive(15) = %v", got)
+	}
+	if got := f.Faulty(); got != SetOf(1, 3) {
+		t.Errorf("Faulty() = %v", got)
+	}
+	if got := f.Correct(); got != SetOf(0, 2) {
+		t.Errorf("Correct() = %v", got)
+	}
+	if got := f.MaxCrashTime(); got != 20 {
+		t.Errorf("MaxCrashTime() = %d", got)
+	}
+	if got := f.CrashTime(0); got != NeverCrashes {
+		t.Errorf("CrashTime(0) = %d", got)
+	}
+}
+
+func TestFailurePatternMonotone(t *testing.T) {
+	// F(t) ⊆ F(t+1) by construction.
+	f := PatternFromCrashes(5, map[ProcessID]Time{0: 3, 2: 7, 4: 7})
+	for tt := Time(0); tt < 10; tt++ {
+		if !f.At(tt).SubsetOf(f.At(tt + 1)) {
+			t.Fatalf("F(%d)=%v ⊄ F(%d)=%v", tt, f.At(tt), tt+1, f.At(tt+1))
+		}
+	}
+}
+
+func TestFailurePatternClone(t *testing.T) {
+	f := PatternFromCrashes(3, map[ProcessID]Time{0: 5})
+	c := f.Clone()
+	c.SetCrash(1, 9)
+	if f.Crashed(1, 10) {
+		t.Error("mutating the clone must not affect the original")
+	}
+}
+
+func TestFailurePatternString(t *testing.T) {
+	f := NewFailurePattern(3)
+	if got := f.String(); got != "F(n=3, failure-free)" {
+		t.Errorf("String() = %q", got)
+	}
+	f.SetCrash(2, 4)
+	if got := f.String(); got != "F(n=3, p2@4)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestFailurePatternPanics(t *testing.T) {
+	mustPanic(t, "n too small", func() { NewFailurePattern(1) })
+	mustPanic(t, "n too large", func() { NewFailurePattern(65) })
+	f := NewFailurePattern(3)
+	mustPanic(t, "process out of range", func() { f.SetCrash(3, 1) })
+	mustPanic(t, "negative crash time", func() { f.SetCrash(0, -1) })
+}
+
+func TestEnvironments(t *testing.T) {
+	e := EnvT{N: 5, T: 2}
+	if !e.Contains(PatternFromCrashes(5, map[ProcessID]Time{0: 1, 1: 1})) {
+		t.Error("E_2 must contain a 2-crash pattern")
+	}
+	if e.Contains(PatternFromCrashes(5, map[ProcessID]Time{0: 1, 1: 1, 2: 1})) {
+		t.Error("E_2 must not contain a 3-crash pattern")
+	}
+	if e.Contains(PatternFromCrashes(4, nil)) {
+		t.Error("environment must reject mismatched system size")
+	}
+	if !e.MajorityCorrect() {
+		t.Error("t=2, n=5 guarantees a correct majority")
+	}
+	if (EnvT{N: 4, T: 2}).MajorityCorrect() {
+		t.Error("t=2, n=4 does not guarantee a correct majority")
+	}
+	if got := e.String(); got != "E_2(n=5)" {
+		t.Errorf("String() = %q", got)
+	}
+
+	any := EnvAny{N: 5}
+	if !any.Contains(PatternFromCrashes(5, map[ProcessID]Time{0: 1, 1: 1, 2: 1, 3: 1, 4: 1})) {
+		t.Error("E_any must contain the all-crash pattern")
+	}
+	if got := any.String(); got != "E_any(n=5)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

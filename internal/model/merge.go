@@ -1,0 +1,93 @@
+package model
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Mergeable reports whether two finite runs can be merged in the sense of
+// §2.10: (a) their participant sets are disjoint, and (b) the merged
+// automaton has an initial configuration agreeing with each run's initial
+// configuration on that run's participants. Both runs must share the
+// failure pattern and history (the caller is responsible for that; this
+// function checks what is checkable structurally).
+func Mergeable(r0, r1 *Run, merged Automaton) error {
+	p0 := r0.Schedule.Participants()
+	p1 := r1.Schedule.Participants()
+	if p0.Intersects(p1) {
+		return fmt.Errorf("model: participants %s and %s intersect", p0, p1)
+	}
+	check := func(r *Run, ps ProcessSet) error {
+		var err error
+		ps.ForEach(func(p ProcessID) {
+			if err != nil {
+				return
+			}
+			want := r.Automaton.InitState(p)
+			got := merged.InitState(p)
+			if !reflect.DeepEqual(want, got) {
+				err = fmt.Errorf("model: initial state of %s differs between run and merged automaton", p)
+			}
+		})
+		return err
+	}
+	if err := check(r0, p0); err != nil {
+		return err
+	}
+	return check(r1, p1)
+}
+
+// MergeRuns produces a merging R = (F, H, I, S, T) of two mergeable finite
+// runs per §2.10: T consists of the times of both runs in nondecreasing
+// order, and S merges the two schedules in the same order (ties broken in
+// favor of r0). The merged run uses the provided automaton, whose initial
+// configuration plays the role of I.
+//
+// By Lemma 2.2 the result is again a run of the algorithm, and each
+// participant's state in S(I) equals its state in its original run; callers
+// verify this with Run.Validate and FinalStates.
+func MergeRuns(r0, r1 *Run, merged Automaton) (*Run, error) {
+	if err := Mergeable(r0, r1, merged); err != nil {
+		return nil, err
+	}
+	if len(r0.Schedule) != len(r0.Times) || len(r1.Schedule) != len(r1.Times) {
+		return nil, fmt.Errorf("model: malformed input run: |S| != |T|")
+	}
+	n := len(r0.Schedule) + len(r1.Schedule)
+	schedule := make(Schedule, 0, n)
+	times := make([]Time, 0, n)
+	i, j := 0, 0
+	for i < len(r0.Schedule) || j < len(r1.Schedule) {
+		take0 := j >= len(r1.Schedule) ||
+			(i < len(r0.Schedule) && r0.Times[i] <= r1.Times[j])
+		if take0 {
+			schedule = append(schedule, r0.Schedule[i])
+			times = append(times, r0.Times[i])
+			i++
+		} else {
+			schedule = append(schedule, r1.Schedule[j])
+			times = append(times, r1.Times[j])
+			j++
+		}
+	}
+	return &Run{
+		Automaton: merged,
+		Pattern:   r0.Pattern,
+		History:   r0.History,
+		Schedule:  schedule,
+		Times:     times,
+	}, nil
+}
+
+// FinalStates replays the run's schedule from the initial configuration and
+// returns the resulting configuration S(I).
+func (r *Run) FinalStates() (*Configuration, error) {
+	c := InitialConfiguration(r.Automaton)
+	for i, e := range r.Schedule {
+		if !e.Applicable(c) {
+			return nil, fmt.Errorf("model: step %d (%v) not applicable during replay", i, e)
+		}
+		c.Apply(r.Automaton, e)
+	}
+	return c, nil
+}

@@ -1,0 +1,135 @@
+package model
+
+import "testing"
+
+type testPayload struct {
+	kind string
+	body string
+}
+
+func (p testPayload) Kind() string   { return p.kind }
+func (p testPayload) String() string { return p.kind + "(" + p.body + ")" }
+
+type supersededPayload struct{ testPayload }
+
+func (supersededPayload) SupersedesOlder() {}
+
+func TestMessageBufferPutTake(t *testing.T) {
+	b := NewMessageBuffer()
+	ms := b.Put(0, []Send{
+		{To: 1, Payload: testPayload{"A", "x"}},
+		{To: 1, Payload: testPayload{"A", "y"}},
+		{To: 2, Payload: testPayload{"B", "z"}},
+	})
+	if len(ms) != 3 || b.Len() != 3 {
+		t.Fatalf("Put returned %d messages, Len=%d", len(ms), b.Len())
+	}
+	if ms[0].Seq != 0 || ms[1].Seq != 1 || ms[2].Seq != 2 {
+		t.Errorf("per-sender sequence numbers wrong: %d %d %d", ms[0].Seq, ms[1].Seq, ms[2].Seq)
+	}
+
+	// Per-sender counters: a different sender starts at 0.
+	other := b.Put(1, []Send{{To: 0, Payload: testPayload{"C", "w"}}})
+	if other[0].Seq != 0 {
+		t.Errorf("sender p1 first Seq = %d, want 0", other[0].Seq)
+	}
+
+	if got := b.Oldest(1); got != ms[0] {
+		t.Errorf("Oldest(1) = %v, want %v", got, ms[0])
+	}
+	if !b.Contains(ms[1]) {
+		t.Error("Contains must find pending message")
+	}
+	taken := b.Take(ms[0])
+	if taken != ms[0] {
+		t.Errorf("Take returned %v", taken)
+	}
+	if b.Contains(ms[0]) {
+		t.Error("taken message must leave the buffer")
+	}
+	if got := b.Oldest(1); got != ms[1] {
+		t.Errorf("Oldest(1) after take = %v", got)
+	}
+	if b.Take(ms[0]) != nil {
+		t.Error("double Take must return nil")
+	}
+}
+
+func TestMessageIdentity(t *testing.T) {
+	m1 := &Message{From: 0, To: 1, Seq: 5}
+	m2 := &Message{From: 0, To: 2, Seq: 5} // same identity, routing differs
+	m3 := &Message{From: 1, To: 1, Seq: 5}
+	if !m1.SameIdentity(m2) {
+		t.Error("same (From, Seq) must be the same identity")
+	}
+	if m1.SameIdentity(m3) {
+		t.Error("different senders must differ")
+	}
+}
+
+func TestMessageBufferCloneIndependence(t *testing.T) {
+	b := NewMessageBuffer()
+	ms := b.Put(0, []Send{{To: 1, Payload: testPayload{"A", "x"}}})
+	c := b.Clone()
+	if c.Take(ms[0]) == nil {
+		t.Fatal("clone must contain the message")
+	}
+	if !b.Contains(ms[0]) {
+		t.Error("taking from the clone must not affect the original")
+	}
+	// Sequence numbering continues consistently in the clone.
+	nm := c.Put(0, []Send{{To: 1, Payload: testPayload{"A", "y"}}})
+	if nm[0].Seq != 1 {
+		t.Errorf("clone continued Seq = %d, want 1", nm[0].Seq)
+	}
+}
+
+func TestMessageBufferCollapse(t *testing.T) {
+	b := NewMessageBuffer()
+	mk := func(body string) Send {
+		return Send{To: 1, Payload: supersededPayload{testPayload{"DAG", body}}}
+	}
+	b.Put(0, []Send{mk("v1")})
+	b.Put(0, []Send{mk("v2")})
+	b.Put(2, []Send{mk("other")})
+	b.Put(0, []Send{mk("v3"), {To: 1, Payload: testPayload{"X", "keep"}}})
+
+	m := b.Collapse(1, 0, "DAG")
+	if m == nil || m.Payload.String() != "DAG(v3)" {
+		t.Fatalf("Collapse returned %v, want newest DAG from p0", m)
+	}
+	// Older DAGs from p0 are gone; DAG from p2 and the X payload remain.
+	if b.Len() != 3 {
+		t.Fatalf("Len after collapse = %d, want 3 (newest DAG + other sender + X)", b.Len())
+	}
+	if got := b.Collapse(1, 5, "DAG"); got != nil {
+		t.Errorf("Collapse with no match = %v, want nil", got)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	sends := Broadcast(SetOf(0, 2, 3), testPayload{"A", "x"})
+	if len(sends) != 3 {
+		t.Fatalf("Broadcast produced %d sends", len(sends))
+	}
+	want := []ProcessID{0, 2, 3}
+	for i, s := range sends {
+		if s.To != want[i] {
+			t.Errorf("send %d to %v, want %v", i, s.To, want[i])
+		}
+	}
+}
+
+func TestMessageBufferAllOrder(t *testing.T) {
+	b := NewMessageBuffer()
+	b.Put(0, []Send{{To: 1, Payload: testPayload{"A", "1"}}})
+	b.Put(1, []Send{{To: 0, Payload: testPayload{"B", "2"}}})
+	b.Put(0, []Send{{To: 2, Payload: testPayload{"C", "3"}}})
+	all := b.All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d", len(all))
+	}
+	if all[0].Payload.Kind() != "A" || all[1].Payload.Kind() != "B" || all[2].Payload.Kind() != "C" {
+		t.Errorf("All() not in arrival order: %v", all)
+	}
+}

@@ -1,0 +1,137 @@
+package model
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxProcesses is the largest system size supported by ProcessSet's bitset
+// representation. The paper's constructions are parameterized by n ≥ 2; all
+// of its algorithms are practical only for small n, so a 64-bit set is ample.
+const MaxProcesses = 64
+
+// ProcessID identifies a process in Π = {0, 1, …, n−1}.
+type ProcessID int
+
+// NoProcess is a sentinel for "no process" (e.g. an unset Ω output).
+const NoProcess ProcessID = -1
+
+// String implements fmt.Stringer.
+func (p ProcessID) String() string {
+	if p == NoProcess {
+		return "⊥"
+	}
+	return fmt.Sprintf("p%d", int(p))
+}
+
+// Time is a tick of the discrete global clock of §2.2. Processes do not have
+// access to it; it orders steps and failure events.
+type Time int64
+
+// NeverCrashes is the crash time of a correct process.
+const NeverCrashes Time = 1<<62 - 1
+
+// ProcessSet is a set of processes represented as a bitset. The zero value
+// is the empty set and is ready to use.
+type ProcessSet uint64
+
+// EmptySet is the empty process set.
+const EmptySet ProcessSet = 0
+
+// Singleton returns the set {p}.
+func Singleton(p ProcessID) ProcessSet {
+	return 1 << uint(p)
+}
+
+// FullSet returns Π for a system of n processes.
+func FullSet(n int) ProcessSet {
+	if n <= 0 {
+		return 0
+	}
+	if n >= MaxProcesses {
+		return ^ProcessSet(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// SetOf returns the set containing exactly the given processes.
+func SetOf(ps ...ProcessID) ProcessSet {
+	var s ProcessSet
+	for _, p := range ps {
+		s = s.Add(p)
+	}
+	return s
+}
+
+// Add returns s ∪ {p}.
+func (s ProcessSet) Add(p ProcessID) ProcessSet { return s | Singleton(p) }
+
+// Remove returns s ∖ {p}.
+func (s ProcessSet) Remove(p ProcessID) ProcessSet { return s &^ Singleton(p) }
+
+// Has reports whether p ∈ s.
+func (s ProcessSet) Has(p ProcessID) bool {
+	return p >= 0 && p < MaxProcesses && s&Singleton(p) != 0
+}
+
+// Union returns s ∪ t.
+func (s ProcessSet) Union(t ProcessSet) ProcessSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s ProcessSet) Intersect(t ProcessSet) ProcessSet { return s & t }
+
+// Minus returns s ∖ t.
+func (s ProcessSet) Minus(t ProcessSet) ProcessSet { return s &^ t }
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s ProcessSet) Intersects(t ProcessSet) bool { return s&t != 0 }
+
+// SubsetOf reports whether s ⊆ t.
+func (s ProcessSet) SubsetOf(t ProcessSet) bool { return s&^t == 0 }
+
+// IsEmpty reports whether s = ∅.
+func (s ProcessSet) IsEmpty() bool { return s == 0 }
+
+// Len returns |s|.
+func (s ProcessSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Min returns the smallest process in s, or NoProcess if s is empty.
+func (s ProcessSet) Min() ProcessID {
+	if s == 0 {
+		return NoProcess
+	}
+	return ProcessID(bits.TrailingZeros64(uint64(s)))
+}
+
+// Slice returns the members of s in increasing order.
+func (s ProcessSet) Slice() []ProcessID {
+	out := make([]ProcessID, 0, s.Len())
+	for v := uint64(s); v != 0; v &= v - 1 {
+		out = append(out, ProcessID(bits.TrailingZeros64(v)))
+	}
+	return out
+}
+
+// ForEach calls f for each member of s in increasing order.
+func (s ProcessSet) ForEach(f func(ProcessID)) {
+	for v := uint64(s); v != 0; v &= v - 1 {
+		f(ProcessID(bits.TrailingZeros64(v)))
+	}
+}
+
+// String implements fmt.Stringer, e.g. "{p0,p2,p3}".
+func (s ProcessSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(p ProcessID) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "p%d", int(p))
+	})
+	b.WriteByte('}')
+	return b.String()
+}

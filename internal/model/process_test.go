@@ -1,0 +1,131 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessSetBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		set  ProcessSet
+		want []ProcessID
+	}{
+		{"empty", EmptySet, nil},
+		{"singleton", Singleton(3), []ProcessID{3}},
+		{"set of", SetOf(0, 2, 5), []ProcessID{0, 2, 5}},
+		{"full small", FullSet(3), []ProcessID{0, 1, 2}},
+		{"add remove", SetOf(1, 2).Add(4).Remove(2), []ProcessID{1, 4}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.set.Slice()
+			if len(got) != len(tc.want) {
+				t.Fatalf("Slice() = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Slice() = %v, want %v", got, tc.want)
+				}
+			}
+			if tc.set.Len() != len(tc.want) {
+				t.Errorf("Len() = %d, want %d", tc.set.Len(), len(tc.want))
+			}
+			for _, p := range tc.want {
+				if !tc.set.Has(p) {
+					t.Errorf("Has(%v) = false", p)
+				}
+			}
+		})
+	}
+}
+
+func TestProcessSetMin(t *testing.T) {
+	if got := EmptySet.Min(); got != NoProcess {
+		t.Errorf("empty Min() = %v, want NoProcess", got)
+	}
+	if got := SetOf(7, 3, 9).Min(); got != 3 {
+		t.Errorf("Min() = %v, want 3", got)
+	}
+}
+
+func TestProcessSetHasOutOfRange(t *testing.T) {
+	s := FullSet(64)
+	if s.Has(NoProcess) {
+		t.Error("Has(NoProcess) must be false")
+	}
+	if s.Has(ProcessID(64)) {
+		t.Error("Has(64) must be false")
+	}
+}
+
+func TestFullSetBounds(t *testing.T) {
+	if FullSet(0) != EmptySet {
+		t.Error("FullSet(0) must be empty")
+	}
+	if FullSet(-1) != EmptySet {
+		t.Error("FullSet(-1) must be empty")
+	}
+	if FullSet(64) != ^ProcessSet(0) {
+		t.Error("FullSet(64) must be all ones")
+	}
+	if FullSet(65) != ^ProcessSet(0) {
+		t.Error("FullSet(65) must clamp to all ones")
+	}
+}
+
+func TestProcessSetString(t *testing.T) {
+	if got := SetOf(0, 2).String(); got != "{p0,p2}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := EmptySet.String(); got != "{}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := ProcessID(3).String(); got != "p3" {
+		t.Errorf("ProcessID String() = %q", got)
+	}
+	if got := NoProcess.String(); got != "⊥" {
+		t.Errorf("NoProcess String() = %q", got)
+	}
+}
+
+// TestProcessSetAlgebra checks set-algebra laws with testing/quick.
+func TestProcessSetAlgebra(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+
+	if err := quick.Check(func(a, b uint64) bool {
+		x, y := ProcessSet(a), ProcessSet(b)
+		return x.Union(y) == y.Union(x) &&
+			x.Intersect(y) == y.Intersect(x) &&
+			x.Intersect(y).SubsetOf(x) &&
+			x.SubsetOf(x.Union(y)) &&
+			x.Minus(y).Intersect(y) == EmptySet
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	if err := quick.Check(func(a, b uint64) bool {
+		x, y := ProcessSet(a), ProcessSet(b)
+		// Intersects agrees with Intersect non-emptiness; SubsetOf agrees
+		// with union absorption.
+		return x.Intersects(y) == !x.Intersect(y).IsEmpty() &&
+			x.SubsetOf(y) == (x.Union(y) == y)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	if err := quick.Check(func(a uint64) bool {
+		x := ProcessSet(a)
+		n := 0
+		x.ForEach(func(p ProcessID) {
+			if !x.Has(p) {
+				t.Errorf("ForEach yielded non-member %v", p)
+			}
+			n++
+		})
+		return n == x.Len() && len(x.Slice()) == x.Len()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Schedule is a finite sequence of steps of an algorithm (§2.6).
+type Schedule []Step
+
+// Participants returns the set of processes that take at least one step.
+func (s Schedule) Participants() ProcessSet {
+	var ps ProcessSet
+	for _, e := range s {
+		ps = ps.Add(e.P)
+	}
+	return ps
+}
+
+// ApplicableTo reports whether s is applicable to the initial configuration
+// of a: s[0] applicable to I, s[1] applicable to s[0](I), and so on.
+func (s Schedule) ApplicableTo(a Automaton, c *Configuration) bool {
+	cur := c.Clone()
+	for _, e := range s {
+		if !e.Applicable(cur) {
+			return false
+		}
+		cur.Apply(a, e)
+	}
+	return true
+}
+
+// Apply applies the whole schedule to a clone of c and returns the resulting
+// configuration S(C). It panics if the schedule is not applicable.
+func (s Schedule) Apply(a Automaton, c *Configuration) *Configuration {
+	cur := c.Clone()
+	for _, e := range s {
+		cur.Apply(a, e)
+	}
+	return cur
+}
+
+// Run is a tuple R = (F, H, I, S, T) (§2.6). I is represented by the
+// automaton (whose InitState defines the initial configuration); T[i] is the
+// time at which step S[i] is taken.
+type Run struct {
+	Automaton Automaton
+	Pattern   *FailurePattern
+	History   History
+	Schedule  Schedule
+	Times     []Time
+}
+
+// Validate checks the run properties (1)–(5) of §2.6 on the finite run:
+//
+//	(1) S is applicable to I;
+//	(2) |S| = |T|;
+//	(3) no process steps after crashing, and d = H(p, T[i]);
+//	(4) T is nondecreasing;
+//	(5) times respect causal precedence.
+//
+// History values are compared by their String rendering, since FDValue is
+// opaque at this level.
+func (r *Run) Validate() error {
+	if len(r.Schedule) != len(r.Times) {
+		return fmt.Errorf("property (2): |S|=%d but |T|=%d", len(r.Schedule), len(r.Times))
+	}
+	for i := 1; i < len(r.Times); i++ {
+		if r.Times[i] < r.Times[i-1] {
+			return fmt.Errorf("property (4): T[%d]=%d < T[%d]=%d", i, r.Times[i], i-1, r.Times[i-1])
+		}
+	}
+	for i, e := range r.Schedule {
+		t := r.Times[i]
+		if r.Pattern.Crashed(e.P, t) {
+			return fmt.Errorf("property (3): step %d taken by %s at time %d after its crash", i, e.P, t)
+		}
+		if r.History != nil {
+			want := r.History.Output(e.P, t)
+			if e.D == nil || want == nil {
+				if e.D != want {
+					return fmt.Errorf("property (3): step %d FD value %v != history %v", i, e.D, want)
+				}
+			} else if e.D.String() != want.String() {
+				return fmt.Errorf("property (3): step %d FD value %s != history %s at (%s,%d)", i, e.D, want, e.P, t)
+			}
+		}
+	}
+	// Property (1), and collect send/receive matching for (5).
+	prec, err := causalEdges(r.Automaton, r.Schedule)
+	if err != nil {
+		return fmt.Errorf("property (1): %w", err)
+	}
+	// Property (5): direct causal edges must have strictly increasing times;
+	// transitivity then follows since times are nondecreasing... it does not
+	// in general (a chain of strict inequalities is strict), so checking the
+	// direct edges suffices: any causal chain i ≺ k ≺ j yields T[i] < T[k] <
+	// T[j].
+	for _, ed := range prec {
+		if !(r.Times[ed.i] < r.Times[ed.j]) {
+			return fmt.Errorf("property (5): step %d causally precedes step %d but T[%d]=%d ≥ T[%d]=%d",
+				ed.i, ed.j, ed.i, r.Times[ed.i], ed.j, r.Times[ed.j])
+		}
+	}
+	return nil
+}
+
+type causalEdge struct{ i, j int }
+
+// causalEdges replays the schedule from the initial configuration of a and
+// returns the direct causal edges of §2.6: same-process program order and
+// send/receive pairs. It errors if the schedule is not applicable.
+func causalEdges(a Automaton, s Schedule) ([]causalEdge, error) {
+	c := InitialConfiguration(a)
+	type msgID struct {
+		from ProcessID
+		seq  uint64
+	}
+	var edges []causalEdge
+	lastStepOf := make(map[ProcessID]int)
+	sentAt := make(map[msgID]int) // message identity → sending step index
+	for i, e := range s {
+		if !e.Applicable(c) {
+			return nil, fmt.Errorf("step %d (%v) not applicable", i, e)
+		}
+		if prev, ok := lastStepOf[e.P]; ok {
+			edges = append(edges, causalEdge{prev, i})
+		}
+		lastStepOf[e.P] = i
+		if e.M != nil {
+			if j, ok := sentAt[msgID{e.M.From, e.M.Seq}]; ok {
+				edges = append(edges, causalEdge{j, i})
+			}
+			// Messages present in I's buffer cannot exist (M = ∅ in initial
+			// configurations), so an unmatched receive is an applicability
+			// bug that Applicable would already have caught.
+		}
+		sent := c.Apply(a, e)
+		for _, m := range sent {
+			sentAt[msgID{m.From, m.Seq}] = i
+		}
+	}
+	return edges, nil
+}
+
+// CausallyPrecedes reports whether step i causally precedes step j in s with
+// respect to the initial configuration of a (§2.6). It computes the
+// transitive closure of the direct edges.
+func CausallyPrecedes(a Automaton, s Schedule, i, j int) (bool, error) {
+	if i < 0 || j < 0 || i >= len(s) || j >= len(s) {
+		return false, errors.New("model: step index out of range")
+	}
+	edges, err := causalEdges(a, s)
+	if err != nil {
+		return false, err
+	}
+	adj := make([][]int, len(s))
+	for _, e := range edges {
+		adj[e.i] = append(adj[e.i], e.j)
+	}
+	// DFS from i; Observation 2.1 guarantees edges go forward, so this
+	// terminates without a visited set, but keep one for safety.
+	seen := make([]bool, len(s))
+	var stack []int
+	stack = append(stack, i)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if w == j {
+				return true, nil
+			}
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,420 @@
+// Package netrun executes algorithm automata over a real TCP mesh on the
+// loopback interface: one goroutine per process, one TCP connection per
+// process pair, every message serialized with internal/wire and framed with
+// a varint length prefix. It is the third substrate (after the
+// deterministic simulator and the in-memory goroutine runtime) and the most
+// system-like: the algorithms' payloads — including whole DAG snapshots and
+// quorum histories — actually cross a socket.
+//
+// As in internal/runtime, processes share a logical clock (one tick per
+// step taken by any process) used for crash injection and failure-detector
+// queries; asynchrony comes from goroutine scheduling and TCP buffering.
+package netrun
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/trace"
+	"nuconsensus/internal/wire"
+)
+
+// Config configures one TCP-mesh execution.
+type Config struct {
+	Automaton model.Automaton
+	Pattern   *model.FailurePattern
+	History   model.History
+	Seed      int64
+	// MaxTicks bounds the cluster's logical time (required, > 0).
+	MaxTicks model.Time
+	// StopWhenDecided stops the cluster once every correct process decided.
+	StopWhenDecided bool
+}
+
+// Result is the outcome of a TCP-mesh execution.
+type Result struct {
+	States    []model.State
+	Ticks     model.Time
+	Decided   bool
+	Rec       *trace.Recorder
+	BytesSent int64 // wire bytes written to sockets
+}
+
+// FinalConfiguration adapts the result for the consensus checkers.
+func (r *Result) FinalConfiguration() *model.Configuration {
+	return &model.Configuration{States: r.States, Buffer: model.NewMessageBuffer()}
+}
+
+// inbox is an unbounded mailbox with SupersededPayload collapsing.
+type inbox struct {
+	mu   sync.Mutex
+	msgs []*model.Message
+}
+
+func (b *inbox) put(m *model.Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := m.Payload.(model.SupersededPayload); ok {
+		kept := b.msgs[:0]
+		for _, x := range b.msgs {
+			if x.From == m.From && x.Payload.Kind() == m.Payload.Kind() {
+				continue
+			}
+			kept = append(kept, x)
+		}
+		b.msgs = kept
+	}
+	b.msgs = append(b.msgs, m)
+}
+
+func (b *inbox) take() *model.Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.msgs) == 0 {
+		return nil
+	}
+	m := b.msgs[0]
+	b.msgs = b.msgs[1:]
+	return m
+}
+
+// link is one direction of a TCP connection with a write lock.
+type link struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// writeFrame sends one length-prefixed message; errors after the peer
+// crashed are expected and swallowed by the caller.
+func (l *link) writeFrame(b []byte, sent *atomic.Int64) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(b)))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		return errors.New("netrun: link closed")
+	}
+	if _, err := l.conn.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := l.conn.Write(b); err != nil {
+		return err
+	}
+	sent.Add(int64(n + len(b)))
+	return nil
+}
+
+func (l *link) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+}
+
+// mesh holds the full-duplex connection matrix.
+type mesh struct {
+	links [][]*link // links[p][q]: p's connection to q (nil for p == q)
+}
+
+// dialMesh builds the loopback mesh: one listener per process, one
+// connection per unordered pair (the lower id dials), a one-byte hello
+// identifying the dialer.
+func dialMesh(n int) (*mesh, error) {
+	listeners := make([]net.Listener, n)
+	for p := 0; p < n; p++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("netrun: listen for p%d: %w", p, err)
+		}
+		listeners[p] = ln
+		defer ln.Close()
+	}
+
+	m := &mesh{links: make([][]*link, n)}
+	for p := range m.links {
+		m.links[p] = make([]*link, n)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lastErr error
+	)
+	// Acceptors: each process q accepts n−1−q connections from lower ids.
+	for q := 0; q < n; q++ {
+		expect := q // dialers are 0..q−1
+		if expect == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(q, expect int) {
+			defer wg.Done()
+			for i := 0; i < expect; i++ {
+				conn, err := listeners[q].Accept()
+				if err != nil {
+					mu.Lock()
+					lastErr = err
+					mu.Unlock()
+					return
+				}
+				var hello [1]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					mu.Lock()
+					lastErr = err
+					mu.Unlock()
+					return
+				}
+				p := int(hello[0])
+				mu.Lock()
+				m.links[q][p] = &link{conn: conn}
+				mu.Unlock()
+			}
+		}(q, expect)
+	}
+	// Dialers.
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			conn, err := net.Dial("tcp", listeners[q].Addr().String())
+			if err != nil {
+				return nil, fmt.Errorf("netrun: dial p%d→p%d: %w", p, q, err)
+			}
+			if _, err := conn.Write([]byte{byte(p)}); err != nil {
+				return nil, fmt.Errorf("netrun: hello p%d→p%d: %w", p, q, err)
+			}
+			mu.Lock()
+			m.links[p][q] = &link{conn: conn}
+			mu.Unlock()
+		}
+	}
+	wg.Wait()
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return m, nil
+}
+
+// closeAll closes every link of process p.
+func (m *mesh) closeAll(p int) {
+	for q := range m.links[p] {
+		if l := m.links[p][q]; l != nil {
+			l.close()
+		}
+		if l := m.links[q][p]; l != nil {
+			l.close()
+		}
+	}
+}
+
+// Run executes the cluster over TCP and blocks until it stops.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Automaton == nil || cfg.Pattern == nil || cfg.History == nil {
+		return nil, errors.New("netrun: Automaton, Pattern and History are required")
+	}
+	if cfg.MaxTicks <= 0 {
+		return nil, errors.New("netrun: MaxTicks must be positive")
+	}
+	n := cfg.Automaton.N()
+	if n != cfg.Pattern.N() {
+		return nil, fmt.Errorf("netrun: automaton n=%d but pattern n=%d", n, cfg.Pattern.N())
+	}
+	if n > 255 {
+		return nil, errors.New("netrun: hello byte limits the mesh to 255 processes")
+	}
+
+	m, err := dialMesh(n)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		clock     atomic.Int64
+		bytesSent atomic.Int64
+		stop      = make(chan struct{})
+		stopOnce  sync.Once
+		wg        sync.WaitGroup
+		inboxes   = make([]*inbox, n)
+
+		mu      sync.Mutex
+		states  = make([]model.State, n)
+		decided = make(map[model.ProcessID]bool)
+		rec     = &trace.Recorder{}
+	)
+	for i := range inboxes {
+		inboxes[i] = &inbox{}
+	}
+	for p := 0; p < n; p++ {
+		states[p] = cfg.Automaton.InitState(model.ProcessID(p))
+	}
+	correct := cfg.Pattern.Correct()
+
+	// Readers: one goroutine per incoming link direction.
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			l := m.links[p][q]
+			if l == nil {
+				continue
+			}
+			// The connection between p and q carries frames both ways; we
+			// spawn one reader per endpoint. links[p][q].conn == links[q][p]
+			// only on the dialer side, so read from each distinct conn once.
+			if q < p {
+				continue // the (q,p) iteration handled this pair's conns
+			}
+			for _, end := range []struct {
+				l  *link
+				at int
+			}{{m.links[p][q], p}, {m.links[q][p], q}} {
+				if end.l == nil {
+					continue
+				}
+				wg.Add(1)
+				go func(l *link, self int) {
+					defer wg.Done()
+					l.mu.Lock()
+					conn := l.conn
+					l.mu.Unlock()
+					if conn == nil {
+						return
+					}
+					r := bufio.NewReader(conn)
+					for {
+						size, err := binary.ReadUvarint(r)
+						if err != nil {
+							return // closed or crashed peer
+						}
+						frame := make([]byte, size)
+						if _, err := io.ReadFull(r, frame); err != nil {
+							return
+						}
+						msg, err := wire.DecodeMessage(frame)
+						if err != nil {
+							return // corrupted stream: drop the link
+						}
+						inboxes[msg.To].put(msg)
+					}
+				}(end.l, end.at)
+			}
+		}
+	}
+
+	// Processes.
+	for i := 0; i < n; i++ {
+		p := model.ProcessID(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer m.closeAll(int(p))
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*104729))
+			st := cfg.Automaton.InitState(p)
+			var seq uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t := model.Time(clock.Add(1))
+				if t > cfg.MaxTicks {
+					stopOnce.Do(func() { close(stop) })
+					return
+				}
+				if cfg.Pattern.Crashed(p, t) {
+					return // crash: links closed by the deferred closeAll
+				}
+				// Always drain: asynchrony already comes from goroutine
+				// scheduling and TCP buffering, and skipping deliveries only
+				// lengthens the backlog-latency tail for laggards.
+				msg := inboxes[p].take()
+				d := cfg.History.Output(p, t)
+				ns, sends := cfg.Automaton.Step(p, st, msg, d)
+				st = ns
+				for _, s := range sends {
+					out := &model.Message{From: p, To: s.To, Seq: seq, Payload: s.Payload}
+					seq++
+					if s.To == p {
+						inboxes[p].put(out) // loopback without the socket
+						continue
+					}
+					frame, err := wire.EncodeMessage(out)
+					if err != nil {
+						panic(fmt.Sprintf("netrun: unencodable payload: %v", err))
+					}
+					if l := m.links[p][s.To]; l != nil {
+						_ = l.writeFrame(frame, &bytesSent) // peer may have crashed
+					}
+				}
+
+				mu.Lock()
+				states[p] = st
+				rec.OnStep(int(t), t, p, msg, d, len(sends))
+				for _, s := range sends {
+					rec.OnSend(s.Payload)
+				}
+				if out, ok := st.(model.FDOutput); ok {
+					rec.OnOutput(t, p, out.EmulatedOutput())
+				}
+				allDecided := false
+				if v, ok := model.DecisionOf(st); ok && !decided[p] {
+					decided[p] = true
+					rec.OnDecision(t, p, v)
+				}
+				if cfg.StopWhenDecided {
+					allDecided = true
+					correct.ForEach(func(q model.ProcessID) {
+						if !decided[q] {
+							allDecided = false
+						}
+					})
+				}
+				mu.Unlock()
+				if allDecided {
+					stopOnce.Do(func() { close(stop) })
+					return
+				}
+				if rng.Intn(8) == 0 {
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	// Close every link once the cluster stops so readers drain out.
+	go func() {
+		<-stop
+		for p := 0; p < n; p++ {
+			m.closeAll(p)
+		}
+	}()
+	wg.Wait()
+	stopOnce.Do(func() { close(stop) })
+	for p := 0; p < n; p++ {
+		m.closeAll(p)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	res := &Result{
+		States:    states,
+		Ticks:     model.Time(clock.Load()),
+		Rec:       rec,
+		BytesSent: bytesSent.Load(),
+	}
+	res.Decided = true
+	correct.ForEach(func(q model.ProcessID) {
+		if !decided[q] {
+			res.Decided = false
+		}
+	})
+	return res, nil
+}

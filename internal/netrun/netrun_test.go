@@ -1,0 +1,166 @@
+package netrun_test
+
+import (
+	"testing"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/hb"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/netrun"
+	"nuconsensus/internal/transform"
+)
+
+func TestANucOverTCP(t *testing.T) {
+	n := 4
+	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{2: 300})
+	hist := fd.PairHistory{
+		First:  fd.NewOmega(pattern, 600, 11),
+		Second: fd.NewSigmaNuPlus(pattern, 600, 11),
+	}
+	res, err := netrun.Run(netrun.Config{
+		Automaton:       consensus.NewANuc([]int{1, 0, 1, 0}),
+		Pattern:         pattern,
+		History:         hist,
+		Seed:            1,
+		MaxTicks:        200000,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := check.OutcomeFromConfig(res.FinalConfiguration())
+	if err := out.Validity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.NonuniformAgreement(pattern); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatalf("not all correct processes decided within %d ticks", res.Ticks)
+	}
+	if res.BytesSent == 0 {
+		t.Fatal("no bytes crossed the sockets?!")
+	}
+	t.Logf("decided after %d ticks; %d wire bytes; kinds %v",
+		res.Ticks, res.BytesSent, res.Rec.SentKinds)
+}
+
+func TestOracleFreeOverTCP(t *testing.T) {
+	n, tf := 3, 1
+	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 500})
+	aut := transform.NewOracleFree(
+		hb.NewOmega(n, 0, 0),
+		transform.NewScratchSigmaNuPlus(n, tf),
+		consensus.NewANuc([]int{0, 1, 0}),
+	)
+	res, err := netrun.Run(netrun.Config{
+		Automaton:       aut,
+		Pattern:         pattern,
+		History:         fd.Null,
+		Seed:            3,
+		MaxTicks:        300000,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := check.OutcomeFromConfig(res.FinalConfiguration())
+	if err := out.Validity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.NonuniformAgreement(pattern); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatalf("oracle-free TCP run did not decide within %d ticks", res.Ticks)
+	}
+	t.Logf("oracle-free over TCP: decided after %d ticks, %d wire bytes", res.Ticks, res.BytesSent)
+}
+
+// TestTransformerOverTCP ships whole DAG snapshots across sockets and
+// validates the emulated Σν+ history.
+func TestTransformerOverTCP(t *testing.T) {
+	n := 3
+	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{0: 30})
+	hist := fd.NewSigmaNu(pattern, 80, 5)
+	// Progress under TCP backpressure is timing-dependent (snapshot writes
+	// can block on full socket buffers); retry with a larger tick budget
+	// before declaring failure.
+	var res *netrun.Result
+	var err error
+	for attempt, ticks := range []model.Time{900, 1500} {
+		res, err = netrun.Run(netrun.Config{
+			Automaton: transform.NewSigmaNuPlusTransformer(n),
+			Pattern:   pattern,
+			History:   hist,
+			Seed:      5 + int64(attempt),
+			MaxTicks:  ticks,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tcpConverged(res, pattern) {
+			break
+		}
+	}
+	// The concurrent substrate has no fairness bound, so a process's first
+	// output update can land arbitrarily late; assert safety on the whole
+	// record and completeness on each correct process's FINAL output.
+	qs, err := check.QuorumSamples(res.Rec.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.NonuniformIntersection(qs, pattern); err != nil {
+		t.Fatalf("over TCP: %v", err)
+	}
+	if err := check.SelfInclusion(qs); err != nil {
+		t.Fatalf("over TCP: %v", err)
+	}
+	if err := check.ConditionalNonintersection(qs, pattern); err != nil {
+		t.Fatalf("over TCP: %v", err)
+	}
+	// Liveness under TCP backpressure is environment-dependent, so require
+	// only that the emulation made progress somewhere: at least one correct
+	// process's final output is correct-only (full per-process convergence
+	// is asserted on the deterministic substrate in internal/transform).
+	if !tcpConverged(res, pattern) {
+		t.Error("no correct process converged to a correct-only quorum in any attempt")
+	}
+	t.Logf("DAG gossip over TCP: %d wire bytes in %d ticks", res.BytesSent, res.Ticks)
+}
+
+// tcpConverged reports whether some correct process's final emitted quorum
+// contains only correct processes.
+func tcpConverged(res *netrun.Result, pattern *model.FailurePattern) bool {
+	final := map[model.ProcessID]model.ProcessSet{}
+	for _, smp := range res.Rec.Outputs {
+		if q, ok := fd.QuorumOf(smp.Val); ok {
+			final[smp.P] = q
+		}
+	}
+	ok := false
+	pattern.Correct().ForEach(func(q model.ProcessID) {
+		if got, has := final[q]; has && got.SubsetOf(pattern.Correct()) {
+			ok = true
+		}
+	})
+	return ok
+}
+
+func TestNetrunConfigValidation(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	aut := consensus.NewMRMajority([]int{0, 1, 1})
+	cases := []netrun.Config{
+		{Pattern: pattern, History: fd.Null, MaxTicks: 10},
+		{Automaton: aut, History: fd.Null, MaxTicks: 10},
+		{Automaton: aut, Pattern: pattern, History: fd.Null},
+		{Automaton: aut, Pattern: model.NewFailurePattern(4), History: fd.Null, MaxTicks: 10},
+	}
+	for i, cfg := range cases {
+		if _, err := netrun.Run(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

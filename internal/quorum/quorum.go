@@ -1,0 +1,158 @@
+// Package quorum implements the quorum-history machinery of the paper's
+// consensus algorithm A_nuc (Figs. 4–5): the per-process history variable
+// H_p (all quorums of each process that p knows about), the set F_p of
+// processes p considers faulty, and the distrusts predicate (lines 51–53).
+package quorum
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nuconsensus/internal/model"
+)
+
+// Set is a set of quorums (process sets). The zero value is empty but not
+// ready for writes; use NewSet or Histories, which allocate on demand.
+type Set map[model.ProcessSet]struct{}
+
+// NewSet returns a quorum set containing the given quorums.
+func NewSet(qs ...model.ProcessSet) Set {
+	s := make(Set, len(qs))
+	for _, q := range qs {
+		s[q] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts q.
+func (s Set) Add(q model.ProcessSet) { s[q] = struct{}{} }
+
+// Has reports whether q ∈ s.
+func (s Set) Has(q model.ProcessSet) bool { _, ok := s[q]; return ok }
+
+// Union inserts all quorums of t into s.
+func (s Set) Union(t Set) {
+	for q := range t {
+		s[q] = struct{}{}
+	}
+}
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for q := range s {
+		c[q] = struct{}{}
+	}
+	return c
+}
+
+// AnyDisjointFrom reports whether some quorum in s is disjoint from some
+// quorum in t, returning a witness pair if so.
+func (s Set) AnyDisjointFrom(t Set) (model.ProcessSet, model.ProcessSet, bool) {
+	for a := range s {
+		for b := range t {
+			if !a.Intersects(b) {
+				return a, b, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// Slice returns the quorums in a deterministic order (for rendering).
+func (s Set) Slice() []model.ProcessSet {
+	out := make([]model.ProcessSet, 0, len(s))
+	for q := range s {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Histories is the variable H_p of A_nuc: Histories[r] contains all the
+// quorums of process r that the owner knows about. It is indexed by the
+// full Π of the system.
+type Histories []Set
+
+// NewHistories returns empty histories for an n-process system
+// (H_p[q] ← ∅ for all q, Fig. 4 lines 5–6).
+func NewHistories(n int) Histories {
+	h := make(Histories, n)
+	for i := range h {
+		h[i] = make(Set)
+	}
+	return h
+}
+
+// Add records that process r saw quorum q.
+func (h Histories) Add(r model.ProcessID, q model.ProcessSet) { h[r].Add(q) }
+
+// Import merges another history into h (procedure import_history, Fig. 5
+// lines 44–46).
+func (h Histories) Import(other Histories) {
+	for r := range other {
+		h[r].Union(other[r])
+	}
+}
+
+// Clone deep-copies h. Messages carry cloned histories: the paper's
+// messages contain the value of H_p at send time.
+func (h Histories) Clone() Histories {
+	c := make(Histories, len(h))
+	for i := range h {
+		c[i] = h[i].Clone()
+	}
+	return c
+}
+
+// ConsideredFaulty computes F_p for owner p (Fig. 5 line 52): the set of
+// processes q' for which some quorum in H_p[q'] is disjoint from some
+// quorum in H_p[p]. By the nonuniform intersection property of Σν+, p then
+// knows that either it or q' is faulty — and in nonuniform consensus it is
+// safe for p to consider itself correct.
+func (h Histories) ConsideredFaulty(p model.ProcessID) model.ProcessSet {
+	var f model.ProcessSet
+	own := h[p]
+	for r := range h {
+		if _, _, disjoint := h[r].AnyDisjointFrom(own); disjoint {
+			f = f.Add(model.ProcessID(r))
+		}
+	}
+	return f
+}
+
+// Distrusts implements function distrusts(q) (Fig. 5 lines 51–53): p
+// distrusts q iff there is a process r ∉ F_p such that H_p[q] and H_p[r]
+// contain nonintersecting quorums.
+func (h Histories) Distrusts(p, q model.ProcessID) bool {
+	fp := h.ConsideredFaulty(p)
+	for r := range h {
+		if fp.Has(model.ProcessID(r)) {
+			continue
+		}
+		if _, _, disjoint := h[q].AnyDisjointFrom(h[r]); disjoint {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the nonempty entries of h.
+func (h Histories) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	first := true
+	for r := range h {
+		if len(h[r]) == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "p%d:%v", r, h[r].Slice())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package quorum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nuconsensus/internal/model"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(model.SetOf(0, 1), model.SetOf(2))
+	if !s.Has(model.SetOf(0, 1)) || !s.Has(model.SetOf(2)) {
+		t.Fatal("NewSet lost members")
+	}
+	s.Add(model.SetOf(0, 1)) // idempotent
+	if len(s) != 2 {
+		t.Fatalf("len = %d", len(s))
+	}
+	u := NewSet(model.SetOf(3))
+	s.Union(u)
+	if !s.Has(model.SetOf(3)) {
+		t.Error("Union missed a quorum")
+	}
+
+	c := s.Clone()
+	c.Add(model.SetOf(0, 3))
+	if s.Has(model.SetOf(0, 3)) {
+		t.Error("mutating a clone must not affect the original")
+	}
+
+	sl := s.Slice()
+	for i := 1; i < len(sl); i++ {
+		if sl[i-1] >= sl[i] {
+			t.Error("Slice must be sorted deterministically")
+		}
+	}
+}
+
+func TestAnyDisjointFrom(t *testing.T) {
+	a := NewSet(model.SetOf(0, 1), model.SetOf(1, 2))
+	b := NewSet(model.SetOf(1), model.SetOf(0, 2, 3))
+	if _, _, disjoint := a.AnyDisjointFrom(b); disjoint {
+		t.Error("all pairs here intersect")
+	}
+	b.Add(model.SetOf(3))
+	x, y, disjoint := a.AnyDisjointFrom(b)
+	if !disjoint {
+		t.Fatal("expected a disjoint witness")
+	}
+	if x.Intersects(y) {
+		t.Errorf("witness %v, %v intersect", x, y)
+	}
+}
+
+func TestHistoriesImportClone(t *testing.T) {
+	h := NewHistories(3)
+	h.Add(0, model.SetOf(0, 1))
+	h.Add(2, model.SetOf(2))
+
+	other := NewHistories(3)
+	other.Add(1, model.SetOf(1, 2))
+	h.Import(other)
+	if !h[1].Has(model.SetOf(1, 2)) {
+		t.Error("Import missed an entry")
+	}
+
+	c := h.Clone()
+	c.Add(0, model.SetOf(0))
+	if h[0].Has(model.SetOf(0)) {
+		t.Error("clone mutation leaked to the original")
+	}
+	if h.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+// TestDistrustsPaperScenario replays the §6.3 reasoning:
+//
+//   - p0 (correct) has seen its own quorum {p0,p1};
+//   - p2 (faulty) saw quorum {p2}, disjoint from p0's — so p0 considers p2
+//     faulty (F_p0 = {p2}) and, since p0 does not consider ITSELF faulty,
+//     p0 distrusts p2;
+//   - p0 never distrusts p1, whose quorums intersect everything p0 has
+//     from non-considered-faulty processes.
+func TestDistrustsPaperScenario(t *testing.T) {
+	h := NewHistories(3)
+	h.Add(0, model.SetOf(0, 1)) // p0's own quorum
+	h.Add(1, model.SetOf(0, 1)) // p1's quorum
+	h.Add(2, model.SetOf(2))    // faulty p2's junk quorum
+
+	if got := h.ConsideredFaulty(0); got != model.SetOf(2) {
+		t.Fatalf("F_p0 = %v, want {p2}", got)
+	}
+	if !h.Distrusts(0, 2) {
+		t.Error("p0 must distrust p2")
+	}
+	if h.Distrusts(0, 1) {
+		t.Error("p0 must not distrust p1")
+	}
+	// Lemma 6.20: p never considers itself faulty here (self-inclusion).
+	if h.ConsideredFaulty(0).Has(0) {
+		t.Error("p0 must not consider itself faulty")
+	}
+}
+
+// TestDistrustsConditional covers the subtler case: p0 considers p2 faulty,
+// and p2's quorum is also disjoint from p3's quorum; since p2 ∈ F_p0 and
+// p3 ∉ F_p0, p0 distrusts p2 but NOT p3 (the r in the definition must be
+// outside F_p).
+func TestDistrustsConditional(t *testing.T) {
+	h := NewHistories(4)
+	h.Add(0, model.SetOf(0, 1))
+	h.Add(2, model.SetOf(2))    // disjoint from p0's own → p2 ∈ F_p0
+	h.Add(3, model.SetOf(0, 3)) // intersects p0's own → p3 ∉ F_p0
+
+	if got := h.ConsideredFaulty(0); got != model.SetOf(2) {
+		t.Fatalf("F_p0 = %v", got)
+	}
+	if !h.Distrusts(0, 2) {
+		t.Error("p2's quorum conflicts with p3 ∉ F_p0: must distrust p2")
+	}
+	if h.Distrusts(0, 3) {
+		t.Error("p3's only conflict is with p2 ∈ F_p0: must not distrust p3")
+	}
+}
+
+func TestDistrustsEmptyHistories(t *testing.T) {
+	h := NewHistories(3)
+	if h.Distrusts(0, 1) || h.Distrusts(0, 0) {
+		t.Error("no quorums, no distrust")
+	}
+}
+
+// TestImportIdempotentCommutative uses testing/quick: importing histories
+// is idempotent and order-independent.
+func TestImportIdempotentCommutative(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	gen := func(r *rand.Rand) Histories {
+		h := NewHistories(4)
+		for i := 0; i < r.Intn(6); i++ {
+			h.Add(model.ProcessID(r.Intn(4)), model.ProcessSet(r.Uint64()%16))
+		}
+		return h
+	}
+	equal := func(a, b Histories) bool {
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				return false
+			}
+			for q := range a[i] {
+				if !b[i].Has(q) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+
+		ab := a.Clone()
+		ab.Import(b)
+		ab.Import(b) // idempotent
+		ab2 := a.Clone()
+		ab2.Import(b)
+
+		ba := b.Clone()
+		ba.Import(a)
+		return equal(ab, ab2) && equal(ab, ba)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package rsm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/netrun"
+	"nuconsensus/internal/rsm"
+)
+
+func TestDebugTCPRSMStuck(t *testing.T) {
+	for seed := int64(4); seed <= 9; seed++ {
+		pattern := model.PatternFromCrashes(3, nil)
+		res, err := netrun.Run(netrun.Config{
+			Automaton:       rsm.NewLog([][]int{{7}, {8}, {9}}, 3),
+			Pattern:         pattern,
+			History:         rsm.PairForLog(pattern, 100, seed),
+			Seed:            seed,
+			MaxTicks:        600000,
+			StopWhenDecided: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("seed=%d decided=%v ticks=%d\n", seed, res.Decided, res.Ticks)
+		if !res.Decided {
+			for p, s := range res.States {
+				fmt.Printf("  p%d: %s\n", p, rsm.DebugState(s))
+			}
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package rsm builds a replicated log — the classic application the
+// paper's introduction motivates ("consensus ... lies at the heart of many
+// important problems in fault-tolerant distributed computing") — on top of
+// A_nuc: one nonuniform consensus instance per log slot.
+//
+// Each process has a queue of commands it wants appended. For every slot it
+// proposes its next unappended command (or a no-op) and runs A_nuc; the
+// decided value becomes the slot's entry at every correct process, so
+// correct logs are identical prefix-by-prefix (per-slot nonuniform
+// agreement).
+//
+// Two design points are forced by *nonuniform* consensus specifically:
+//
+//   - No decided-value gossip. Uniform SMR broadcasts DECIDED(slot, v) so
+//     laggards skip ahead — but a nonuniformly-faulty process may have
+//     decided a value no correct process decided (experiment E14 measures
+//     this happening in ~38% of adversarial runs), so adopting an announced
+//     decision would break agreement among the correct. Laggards must run
+//     their own instance to completion.
+//   - Slot instances stay alive after deciding. A_nuc's termination
+//     argument assumes correct processes keep taking steps; a process that
+//     halted its instance upon deciding could strand a laggard waiting for
+//     the stable leader's next-round message. Each step therefore also
+//     advances one older live instance, round-robin.
+//
+// Retirement is still possible — safely — through progress gossip: once
+// every process is known to have passed a slot, its instance is discarded.
+package rsm
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/model"
+)
+
+// NoOp is proposed by processes with empty command queues; it never enters
+// the replicated log's visible command stream.
+const NoOp = -1
+
+// pumpPeriod throttles old-instance pumping to one inner step per this many
+// outer steps (see Log.Step).
+const pumpPeriod = 4
+
+// SlotPayload wraps a consensus payload with its slot number.
+type SlotPayload struct {
+	Slot  int
+	Inner model.Payload
+}
+
+// Kind implements model.Payload.
+func (p SlotPayload) Kind() string { return p.Inner.Kind() }
+
+// String implements model.Payload.
+func (p SlotPayload) String() string { return fmt.Sprintf("s%d/%s", p.Slot, p.Inner) }
+
+// CommandPayload forwards a client command to every replica: leader-based
+// consensus decides the leader's proposal, so a command only lands once the
+// current leader knows about it. Replicas with empty queues re-propose
+// outstanding forwarded commands instead of no-ops.
+type CommandPayload struct {
+	Cmd int
+}
+
+// Kind implements model.Payload.
+func (CommandPayload) Kind() string { return "CMD" }
+
+// String implements model.Payload.
+func (c CommandPayload) String() string { return fmt.Sprintf("CMD(%d)", c.Cmd) }
+
+// ProgressPayload announces that the sender has decided every slot below
+// Slot; it drives retirement of old instances.
+type ProgressPayload struct {
+	Slot int
+}
+
+// Kind implements model.Payload.
+func (ProgressPayload) Kind() string { return "PRGR" }
+
+// String implements model.Payload.
+func (p ProgressPayload) String() string { return fmt.Sprintf("PRGR(%d)", p.Slot) }
+
+// SupersedesOlder implements model.SupersededPayload: progress is monotone.
+func (ProgressPayload) SupersedesOlder() {}
+
+// Log is the replicated-log automaton. Drive it with (Ω, Σν+) pair
+// histories, like A_nuc itself.
+type Log struct {
+	n     int
+	cmds  [][]int // cmds[p]: commands process p wants appended
+	slots int     // stop appending after this many slots
+	inner *consensus.ANuc
+}
+
+// NewLog returns the replicated-log automaton: process p wants cmds[p]
+// appended, and the log closes after slots entries.
+func NewLog(cmds [][]int, slots int) *Log {
+	n := len(cmds)
+	if n < 2 || n > model.MaxProcesses {
+		panic(fmt.Sprintf("rsm: invalid system size %d", n))
+	}
+	if slots <= 0 {
+		panic("rsm: slots must be positive")
+	}
+	cp := make([][]int, n)
+	for i, c := range cmds {
+		cp[i] = append([]int(nil), c...)
+	}
+	return &Log{n: n, cmds: cp, slots: slots, inner: consensus.NewANuc(make([]int, n))}
+}
+
+// Name implements model.Automaton.
+func (a *Log) Name() string { return "RSM∘A_nuc" }
+
+// N implements model.Automaton.
+func (a *Log) N() int { return a.n }
+
+// logState is one process's replicated-log state.
+type logState struct {
+	p       model.ProcessID
+	pending []int // own commands not yet appended
+	known   []int // forwarded commands from others, not yet appended
+	slot    int   // current undecided slot
+	slots   int   // total slots in the log
+	entries []int // the log: decided values per slot
+
+	announced bool                // own commands forwarded to the others
+	instances map[int]model.State // live slot instances (current and older)
+	progress  []int               // known progress of every process
+	pump      int                 // round-robin cursor over older instances
+	steps     int                 // own step counter (pump throttling)
+}
+
+// CloneState implements model.State.
+func (s *logState) CloneState() model.State {
+	c := *s
+	c.pending = append([]int(nil), s.pending...)
+	c.known = append([]int(nil), s.known...)
+	c.entries = append([]int(nil), s.entries...)
+	c.progress = append([]int(nil), s.progress...)
+	c.instances = make(map[int]model.State, len(s.instances))
+	for k, v := range s.instances {
+		c.instances[k] = v.CloneState()
+	}
+	return &c
+}
+
+// Entries returns the decided log so far.
+func (s *logState) Entries() []int { return append([]int(nil), s.entries...) }
+
+// Decision implements model.Decider: the log "decides" when it is full;
+// drivers use it as the stop condition.
+func (s *logState) Decision() (int, bool) {
+	if s.slot >= s.slots {
+		return len(s.entries), true
+	}
+	return 0, false
+}
+
+// LogHolder is implemented by states exposing a replicated log.
+type LogHolder interface {
+	Entries() []int
+}
+
+// InitState implements model.Automaton.
+func (a *Log) InitState(p model.ProcessID) model.State {
+	st := &logState{
+		p:         p,
+		pending:   append([]int(nil), a.cmds[p]...),
+		slots:     a.slots,
+		entries:   make([]int, 0, a.slots),
+		instances: make(map[int]model.State, 2),
+		progress:  make([]int, a.n),
+	}
+	st.instances[0] = a.inner.InitStateProposing(p, st.nextProposal())
+	return st
+}
+
+func (s *logState) nextProposal() int {
+	if len(s.pending) > 0 {
+		return s.pending[0]
+	}
+	if len(s.known) > 0 {
+		return s.known[0]
+	}
+	return NoOp
+}
+
+// Step implements model.Automaton.
+func (a *Log) Step(p model.ProcessID, s model.State, m *model.Message, d model.FDValue) (model.State, []model.Send) {
+	st := s.CloneState().(*logState)
+	var out []model.Send
+
+	// Deliver the received message to its slot's instance (if live).
+	var currentGotMsg bool
+	if m != nil {
+		switch pl := m.Payload.(type) {
+		case CommandPayload:
+			st.learnCommand(pl.Cmd)
+		case ProgressPayload:
+			if pl.Slot > st.progress[m.From] {
+				st.progress[m.From] = pl.Slot
+				st.retire()
+			}
+		case SlotPayload:
+			if inst, live := st.instances[pl.Slot]; live {
+				inner := &model.Message{From: m.From, To: m.To, Seq: m.Seq, Payload: pl.Inner}
+				ns, sends := a.inner.Step(p, inst, inner, d)
+				st.instances[pl.Slot] = ns
+				out = append(out, wrapSends(pl.Slot, sends)...)
+				currentGotMsg = pl.Slot == st.slot
+				if pl.Slot == st.slot {
+					out = append(out, st.checkDecided(a, d)...)
+				}
+			}
+		default:
+			panic(fmt.Sprintf("rsm: unknown payload %T", m.Payload))
+		}
+	}
+
+	// Forward own commands once, so the eventual leader can propose them.
+	if !st.announced {
+		st.announced = true
+		for _, c := range st.pending {
+			out = append(out, model.Broadcast(model.FullSet(a.n).Remove(p), CommandPayload{Cmd: c})...)
+		}
+	}
+
+	// Advance the current slot's instance (λ step if it did not just
+	// receive the message).
+	if st.slot < a.slots && !currentGotMsg {
+		if inst, live := st.instances[st.slot]; live {
+			ns, sends := a.inner.Step(p, inst, nil, d)
+			st.instances[st.slot] = ns
+			out = append(out, wrapSends(st.slot, sends)...)
+			out = append(out, st.checkDecided(a, d)...)
+		}
+	}
+
+	// Pump one older live instance so laggards are never stranded — but
+	// only every few steps. Decided A_nuc instances keep cycling rounds
+	// forever (the algorithm never halts), so pumping them at full speed
+	// floods laggards faster than the one-receive-per-step model lets them
+	// drain, and their round-trip latency grows without bound. Throttling
+	// keeps aggregate production below consumption while still advancing
+	// old instances infinitely often.
+	st.steps++
+	if older := st.olderSlots(); len(older) > 0 && st.steps%pumpPeriod == 0 {
+		slot := older[st.pump%len(older)]
+		st.pump++
+		ns, sends := a.inner.Step(p, st.instances[slot], nil, d)
+		st.instances[slot] = ns
+		out = append(out, wrapSends(slot, sends)...)
+	}
+
+	return st, out
+}
+
+// checkDecided harvests a decision of the current slot, opens the next
+// instance, and gossips progress. It loops because (in principle) the next
+// instance could already be decided... it cannot on creation, but keeping
+// the loop makes the invariant local.
+func (s *logState) checkDecided(a *Log, _ model.FDValue) []model.Send {
+	var out []model.Send
+	for s.slot < a.slots {
+		inst := s.instances[s.slot]
+		v, ok := model.DecisionOf(inst)
+		if !ok {
+			break
+		}
+		s.entries = append(s.entries, v)
+		s.forgetCommand(v)
+		s.slot++
+		s.progress[s.p] = s.slot
+		out = append(out, model.Broadcast(model.FullSet(len(s.progress)).Remove(s.p), ProgressPayload{Slot: s.slot})...)
+		if s.slot < a.slots {
+			s.instances[s.slot] = a.inner.InitStateProposing(s.p, s.nextProposal())
+		}
+		s.retire()
+	}
+	return out
+}
+
+// learnCommand records a forwarded command unless it is already appended,
+// pending, or known.
+func (s *logState) learnCommand(c int) {
+	if c == NoOp {
+		return
+	}
+	for _, v := range s.entries {
+		if v == c {
+			return
+		}
+	}
+	for _, v := range s.pending {
+		if v == c {
+			return
+		}
+	}
+	for _, v := range s.known {
+		if v == c {
+			return
+		}
+	}
+	s.known = append(s.known, c)
+}
+
+// forgetCommand drops an appended command from the pending and known pools.
+func (s *logState) forgetCommand(v int) {
+	if len(s.pending) > 0 && s.pending[0] == v {
+		s.pending = s.pending[1:]
+	}
+	for i, c := range s.known {
+		if c == v {
+			s.known = append(s.known[:i:i], s.known[i+1:]...)
+			break
+		}
+	}
+}
+
+// retire discards instances below everyone's known progress: every process
+// has decided those slots, so nobody can still need their messages.
+func (s *logState) retire() {
+	min := s.progress[0]
+	for _, pr := range s.progress[1:] {
+		if pr < min {
+			min = pr
+		}
+	}
+	for slot := range s.instances {
+		if slot < min {
+			delete(s.instances, slot)
+		}
+	}
+}
+
+// olderSlots lists live instances strictly below the current slot, in
+// increasing order.
+func (s *logState) olderSlots() []int {
+	var out []int
+	for slot := range s.instances {
+		if slot < s.slot {
+			out = append(out, slot)
+		}
+	}
+	// Insertion sort: the set is tiny (bounded by retirement).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func wrapSends(slot int, sends []model.Send) []model.Send {
+	out := make([]model.Send, len(sends))
+	for i, snd := range sends {
+		out[i] = model.Send{To: snd.To, Payload: SlotPayload{Slot: slot, Inner: snd.Payload}}
+	}
+	return out
+}
+
+// AllAppended returns a stop predicate: every correct process has filled
+// its log.
+func AllAppended(pattern *model.FailurePattern, slots int) func(*model.Configuration, model.Time) bool {
+	correct := pattern.Correct()
+	return func(c *model.Configuration, _ model.Time) bool {
+		done := true
+		correct.ForEach(func(p model.ProcessID) {
+			st, ok := c.States[p].(LogHolder)
+			if !ok || len(st.Entries()) < slots {
+				done = false
+			}
+		})
+		return done
+	}
+}
+
+// PairForLog builds the (Ω, Σν+) history the log needs, mirroring A_nuc's
+// requirements.
+func PairForLog(pattern *model.FailurePattern, stabilize model.Time, seed int64) model.History {
+	return fd.PairHistory{
+		First:  fd.NewOmega(pattern, stabilize, seed),
+		Second: fd.NewSigmaNuPlus(pattern, stabilize, seed),
+	}
+}
+
+// DebugState renders a process's replicated-log state for diagnostics.
+func DebugState(s model.State) string {
+	st, ok := s.(*logState)
+	if !ok {
+		return fmt.Sprintf("%T", s)
+	}
+	live := make([]int, 0, len(st.instances))
+	for k := range st.instances {
+		live = append(live, k)
+	}
+	cur := "nil"
+	if inst, ok := st.instances[st.slot]; ok {
+		if r, has := model.RoundOf(inst); has {
+			cur = fmt.Sprintf("round=%d", r)
+		}
+	}
+	return fmt.Sprintf("slot=%d entries=%v progress=%v live=%v current{%s} pending=%v known=%v",
+		st.slot, st.entries, st.progress, live, cur, st.pending, st.known)
+}

@@ -1,0 +1,113 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/runtime"
+	"nuconsensus/internal/transform"
+)
+
+// TestCrashedProcessesStopStepping: no recorded step by a crashed process
+// may carry a time at or after its crash (run property (3)).
+func TestCrashedProcessesStopStepping(t *testing.T) {
+	pattern := model.PatternFromCrashes(4, map[model.ProcessID]model.Time{1: 60, 2: 120})
+	hist := fd.PairHistory{
+		First:  fd.NewOmega(pattern, 200, 5),
+		Second: fd.NewSigmaNuPlus(pattern, 200, 5),
+	}
+	res, err := runtime.Run(runtime.Config{
+		Automaton: consensus.NewANuc([]int{0, 1, 0, 1}),
+		Pattern:   pattern,
+		History:   hist,
+		Seed:      5,
+		MaxTicks:  3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Rec.Samples {
+		if pattern.Crashed(s.P, s.T) {
+			t.Fatalf("crashed %v took a step at t=%d", s.P, s.T)
+		}
+	}
+}
+
+// TestRuntimeConfigValidation covers the error paths.
+func TestRuntimeConfigValidation(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	hist := fd.NewOmega(pattern, 0, 1)
+	aut := consensus.NewMRMajority([]int{0, 1, 1})
+	cases := []runtime.Config{
+		{Pattern: pattern, History: hist, MaxTicks: 10},
+		{Automaton: aut, History: hist, MaxTicks: 10},
+		{Automaton: aut, Pattern: pattern, History: hist},
+		{Automaton: aut, Pattern: model.NewFailurePattern(4), History: hist, MaxTicks: 10},
+	}
+	for i, cfg := range cases {
+		if _, err := runtime.Run(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestRuntimeTransformerEmulation runs T_{Σν→Σν+} on the concurrent
+// runtime and validates the emulated history — the necessity machinery
+// works outside the deterministic simulator too.
+func TestRuntimeTransformerEmulation(t *testing.T) {
+	pattern := model.PatternFromCrashes(3, map[model.ProcessID]model.Time{1: 60})
+	hist := fd.NewSigmaNu(pattern, 150, 3)
+	res, err := runtime.Run(runtime.Config{
+		Automaton: transform.NewSigmaNuPlusTransformer(3),
+		Pattern:   pattern,
+		History:   hist,
+		Seed:      3,
+		MaxTicks:  900,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon, herr := check.LastCompletenessViolation(res.Rec.Outputs, pattern)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	if horizon > res.Ticks*4/5 {
+		t.Fatalf("emulation did not stabilize (horizon %d of %d)", horizon, res.Ticks)
+	}
+	if err := check.SigmaNuPlus(res.Rec.Outputs, pattern, horizon); err != nil {
+		t.Fatalf("emulated Σν+ invalid on the runtime: %v", err)
+	}
+}
+
+// TestRuntimeSafetyAcrossSeeds: agreement and validity must hold for every
+// interleaving the concurrent runtime produces.
+func TestRuntimeSafetyAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		pattern := model.PatternFromCrashes(4, map[model.ProcessID]model.Time{3: 50})
+		hist := fd.PairHistory{
+			First:  fd.NewOmega(pattern, 150, seed),
+			Second: fd.NewSigmaNuPlus(pattern, 150, seed),
+		}
+		res, err := runtime.Run(runtime.Config{
+			Automaton:       consensus.NewANuc([]int{1, 0, 1, 0}),
+			Pattern:         pattern,
+			History:         hist,
+			Seed:            seed,
+			MaxTicks:        100000,
+			StopWhenDecided: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := check.OutcomeFromConfig(res.FinalConfiguration())
+		if err := out.Validity(); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if err := out.NonuniformAgreement(pattern); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}

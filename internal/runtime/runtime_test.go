@@ -1,0 +1,72 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/runtime"
+)
+
+func TestANucOnGoroutineRuntime(t *testing.T) {
+	n := 5
+	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{2: 200, 4: 350})
+	hist := fd.PairHistory{
+		First:  fd.NewOmega(pattern, 500, 11),
+		Second: fd.NewSigmaNuPlus(pattern, 500, 11),
+	}
+	res, err := runtime.Run(runtime.Config{
+		Automaton:       consensus.NewANuc([]int{1, 0, 1, 0, 1}),
+		Pattern:         pattern,
+		History:         hist,
+		Seed:            42,
+		MaxTicks:        200000,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := check.OutcomeFromConfig(res.FinalConfiguration())
+	// Safety always.
+	if err := out.Validity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.NonuniformAgreement(pattern); err != nil {
+		t.Fatal(err)
+	}
+	// Liveness under the generous budget.
+	if !res.Decided {
+		t.Fatalf("not all correct processes decided within %d ticks", res.Ticks)
+	}
+	t.Logf("decided %v after %d ticks", out.Decisions, res.Ticks)
+}
+
+func TestMRMajorityOnGoroutineRuntime(t *testing.T) {
+	n := 5
+	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{0: 100})
+	hist := fd.NewOmega(pattern, 400, 3)
+	res, err := runtime.Run(runtime.Config{
+		Automaton:       consensus.NewMRMajority([]int{9, 9, 4, 4, 4}),
+		Pattern:         pattern,
+		History:         hist,
+		Seed:            7,
+		MaxTicks:        200000,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := check.OutcomeFromConfig(res.FinalConfiguration())
+	if err := out.Validity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.UniformAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatalf("not all correct processes decided within %d ticks", res.Ticks)
+	}
+	t.Logf("decided %v after %d ticks", out.Decisions, res.Ticks)
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math/rand"
+
+	"nuconsensus/internal/model"
+)
+
+// Scheduler picks, at each logical time, which alive process takes the next
+// step and which in-flight message (if any) it receives. Schedulers embody
+// the nondeterminism of the model (§2.4): asynchronous process speeds and
+// message delays.
+type Scheduler interface {
+	// Next returns the process to step at time t and the message it
+	// receives (nil encodes λ). alive is Π ∖ F(t); it is never empty when
+	// Next is called. The returned message must be pending for the returned
+	// process in c.Buffer.
+	Next(t model.Time, alive model.ProcessSet, c *model.Configuration) (model.ProcessID, *model.Message)
+}
+
+// FairScheduler schedules processes in shuffled passes (every alive process
+// steps once per pass) and delivers the oldest pending message with
+// probability DeliverProb, forcing delivery after MaxSkip consecutive
+// λ-receives at a process. With MaxSkip < ∞ this realizes the two
+// admissibility properties (§2.6) on any infinite execution: every correct
+// process steps infinitely often, and every message to a correct process is
+// eventually received (oldest-first + forced delivery).
+type FairScheduler struct {
+	rng         *rand.Rand
+	deliverProb float64
+	maxSkip     int
+
+	pass    []model.ProcessID
+	skipped map[model.ProcessID]int
+}
+
+// NewFairScheduler returns a fair scheduler with the given seed. deliverProb
+// is the per-step probability of receiving the oldest pending message
+// (default 0.75 if ≤ 0); maxSkip bounds consecutive λ-receives while
+// messages are pending (default 4 if ≤ 0).
+func NewFairScheduler(seed int64, deliverProb float64, maxSkip int) *FairScheduler {
+	if deliverProb <= 0 {
+		deliverProb = 0.75
+	}
+	if maxSkip <= 0 {
+		maxSkip = 4
+	}
+	return &FairScheduler{
+		rng:         rand.New(rand.NewSource(seed)),
+		deliverProb: deliverProb,
+		maxSkip:     maxSkip,
+		skipped:     make(map[model.ProcessID]int),
+	}
+}
+
+// Next implements Scheduler.
+func (s *FairScheduler) Next(_ model.Time, alive model.ProcessSet, c *model.Configuration) (model.ProcessID, *model.Message) {
+	p := s.nextProcess(alive)
+	m := c.Buffer.Oldest(p)
+	if m == nil {
+		return p, nil
+	}
+	if s.rng.Float64() < s.deliverProb || s.skipped[p] >= s.maxSkip {
+		s.skipped[p] = 0
+		return p, collapseSuperseded(c, p, m)
+	}
+	s.skipped[p]++
+	return p, nil
+}
+
+// collapseSuperseded upgrades the delivery of a superseded payload (e.g. a
+// DAG snapshot) to the newest pending one from the same sender, dropping
+// the subsumed older copies. See model.SupersededPayload.
+func collapseSuperseded(c *model.Configuration, p model.ProcessID, m *model.Message) *model.Message {
+	if _, ok := m.Payload.(model.SupersededPayload); !ok {
+		return m
+	}
+	return c.Buffer.Collapse(p, m.From, m.Payload.Kind())
+}
+
+func (s *FairScheduler) nextProcess(alive model.ProcessSet) model.ProcessID {
+	for {
+		if len(s.pass) == 0 {
+			s.pass = alive.Slice()
+			s.rng.Shuffle(len(s.pass), func(i, j int) {
+				s.pass[i], s.pass[j] = s.pass[j], s.pass[i]
+			})
+		}
+		p := s.pass[0]
+		s.pass = s.pass[1:]
+		if alive.Has(p) {
+			return p
+		}
+		// p crashed mid-pass; skip it.
+	}
+}
+
+// Choice is one scripted scheduling decision.
+type Choice struct {
+	P       model.ProcessID
+	Deliver bool // receive the oldest pending message (λ if none)
+}
+
+// ScriptedScheduler plays a fixed script of choices, then falls back to a
+// fair scheduler. It is the adversary used to stage the paper's
+// counterexample executions (the contamination scenario of §6.3 and the
+// partition runs of Theorem 7.1).
+type ScriptedScheduler struct {
+	Script   []Choice
+	Fallback Scheduler
+
+	pos int
+}
+
+// Next implements Scheduler.
+func (s *ScriptedScheduler) Next(t model.Time, alive model.ProcessSet, c *model.Configuration) (model.ProcessID, *model.Message) {
+	for s.pos < len(s.Script) {
+		ch := s.Script[s.pos]
+		s.pos++
+		if !alive.Has(ch.P) {
+			continue // crashed before its scripted step; drop the choice
+		}
+		if ch.Deliver {
+			m := c.Buffer.Oldest(ch.P)
+			if m != nil {
+				m = collapseSuperseded(c, ch.P, m)
+			}
+			return ch.P, m
+		}
+		return ch.P, nil
+	}
+	return s.Fallback.Next(t, alive, c)
+}
+
+// RoundRobinScheduler steps alive processes in a fixed cyclic order and
+// always delivers the oldest pending message. It yields fully deterministic
+// executions — useful for reproducible examples and golden tests.
+type RoundRobinScheduler struct {
+	next model.ProcessID
+}
+
+// Next implements Scheduler.
+func (s *RoundRobinScheduler) Next(_ model.Time, alive model.ProcessSet, c *model.Configuration) (model.ProcessID, *model.Message) {
+	n := model.ProcessID(model.MaxProcesses)
+	for i := model.ProcessID(0); i < n; i++ {
+		p := (s.next + i) % n
+		if alive.Has(p) {
+			s.next = (p + 1) % n
+			m := c.Buffer.Oldest(p)
+			if m != nil {
+				m = collapseSuperseded(c, p, m)
+			}
+			return p, m
+		}
+	}
+	panic("sim: RoundRobinScheduler.Next called with no alive process")
+}
+
+// PartialSyncScheduler models partial synchrony: before the (unknown to the
+// processes) global stabilization time GST it defers to an arbitrary
+// scheduler — typically a hostile or heavily skewed one — and from GST on
+// to a timely one (e.g. round-robin with prompt delivery). Heartbeat-based
+// detector implementations (internal/hb) are correct exactly because such
+// a GST eventually comes.
+type PartialSyncScheduler struct {
+	GST    model.Time
+	Before Scheduler
+	After  Scheduler
+}
+
+// Next implements Scheduler.
+func (s *PartialSyncScheduler) Next(t model.Time, alive model.ProcessSet, c *model.Configuration) (model.ProcessID, *model.Message) {
+	if t < s.GST {
+		return s.Before.Next(t, alive, c)
+	}
+	return s.After.Next(t, alive, c)
+}

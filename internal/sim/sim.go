@@ -1,0 +1,148 @@
+// Package sim drives algorithm automata through finite executions of the
+// asynchronous model: at each logical time a scheduler picks an alive
+// process and a message (or λ), the process's failure-detector module is
+// read from the history, and one atomic step (§2.4) is applied. The
+// resulting execution is, by construction, a run in the sense of §2.6; with
+// a fair scheduler and enough steps it approximates an admissible run.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/trace"
+)
+
+// Options configures one simulated execution.
+type Options struct {
+	Automaton model.Automaton
+	Pattern   *model.FailurePattern
+	History   model.History
+	Scheduler Scheduler
+
+	// MaxSteps bounds the execution length (required, > 0).
+	MaxSteps int
+	// StopWhen, if non-nil, ends the execution early when it returns true
+	// (checked after each step).
+	StopWhen func(c *model.Configuration, t model.Time) bool
+	// Recorder, if non-nil, receives step/sample/decision events.
+	Recorder *trace.Recorder
+	// KeepSchedule retains the executed schedule and times in the Result so
+	// it can be validated or merged (costs memory).
+	KeepSchedule bool
+}
+
+// Result is the outcome of a simulated execution.
+type Result struct {
+	Config  *model.Configuration
+	Steps   int
+	Time    model.Time // time after the last step
+	Stopped bool       // StopWhen fired (vs. MaxSteps exhausted)
+
+	Schedule model.Schedule // non-nil iff Options.KeepSchedule
+	Times    []model.Time
+}
+
+// Run executes the automaton under the given pattern, history and scheduler.
+func Run(opts Options) (*Result, error) {
+	if opts.Automaton == nil || opts.Pattern == nil || opts.History == nil || opts.Scheduler == nil {
+		return nil, errors.New("sim: Automaton, Pattern, History and Scheduler are required")
+	}
+	if opts.MaxSteps <= 0 {
+		return nil, errors.New("sim: MaxSteps must be positive")
+	}
+	if opts.Automaton.N() != opts.Pattern.N() {
+		return nil, fmt.Errorf("sim: automaton n=%d but pattern n=%d", opts.Automaton.N(), opts.Pattern.N())
+	}
+
+	c := model.InitialConfiguration(opts.Automaton)
+	res := &Result{Config: c}
+	decided := make(map[model.ProcessID]bool)
+
+	// Record any processes that decide in their initial state (possible for
+	// trivial automata) and initial emulated outputs.
+	snapshotOutputs(opts, c, 0, decided, res)
+
+	for step := 0; step < opts.MaxSteps; step++ {
+		t := model.Time(step + 1)
+		alive := opts.Pattern.Alive(t)
+		if alive.IsEmpty() {
+			break // everyone has crashed; the run is over
+		}
+		p, m := opts.Scheduler.Next(t, alive, c)
+		if !alive.Has(p) {
+			return nil, fmt.Errorf("sim: scheduler chose crashed process %s at t=%d", p, t)
+		}
+		d := opts.History.Output(p, t)
+		e := model.Step{P: p, M: m, D: d}
+		if !e.Applicable(c) {
+			return nil, fmt.Errorf("sim: scheduler produced inapplicable step %v", e)
+		}
+		sent := c.Apply(opts.Automaton, e)
+		res.Steps++
+		res.Time = t
+		opts.Recorder.OnStep(step, t, p, m, d, len(sent))
+		if opts.Recorder != nil {
+			for _, sm := range sent {
+				opts.Recorder.OnSend(sm.Payload)
+			}
+		}
+		if opts.KeepSchedule {
+			res.Schedule = append(res.Schedule, e)
+			res.Times = append(res.Times, t)
+		}
+		snapshotOutputs(opts, c, t, decided, res)
+		if opts.StopWhen != nil && opts.StopWhen(c, t) {
+			res.Stopped = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// snapshotOutputs records new decisions and emulated-FD outputs.
+func snapshotOutputs(opts Options, c *model.Configuration, t model.Time, decided map[model.ProcessID]bool, _ *Result) {
+	if opts.Recorder == nil {
+		return
+	}
+	for i, s := range c.States {
+		p := model.ProcessID(i)
+		if !decided[p] {
+			if v, ok := model.DecisionOf(s); ok {
+				decided[p] = true
+				opts.Recorder.OnDecision(t, p, v)
+			}
+		}
+		if out, ok := s.(model.FDOutput); ok {
+			opts.Recorder.OnOutput(t, p, out.EmulatedOutput())
+		}
+	}
+}
+
+// AllCorrectDecided returns a StopWhen predicate that fires once every
+// correct process (per pattern) has decided.
+func AllCorrectDecided(pattern *model.FailurePattern) func(*model.Configuration, model.Time) bool {
+	correct := pattern.Correct()
+	return func(c *model.Configuration, _ model.Time) bool {
+		done := true
+		correct.ForEach(func(p model.ProcessID) {
+			if _, ok := model.DecisionOf(c.States[p]); !ok {
+				done = false
+			}
+		})
+		return done
+	}
+}
+
+// Decisions extracts the current decision of each process from a
+// configuration (NoDecision for processes that have not decided).
+func Decisions(c *model.Configuration) map[model.ProcessID]int {
+	out := make(map[model.ProcessID]int)
+	for i, s := range c.States {
+		if v, ok := model.DecisionOf(s); ok {
+			out[model.ProcessID(i)] = v
+		}
+	}
+	return out
+}

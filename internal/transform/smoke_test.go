@@ -1,0 +1,135 @@
+package transform_test
+
+import (
+	"testing"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/trace"
+	"nuconsensus/internal/transform"
+)
+
+func TestSigmaNuPlusTransformerSmoke(t *testing.T) {
+	n := 4
+	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 30})
+	hist := fd.NewSigmaNu(pattern, 80, 3)
+	rec := &trace.Recorder{}
+	res, err := sim.Run(sim.Options{
+		Automaton: transform.NewSigmaNuPlusTransformer(n),
+		Pattern:   pattern,
+		History:   hist,
+		Scheduler: sim.NewFairScheduler(2, 0.8, 3),
+		MaxSteps:  400,
+		Recorder:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon, herr := check.LastCompletenessViolation(rec.Outputs, pattern)
+	if herr != nil || horizon > res.Time*4/5 {
+		t.Fatalf("emulated Σν+ never stabilized (last completeness violation at %d of %d, %v)", horizon, res.Time, herr)
+	}
+	if err := check.SigmaNuPlus(rec.Outputs, pattern, horizon); err != nil {
+		t.Fatalf("emulated Σν+ violates spec: %v", err)
+	}
+	t.Logf("ok after %d steps, stabilized at %d, %d output samples", res.Steps, horizon, len(rec.Outputs))
+}
+
+func TestSigmaNuExtractorSmoke(t *testing.T) {
+	n := 3
+	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{2: 30})
+	hist := fd.PairHistory{
+		First:  fd.NewOmega(pattern, 60, 5),
+		Second: fd.NewSigmaNuPlus(pattern, 60, 5),
+	}
+	target := func(proposals []int) model.Automaton { return consensus.NewANuc(proposals) }
+	rec := &trace.Recorder{}
+	res, err := sim.Run(sim.Options{
+		Automaton: transform.NewSigmaNuExtractor(n, target, 1),
+		Pattern:   pattern,
+		History:   hist,
+		Scheduler: sim.NewFairScheduler(4, 0.8, 3),
+		MaxSteps:  500,
+		Recorder:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon, herr := check.LastCompletenessViolation(rec.Outputs, pattern)
+	if herr != nil || horizon > res.Time*4/5 {
+		t.Fatalf("emulated Σν never stabilized (last completeness violation at %d of %d, %v)", horizon, res.Time, herr)
+	}
+	if err := check.SigmaNu(rec.Outputs, pattern, horizon); err != nil {
+		t.Fatalf("emulated Σν violates spec: %v", err)
+	}
+	// The emulation is only meaningful if quorums actually tightened from Π.
+	tightened := false
+	for _, s := range rec.Outputs {
+		if q, _ := fd.QuorumOf(s.Val); q != pattern.All() {
+			tightened = true
+			break
+		}
+	}
+	if !tightened {
+		t.Fatal("extractor never updated its output from Π — the schedule search found no decisions")
+	}
+	t.Logf("ok after %d steps, %d output samples", res.Steps, len(rec.Outputs))
+}
+
+func TestComposedANucOverSigmaNuSmoke(t *testing.T) {
+	n := 4
+	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{0: 40})
+	hist := fd.PairHistory{
+		First:  fd.NewOmega(pattern, 80, 9),
+		Second: fd.NewSigmaNu(pattern, 80, 9),
+	}
+	aut := transform.NewComposed(
+		transform.NewSigmaNuPlusTransformer(n),
+		consensus.NewANuc([]int{3, 7, 7, 3}),
+	)
+	rec := &trace.Recorder{}
+	res, err := sim.Run(sim.Options{
+		Automaton: aut,
+		Pattern:   pattern,
+		History:   hist,
+		Scheduler: sim.NewFairScheduler(6, 0.8, 3),
+		MaxSteps:  3000,
+		StopWhen:  sim.AllCorrectDecided(pattern),
+		Recorder:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("not all correct processes decided within %d steps (%s)", res.Steps, rec.Summary())
+	}
+	out := check.OutcomeFromConfig(res.Config)
+	if err := out.NonuniformConsensus(pattern); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("decided %v after %d steps", out.Decisions, res.Steps)
+}
+
+func TestScratchSigmaSmoke(t *testing.T) {
+	n, tFaults := 5, 2
+	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 20, 4: 35})
+	rec := &trace.Recorder{}
+	res, err := sim.Run(sim.Options{
+		Automaton: transform.NewScratchSigma(n, tFaults),
+		Pattern:   pattern,
+		History:   fd.Null,
+		Scheduler: sim.NewFairScheduler(8, 0.8, 3),
+		MaxSteps:  600,
+		Recorder:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Sigma(rec.Outputs, pattern, res.Time*3/4); err != nil {
+		t.Fatalf("from-scratch Σ violates spec: %v", err)
+	}
+	t.Logf("ok after %d steps", res.Steps)
+}

@@ -1,0 +1,58 @@
+package wire_test
+
+import (
+	"testing"
+
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/wire"
+)
+
+// FuzzDecodePayload checks that the decoder never panics and never accepts
+// bytes it cannot re-encode to an equivalent payload: arbitrary input must
+// yield either an error or a well-formed payload.
+func FuzzDecodePayload(f *testing.F) {
+	seed := []model.Payload{
+		consensus.LeadPayload{K: 3, V: -7, Hist: sampleHistories()},
+		consensus.ReportPayload{K: 2, V: 42},
+		consensus.ProposalPayload{K: 5},
+		consensus.SawPayload{Q: model.SetOf(0, 2)},
+		consensus.AckPayload{Q: model.SetOf(1), K: 8},
+	}
+	for _, pl := range seed {
+		b, err := wire.EncodePayload(pl)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pl, err := wire.DecodePayload(data)
+		if err != nil {
+			return // rejecting garbage is correct
+		}
+		// Anything accepted must re-encode.
+		if _, err := wire.EncodePayload(pl); err != nil {
+			t.Fatalf("decoded payload %#v cannot be re-encoded: %v", pl, err)
+		}
+	})
+}
+
+// FuzzDecodeValue does the same for failure-detector values.
+func FuzzDecodeValue(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{2, 4})
+	f.Add([]byte{5, 1, 3, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := wire.DecodeValue(data)
+		if err != nil {
+			return
+		}
+		if _, err := wire.EncodeValue(v); err != nil {
+			t.Fatalf("decoded value %#v cannot be re-encoded: %v", v, err)
+		}
+	})
+}

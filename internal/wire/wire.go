@@ -1,0 +1,524 @@
+// Package wire defines a compact binary encoding for every message payload
+// and failure-detector value in the repository, so the algorithms can run
+// over real byte-stream transports (see internal/netrun). The format is
+// deterministic and self-describing at the payload level:
+//
+//	payload  := kindTag … (per-kind body)
+//	fdvalue  := valueTag … (leader | quorum | suspects | pair | null)
+//	varint   := unsigned LEB128 (encoding/binary Uvarint)
+//
+// Quorum histories travel as, per process, a count followed by that many
+// 64-bit process sets; DAG snapshots as a node list plus per-node
+// predecessor bitsets. Everything round-trips exactly (TestRoundTrip*).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/dag"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/hb"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/quorum"
+	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/transform"
+)
+
+// Payload kind tags.
+const (
+	tagLead byte = iota + 1
+	tagReport
+	tagProposal
+	tagSaw
+	tagAck
+	tagRound
+	tagHeartbeat
+	tagGraph
+	tagSlot
+	tagProgress
+	tagCommand
+)
+
+// Failure-detector value tags.
+const (
+	tagValNull byte = iota + 1
+	tagValLeader
+	tagValQuorum
+	tagValSuspects
+	tagValPair
+)
+
+// buf is a cursor over an encode/decode buffer.
+type buf struct {
+	b   []byte
+	pos int
+}
+
+func (w *buf) putUvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+func (w *buf) putByte(v byte)      { w.b = append(w.b, v) }
+
+// putInt zigzag-encodes a signed integer (proposal values may be negative).
+func (w *buf) putInt(v int) {
+	x := int64(v)
+	w.putUvarint(uint64((x << 1) ^ (x >> 63)))
+}
+
+func (r *buf) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated varint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *buf) byte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, fmt.Errorf("wire: truncated byte at offset %d", r.pos)
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *buf) int() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int(int64(v>>1) ^ -int64(v&1)), nil
+}
+
+// EncodePayload serializes any payload defined by this repository.
+func EncodePayload(pl model.Payload) ([]byte, error) {
+	w := &buf{}
+	if err := encodePayload(w, pl); err != nil {
+		return nil, err
+	}
+	return w.b, nil
+}
+
+func encodePayload(w *buf, pl model.Payload) error {
+	switch p := pl.(type) {
+	case consensus.LeadPayload:
+		w.putByte(tagLead)
+		w.putInt(p.K)
+		w.putInt(p.V)
+		encodeHistories(w, p.Hist)
+	case consensus.ReportPayload:
+		w.putByte(tagReport)
+		w.putInt(p.K)
+		w.putInt(p.V)
+	case consensus.ProposalPayload:
+		w.putByte(tagProposal)
+		w.putInt(p.K)
+		w.putInt(p.V)
+		if p.HasV {
+			w.putByte(1)
+		} else {
+			w.putByte(0)
+		}
+		encodeHistories(w, p.Hist)
+	case consensus.SawPayload:
+		w.putByte(tagSaw)
+		w.putUvarint(uint64(p.Q))
+	case consensus.AckPayload:
+		w.putByte(tagAck)
+		w.putUvarint(uint64(p.Q))
+		w.putInt(p.K)
+	case transform.RoundPayload:
+		w.putByte(tagRound)
+		w.putInt(p.K)
+	case hb.HeartbeatPayload:
+		w.putByte(tagHeartbeat)
+	case dag.GraphPayload:
+		w.putByte(tagGraph)
+		return encodeGraph(w, p.G)
+	case rsm.SlotPayload:
+		w.putByte(tagSlot)
+		w.putInt(p.Slot)
+		return encodePayload(w, p.Inner)
+	case rsm.ProgressPayload:
+		w.putByte(tagProgress)
+		w.putInt(p.Slot)
+	case rsm.CommandPayload:
+		w.putByte(tagCommand)
+		w.putInt(p.Cmd)
+	default:
+		return fmt.Errorf("wire: unknown payload type %T", pl)
+	}
+	return nil
+}
+
+// DecodePayload parses a payload produced by EncodePayload.
+func DecodePayload(b []byte) (model.Payload, error) {
+	r := &buf{b: b}
+	pl, err := decodePayload(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after payload", len(b)-r.pos)
+	}
+	return pl, nil
+}
+
+func decodePayload(r *buf) (model.Payload, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagLead:
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		h, err := decodeHistories(r)
+		if err != nil {
+			return nil, err
+		}
+		return consensus.LeadPayload{K: k, V: v, Hist: h}, nil
+	case tagReport:
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		return consensus.ReportPayload{K: k, V: v}, nil
+	case tagProposal:
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		hasV, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		h, err := decodeHistories(r)
+		if err != nil {
+			return nil, err
+		}
+		return consensus.ProposalPayload{K: k, V: v, HasV: hasV == 1, Hist: h}, nil
+	case tagSaw:
+		q, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return consensus.SawPayload{Q: model.ProcessSet(q)}, nil
+	case tagAck:
+		q, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		return consensus.AckPayload{Q: model.ProcessSet(q), K: k}, nil
+	case tagRound:
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		return transform.RoundPayload{K: k}, nil
+	case tagHeartbeat:
+		return hb.HeartbeatPayload{}, nil
+	case tagGraph:
+		g, err := decodeGraph(r)
+		if err != nil {
+			return nil, err
+		}
+		return dag.GraphPayload{G: g}, nil
+	case tagSlot:
+		slot, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := decodePayload(r)
+		if err != nil {
+			return nil, err
+		}
+		return rsm.SlotPayload{Slot: slot, Inner: inner}, nil
+	case tagProgress:
+		slot, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		return rsm.ProgressPayload{Slot: slot}, nil
+	case tagCommand:
+		cmd, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		return rsm.CommandPayload{Cmd: cmd}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown payload tag %d", tag)
+	}
+}
+
+// encodeHistories writes a quorum.Histories (nil allowed).
+func encodeHistories(w *buf, h quorum.Histories) {
+	w.putUvarint(uint64(len(h)))
+	for _, set := range h {
+		qs := set.Slice()
+		w.putUvarint(uint64(len(qs)))
+		for _, q := range qs {
+			w.putUvarint(uint64(q))
+		}
+	}
+}
+
+func decodeHistories(r *buf) (quorum.Histories, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > model.MaxProcesses {
+		return nil, fmt.Errorf("wire: histories for %d processes", n)
+	}
+	h := quorum.NewHistories(int(n))
+	for i := 0; i < int(n); i++ {
+		cnt, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < cnt; j++ {
+			q, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			h.Add(model.ProcessID(i), model.ProcessSet(q))
+		}
+	}
+	return h, nil
+}
+
+// EncodeValue serializes a failure-detector value.
+func EncodeValue(v model.FDValue) ([]byte, error) {
+	w := &buf{}
+	if err := encodeValue(w, v); err != nil {
+		return nil, err
+	}
+	return w.b, nil
+}
+
+func encodeValue(w *buf, v model.FDValue) error {
+	switch x := v.(type) {
+	case fd.NullValue:
+		w.putByte(tagValNull)
+	case fd.LeaderValue:
+		w.putByte(tagValLeader)
+		w.putInt(int(x.Leader))
+	case fd.QuorumValue:
+		w.putByte(tagValQuorum)
+		w.putUvarint(uint64(x.Quorum))
+	case fd.SuspectsValue:
+		w.putByte(tagValSuspects)
+		w.putUvarint(uint64(x.Suspects))
+	case fd.PairValue:
+		w.putByte(tagValPair)
+		if err := encodeValue(w, x.First); err != nil {
+			return err
+		}
+		return encodeValue(w, x.Second)
+	default:
+		return fmt.Errorf("wire: unknown failure-detector value type %T", v)
+	}
+	return nil
+}
+
+// DecodeValue parses a failure-detector value.
+func DecodeValue(b []byte) (model.FDValue, error) {
+	r := &buf{b: b}
+	v, err := decodeValue(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after value", len(b)-r.pos)
+	}
+	return v, nil
+}
+
+func decodeValue(r *buf) (model.FDValue, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagValNull:
+		return fd.NullValue{}, nil
+	case tagValLeader:
+		p, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		return fd.LeaderValue{Leader: model.ProcessID(p)}, nil
+	case tagValQuorum:
+		q, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return fd.QuorumValue{Quorum: model.ProcessSet(q)}, nil
+	case tagValSuspects:
+		q, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return fd.SuspectsValue{Suspects: model.ProcessSet(q)}, nil
+	case tagValPair:
+		first, err := decodeValue(r)
+		if err != nil {
+			return nil, err
+		}
+		second, err := decodeValue(r)
+		if err != nil {
+			return nil, err
+		}
+		return fd.PairValue{First: first, Second: second}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown value tag %d", tag)
+	}
+}
+
+// encodeGraph writes a sample DAG: node list, then per-node predecessor
+// sets as packed little-endian bitset words. A_DAG edge sets are nearly
+// complete (every insertion links from all known nodes), so bitsets are
+// ~16× denser on the wire than index lists — the difference between
+// megabytes and hundreds of megabytes of gossip in the TCP substrate.
+func encodeGraph(w *buf, g *dag.Graph) error {
+	w.putUvarint(uint64(g.Len()))
+	for i := 0; i < g.Len(); i++ {
+		n := g.Node(i)
+		w.putInt(int(n.P))
+		w.putInt(n.K)
+		if err := encodeValue(w, n.D); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < g.Len(); v++ {
+		words := (v + 63) / 64
+		packed := make([]uint64, words)
+		for u := 0; u < v; u++ {
+			if g.HasEdge(u, v) {
+				packed[u/64] |= 1 << uint(u%64)
+			}
+		}
+		for _, word := range packed {
+			w.b = binary.LittleEndian.AppendUint64(w.b, word)
+		}
+	}
+	return nil
+}
+
+func decodeGraph(r *buf) (*dag.Graph, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every node costs at least three bytes on the wire (p, k, value tag),
+	// so a count exceeding the remaining input is forged — reject it before
+	// allocating (found by FuzzDecodePayload).
+	if n > uint64(len(r.b)-r.pos)/3 {
+		return nil, fmt.Errorf("wire: graph claims %d nodes but only %d bytes remain", n, len(r.b)-r.pos)
+	}
+	type nodeRec struct {
+		p model.ProcessID
+		k int
+		d model.FDValue
+	}
+	nodes := make([]nodeRec, n)
+	for i := range nodes {
+		p, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		d, err := decodeValue(r)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nodeRec{p: model.ProcessID(p), k: k, d: d}
+	}
+	g := dag.NewGraph()
+	edges := make([][]int, n)
+	for v := range edges {
+		words := (v + 63) / 64
+		for wi := 0; wi < words; wi++ {
+			if r.pos+8 > len(r.b) {
+				return nil, fmt.Errorf("wire: truncated graph bitset at node %d", v)
+			}
+			word := binary.LittleEndian.Uint64(r.b[r.pos:])
+			r.pos += 8
+			for ; word != 0; word &= word - 1 {
+				u := wi*64 + bits.TrailingZeros64(word)
+				if u >= v {
+					return nil, fmt.Errorf("wire: graph edge %d→%d violates insertion order", u, v)
+				}
+				edges[v] = append(edges[v], u)
+			}
+		}
+	}
+	for i, nd := range nodes {
+		g.AddSampleWithPreds(nd.p, nd.d, nd.k, edges[i])
+	}
+	return g, nil
+}
+
+// EncodeMessage frames a whole model message (from, to, seq, payload).
+func EncodeMessage(m *model.Message) ([]byte, error) {
+	w := &buf{}
+	w.putInt(int(m.From))
+	w.putInt(int(m.To))
+	w.putUvarint(m.Seq)
+	if err := encodePayload(w, m.Payload); err != nil {
+		return nil, err
+	}
+	return w.b, nil
+}
+
+// DecodeMessage parses a framed message.
+func DecodeMessage(b []byte) (*model.Message, error) {
+	r := &buf{b: b}
+	from, err := r.int()
+	if err != nil {
+		return nil, err
+	}
+	to, err := r.int()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := decodePayload(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after message", len(b)-r.pos)
+	}
+	return &model.Message{From: model.ProcessID(from), To: model.ProcessID(to), Seq: seq, Payload: pl}, nil
+}

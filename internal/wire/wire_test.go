@@ -1,0 +1,173 @@
+package wire_test
+
+import (
+	"reflect"
+	"testing"
+
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/dag"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/hb"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/quorum"
+	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/transform"
+	"nuconsensus/internal/wire"
+)
+
+func sampleHistories() quorum.Histories {
+	h := quorum.NewHistories(3)
+	h.Add(0, model.SetOf(0, 1))
+	h.Add(0, model.SetOf(0, 2))
+	h.Add(2, model.SetOf(2))
+	return h
+}
+
+func TestRoundTripPayloads(t *testing.T) {
+	payloads := []model.Payload{
+		consensus.LeadPayload{K: 3, V: -7, Hist: sampleHistories()},
+		consensus.LeadPayload{K: 1, V: 0},
+		consensus.ReportPayload{K: 2, V: 42},
+		consensus.ProposalPayload{K: 5, V: 9, HasV: true, Hist: sampleHistories()},
+		consensus.ProposalPayload{K: 5},
+		consensus.SawPayload{Q: model.SetOf(0, 2)},
+		consensus.AckPayload{Q: model.SetOf(1), K: 8},
+		transform.RoundPayload{K: 12},
+		hb.HeartbeatPayload{},
+	}
+	for _, pl := range payloads {
+		b, err := wire.EncodePayload(pl)
+		if err != nil {
+			t.Fatalf("%T: %v", pl, err)
+		}
+		got, err := wire.DecodePayload(b)
+		if err != nil {
+			t.Fatalf("%T: %v", pl, err)
+		}
+		if !reflect.DeepEqual(got, pl) {
+			t.Errorf("%T round trip: got %#v, want %#v", pl, got, pl)
+		}
+	}
+}
+
+func TestRoundTripValues(t *testing.T) {
+	values := []model.FDValue{
+		fd.NullValue{},
+		fd.LeaderValue{Leader: 5},
+		fd.QuorumValue{Quorum: model.SetOf(0, 3, 63)},
+		fd.SuspectsValue{Suspects: model.SetOf(1)},
+		fd.PairValue{First: fd.LeaderValue{Leader: 0}, Second: fd.QuorumValue{Quorum: model.SetOf(0, 1)}},
+		fd.PairValue{
+			First:  fd.PairValue{First: fd.NullValue{}, Second: fd.SuspectsValue{}},
+			Second: fd.LeaderValue{Leader: 2},
+		},
+	}
+	for _, v := range values {
+		b, err := wire.EncodeValue(v)
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		got, err := wire.DecodeValue(b)
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("%T round trip: got %#v, want %#v", v, got, v)
+		}
+	}
+}
+
+func TestRoundTripGraph(t *testing.T) {
+	g := dag.NewGraph()
+	g.AddSample(0, fd.QuorumValue{Quorum: model.SetOf(0, 1)}, 1)
+	g.AddSample(1, fd.LeaderValue{Leader: 0}, 1)
+	g.AddSample(0, fd.PairValue{First: fd.LeaderValue{Leader: 1}, Second: fd.QuorumValue{Quorum: model.SetOf(1)}}, 2)
+
+	b, err := wire.EncodePayload(dag.GraphPayload{G: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.DecodePayload(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := got.(dag.GraphPayload).G
+	if g2.Len() != g.Len() {
+		t.Fatalf("node count %d, want %d", g2.Len(), g.Len())
+	}
+	for i := 0; i < g.Len(); i++ {
+		if g2.Node(i).Key() != g.Node(i).Key() || g2.Node(i).D.String() != g.Node(i).D.String() {
+			t.Errorf("node %d differs: %v vs %v", i, g2.Node(i), g.Node(i))
+		}
+		for j := 0; j < i; j++ {
+			if g2.HasEdge(j, i) != g.HasEdge(j, i) {
+				t.Errorf("edge %d→%d differs", j, i)
+			}
+		}
+	}
+}
+
+func TestRoundTripMessage(t *testing.T) {
+	m := &model.Message{From: 2, To: 0, Seq: 99, Payload: consensus.ReportPayload{K: 4, V: 1}}
+	b, err := wire.EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.DecodeMessage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != m.From || got.To != m.To || got.Seq != m.Seq || !reflect.DeepEqual(got.Payload, m.Payload) {
+		t.Errorf("message round trip: %#v vs %#v", got, m)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,             // empty
+		{0xFF},          // unknown tag
+		{1, 0x80},       // truncated varint in LEAD
+		{4, 3, 0, 0, 0}, // trailing bytes after SAW
+	}
+	for i, b := range cases {
+		if _, err := wire.DecodePayload(b); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+	if _, err := wire.DecodeValue([]byte{0xFE}); err == nil {
+		t.Error("unknown value tag must error")
+	}
+}
+
+type alienPayload struct{}
+
+func (alienPayload) Kind() string   { return "ALIEN" }
+func (alienPayload) String() string { return "ALIEN" }
+
+func TestEncodeUnknownPayload(t *testing.T) {
+	if _, err := wire.EncodePayload(alienPayload{}); err == nil {
+		t.Error("unknown payload type must error")
+	}
+}
+
+func TestRoundTripRSMPayloads(t *testing.T) {
+	payloads := []model.Payload{
+		rsm.SlotPayload{Slot: 3, Inner: consensus.ReportPayload{K: 1, V: 9}},
+		rsm.SlotPayload{Slot: 0, Inner: consensus.LeadPayload{K: 2, V: -1, Hist: sampleHistories()}},
+		rsm.ProgressPayload{Slot: 7},
+		rsm.CommandPayload{Cmd: 42},
+	}
+	for _, pl := range payloads {
+		b, err := wire.EncodePayload(pl)
+		if err != nil {
+			t.Fatalf("%T: %v", pl, err)
+		}
+		got, err := wire.DecodePayload(b)
+		if err != nil {
+			t.Fatalf("%T: %v", pl, err)
+		}
+		if !reflect.DeepEqual(got, pl) {
+			t.Errorf("%T round trip: got %#v, want %#v", pl, got, pl)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package nuconsensus_test
+
+import (
+	"testing"
+
+	"nuconsensus"
+)
+
+func TestFacadeANucSimulator(t *testing.T) {
+	pattern := nuconsensus.Crashes(4, map[nuconsensus.ProcessID]nuconsensus.Time{2: 40})
+	res, err := nuconsensus.Simulate(nuconsensus.SimOptions{
+		Automaton:       nuconsensus.ANuc([]int{3, 3, 5, 5}),
+		Pattern:         pattern,
+		History:         nuconsensus.Pair(nuconsensus.Omega(pattern, 80, 1), nuconsensus.SigmaNuPlus(pattern, 80, 1)),
+		Seed:            1,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatalf("no decision in %d steps", res.Steps)
+	}
+	if err := nuconsensus.CheckNonuniformConsensus(res.Config, pattern); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := nuconsensus.Decision(res.States, 0); !ok || (v != 3 && v != 5) {
+		t.Errorf("Decision(p0) = %d, %v", v, ok)
+	}
+}
+
+func TestFacadeBoostedANucOverSigmaNu(t *testing.T) {
+	pattern := nuconsensus.Crashes(3, map[nuconsensus.ProcessID]nuconsensus.Time{0: 30})
+	res, err := nuconsensus.Simulate(nuconsensus.SimOptions{
+		Automaton:       nuconsensus.BoostedANuc([]int{1, 2, 2}),
+		Pattern:         pattern,
+		History:         nuconsensus.Pair(nuconsensus.Omega(pattern, 70, 2), nuconsensus.SigmaNu(pattern, 70, 2)),
+		Seed:            2,
+		MaxSteps:        8000,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatal("no decision")
+	}
+	if err := nuconsensus.CheckNonuniformConsensus(res.Config, pattern); err != nil {
+		t.Fatal(err)
+	}
+	// The boosted automaton also exposes the emulated Σν+ history.
+	if err := nuconsensus.CheckEmulatedSigmaNuPlus(res, pattern); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExtraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extraction is slow in -short mode")
+	}
+	pattern := nuconsensus.Crashes(3, map[nuconsensus.ProcessID]nuconsensus.Time{2: 30})
+	res, err := nuconsensus.Simulate(nuconsensus.SimOptions{
+		Automaton: nuconsensus.ExtractSigmaNu(3,
+			func(props []int) nuconsensus.Automaton { return nuconsensus.MRSigma(props) }, 1),
+		Pattern:  pattern,
+		History:  nuconsensus.Pair(nuconsensus.Omega(pattern, 40, 7), nuconsensus.Sigma(pattern, 40, 7)),
+		Seed:     7,
+		MaxSteps: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nuconsensus.CheckEmulatedSigmaNu(res, pattern); err != nil {
+		t.Fatal(err)
+	}
+	if err := nuconsensus.CheckEmulatedSigma(res, pattern); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMRAndScratch(t *testing.T) {
+	pattern := nuconsensus.Crashes(5, map[nuconsensus.ProcessID]nuconsensus.Time{4: 25})
+	res, err := nuconsensus.Simulate(nuconsensus.SimOptions{
+		Automaton:       nuconsensus.MRMajority([]int{7, 7, 7, 2, 2}),
+		Pattern:         pattern,
+		History:         nuconsensus.Omega(pattern, 60, 3),
+		Seed:            3,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nuconsensus.CheckUniformConsensus(res.Config, pattern); err != nil {
+		t.Fatal(err)
+	}
+
+	if nuconsensus.ScratchSigma(5, 2) == nil {
+		t.Fatal("ScratchSigma constructor failed")
+	}
+}
+
+func TestFacadePartition(t *testing.T) {
+	o := nuconsensus.RunPartition("threshold", nuconsensus.ThresholdQuorum(4, 2), 4, 2)
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if !o.Disjoint {
+		t.Fatal("partition argument must force disjoint quorums")
+	}
+	if !o.AQuorum.SubsetOf(nuconsensus.SetOf(0, 1)) || !o.BQuorum.SubsetOf(nuconsensus.SetOf(2, 3)) {
+		t.Fatalf("quorums on wrong sides: %v, %v", o.AQuorum, o.BQuorum)
+	}
+}
+
+func TestFacadeCluster(t *testing.T) {
+	pattern := nuconsensus.Crashes(3, map[nuconsensus.ProcessID]nuconsensus.Time{1: 100})
+	res, err := nuconsensus.RunCluster(nuconsensus.ClusterOptions{
+		Automaton: nuconsensus.ANuc([]int{0, 1, 1}),
+		Pattern:   pattern,
+		History:   nuconsensus.Pair(nuconsensus.Omega(pattern, 300, 4), nuconsensus.SigmaNuPlus(pattern, 300, 4)),
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nuconsensus.CheckNonuniformConsensus(res.Config, pattern); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatal("cluster did not decide")
+	}
+}
+
+func TestFacadeTCP(t *testing.T) {
+	pattern := nuconsensus.Crashes(3, map[nuconsensus.ProcessID]nuconsensus.Time{2: 200})
+	res, err := nuconsensus.RunTCP(nuconsensus.ClusterOptions{
+		Automaton: nuconsensus.ANuc([]int{4, 4, 9}),
+		Pattern:   pattern,
+		History: nuconsensus.Pair(
+			nuconsensus.Omega(pattern, 400, 6),
+			nuconsensus.SigmaNuPlus(pattern, 400, 6),
+		),
+		Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nuconsensus.CheckNonuniformConsensus(res.Config, pattern); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatal("TCP cluster did not decide")
+	}
+}
+
+// TestLargeSystemStress drives A_nuc at n = 20 with seven crashes — well
+// past the sizes the experiments sweep — to confirm the bitset-based
+// structures and the quorum machinery scale.
+func TestLargeSystemStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const n = 20
+	crashes := map[nuconsensus.ProcessID]nuconsensus.Time{}
+	for i := 0; i < 7; i++ {
+		crashes[nuconsensus.ProcessID(2*i)] = nuconsensus.Time(20 + 15*i)
+	}
+	pattern := nuconsensus.Crashes(n, crashes)
+	props := make([]int, n)
+	for i := range props {
+		props[i] = i % 3
+	}
+	res, err := nuconsensus.Simulate(nuconsensus.SimOptions{
+		Automaton: nuconsensus.ANuc(props),
+		Pattern:   pattern,
+		History: nuconsensus.Pair(
+			nuconsensus.Omega(pattern, 250, 2),
+			nuconsensus.SigmaNuPlus(pattern, 250, 2),
+		),
+		Seed:            2,
+		MaxSteps:        200000,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatalf("n=20 run did not decide in %d steps", res.Steps)
+	}
+	if err := nuconsensus.CheckNonuniformConsensus(res.Config, pattern); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=20, f=7: decided after %d steps, %d messages", res.Steps, res.MessagesSent)
+}
+
+func TestFacadeReplicatedLog(t *testing.T) {
+	pattern := nuconsensus.Crashes(3, map[nuconsensus.ProcessID]nuconsensus.Time{1: 50})
+	res, err := nuconsensus.Simulate(nuconsensus.SimOptions{
+		Automaton:       nuconsensus.ReplicatedLog([][]int{{1}, {2}, {3}}, 3),
+		Pattern:         pattern,
+		History:         nuconsensus.PairForANuc(pattern, 80, 4),
+		Seed:            4,
+		MaxSteps:        120000,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatal("log never filled")
+	}
+	var ref []int
+	pattern.Correct().ForEach(func(p nuconsensus.ProcessID) {
+		entries, ok := nuconsensus.LogEntries(res.States, p)
+		if !ok || len(entries) != 3 {
+			t.Fatalf("%v log = %v", p, entries)
+		}
+		if ref == nil {
+			ref = entries
+			return
+		}
+		for i := range ref {
+			if entries[i] != ref[i] {
+				t.Fatalf("correct logs diverged: %v vs %v", entries, ref)
+			}
+		}
+	})
+}
+
+func TestFacadeOracleFreeCT(t *testing.T) {
+	pattern := nuconsensus.Crashes(5, map[nuconsensus.ProcessID]nuconsensus.Time{0: 70, 2: 120})
+	res, err := nuconsensus.Simulate(nuconsensus.SimOptions{
+		Automaton:       nuconsensus.OracleFreeCT([]int{1, 0, 1, 0, 1}),
+		Pattern:         pattern,
+		GST:             300,
+		Seed:            3,
+		MaxSteps:        80000,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatalf("oracle-free CT did not decide in %d steps", res.Steps)
+	}
+	if err := nuconsensus.CheckUniformConsensus(res.Config, pattern); err != nil {
+		t.Fatal(err)
+	}
+}

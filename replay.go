@@ -1,0 +1,144 @@
+package nuconsensus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/trace"
+)
+
+// SchedulingChoice is one recorded scheduler decision: which process
+// stepped and whether it received the oldest pending message. A sequence of
+// choices, together with the automaton, pattern, history and their seeds,
+// replays an execution bit for bit — executions are deterministic functions
+// of these inputs.
+type SchedulingChoice struct {
+	P       ProcessID `json:"p"`
+	Deliver bool      `json:"deliver"`
+}
+
+// RecordedRun is a persistable execution record.
+type RecordedRun struct {
+	N       int                `json:"n"`
+	Seed    int64              `json:"seed"`
+	Choices []SchedulingChoice `json:"choices"`
+}
+
+// SimulateRecorded runs like Simulate but also captures the scheduling
+// choices, so the execution can be replayed (and, e.g., a contamination
+// counterexample attached to a bug report).
+func SimulateRecorded(opts SimOptions) (*SimResult, *RecordedRun, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 50000
+	}
+	var stop func(*model.Configuration, model.Time) bool
+	if opts.StopWhenDecided {
+		stop = sim.AllCorrectDecided(opts.Pattern)
+	}
+	tr := &trace.Recorder{}
+	res, err := sim.Run(sim.Options{
+		Automaton:    opts.Automaton,
+		Pattern:      opts.Pattern,
+		History:      historyOrNull(opts.History),
+		Scheduler:    sim.NewFairScheduler(opts.Seed, 0.8, 3),
+		MaxSteps:     maxSteps,
+		StopWhen:     stop,
+		KeepSchedule: true,
+		Recorder:     tr,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &RecordedRun{N: opts.Automaton.N(), Seed: opts.Seed}
+	for _, e := range res.Schedule {
+		rec.Choices = append(rec.Choices, SchedulingChoice{P: e.P, Deliver: e.M != nil})
+	}
+	return &SimResult{
+		States:          res.Config.States,
+		Config:          res.Config,
+		Steps:           res.Steps,
+		Decided:         res.Stopped || stopAllDecided(res.Config, opts.Pattern),
+		Decisions:       sim.Decisions(res.Config),
+		MessagesSent:    tr.MessagesSent,
+		SentKinds:       tr.SentKinds,
+		EmulatedOutputs: tr.Outputs,
+	}, rec, nil
+}
+
+// Replay re-executes a recorded run: the same automaton, pattern and
+// history must be supplied (they are not part of the record); the recorded
+// choices drive the scheduler, with a fair fallback past the end of the
+// script.
+func Replay(opts SimOptions, rec *RecordedRun) (*SimResult, error) {
+	if rec.N != opts.Automaton.N() {
+		return nil, fmt.Errorf("nuconsensus: record is for n=%d but automaton has n=%d", rec.N, opts.Automaton.N())
+	}
+	script := make([]sim.Choice, len(rec.Choices))
+	for i, c := range rec.Choices {
+		script[i] = sim.Choice{P: c.P, Deliver: c.Deliver}
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = len(script)
+	}
+	var stop func(*model.Configuration, model.Time) bool
+	if opts.StopWhenDecided {
+		stop = sim.AllCorrectDecided(opts.Pattern)
+	}
+	tr := &trace.Recorder{}
+	res, err := sim.Run(sim.Options{
+		Automaton: opts.Automaton,
+		Pattern:   opts.Pattern,
+		History:   historyOrNull(opts.History),
+		Scheduler: &sim.ScriptedScheduler{Script: script, Fallback: sim.NewFairScheduler(rec.Seed, 0.8, 3)},
+		MaxSteps:  maxSteps,
+		StopWhen:  stop,
+		Recorder:  tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{
+		States:          res.Config.States,
+		Config:          res.Config,
+		Steps:           res.Steps,
+		Decided:         res.Stopped || stopAllDecided(res.Config, opts.Pattern),
+		Decisions:       sim.Decisions(res.Config),
+		MessagesSent:    tr.MessagesSent,
+		SentKinds:       tr.SentKinds,
+		EmulatedOutputs: tr.Outputs,
+	}, nil
+}
+
+// SaveRecordedRun writes a record as JSON.
+func SaveRecordedRun(path string, rec *RecordedRun) error {
+	data, err := json.MarshalIndent(rec, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadRecordedRun reads a record written by SaveRecordedRun.
+func LoadRecordedRun(path string) (*RecordedRun, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec RecordedRun
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("nuconsensus: parsing %s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+func historyOrNull(h History) History {
+	if h == nil {
+		return nullHistory()
+	}
+	return h
+}

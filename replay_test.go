@@ -1,0 +1,92 @@
+package nuconsensus_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nuconsensus"
+)
+
+func TestRecordAndReplay(t *testing.T) {
+	pattern := nuconsensus.Crashes(4, map[nuconsensus.ProcessID]nuconsensus.Time{1: 30})
+	hist := nuconsensus.Pair(
+		nuconsensus.Omega(pattern, 60, 9),
+		nuconsensus.SigmaNuPlus(pattern, 60, 9),
+	)
+	opts := nuconsensus.SimOptions{
+		Automaton:       nuconsensus.ANuc([]int{0, 1, 1, 0}),
+		Pattern:         pattern,
+		History:         hist,
+		Seed:            9,
+		StopWhenDecided: true,
+	}
+	res, rec, err := nuconsensus.SimulateRecorded(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatal("baseline run did not decide")
+	}
+	if len(rec.Choices) != res.Steps {
+		t.Fatalf("recorded %d choices for %d steps", len(rec.Choices), res.Steps)
+	}
+
+	// Round-trip through JSON on disk.
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := nuconsensus.SaveRecordedRun(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nuconsensus.LoadRecordedRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, rec) {
+		t.Fatal("record did not survive the JSON round trip")
+	}
+
+	// Replay must land on the same decisions in the same number of steps.
+	opts2 := opts
+	opts2.MaxSteps = len(loaded.Choices)
+	replayed, err := nuconsensus.Replay(opts2, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed.Decisions, res.Decisions) {
+		t.Fatalf("replay decisions %v, want %v", replayed.Decisions, res.Decisions)
+	}
+}
+
+func TestReplayRejectsSizeMismatch(t *testing.T) {
+	pattern := nuconsensus.Crashes(3, nil)
+	rec := &nuconsensus.RecordedRun{N: 4}
+	_, err := nuconsensus.Replay(nuconsensus.SimOptions{
+		Automaton: nuconsensus.ANuc([]int{0, 1, 1}),
+		Pattern:   pattern,
+	}, rec)
+	if err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestLoadRecordedRunErrors(t *testing.T) {
+	if _, err := nuconsensus.LoadRecordedRun(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := nuconsensus.SaveRecordedRun(bad, &nuconsensus.RecordedRun{}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt it.
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nuconsensus.LoadRecordedRun(bad); err == nil {
+		t.Error("corrupted file must error")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,235 @@
+package nuconsensus
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/netrun"
+	"nuconsensus/internal/runtime"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/trace"
+)
+
+// SimOptions configures a deterministic simulated execution of an
+// automaton under a failure pattern and failure-detector history.
+type SimOptions struct {
+	Automaton Automaton
+	Pattern   *FailurePattern
+	History   History
+
+	// Seed drives the fair scheduler (process interleaving and message
+	// delays).
+	Seed int64
+	// MaxSteps bounds the execution (default 50000).
+	MaxSteps int
+	// StopWhenDecided ends the run once every correct process decided
+	// (default true for consensus automata).
+	StopWhenDecided bool
+	// GST, if positive, makes the execution partially synchronous: before
+	// GST the scheduler is hostile (messages starved for long stretches),
+	// after GST it is timely. Use with the from-scratch detector
+	// implementations (HeartbeatOmega, OracleFreeANuc), which are correct
+	// exactly under eventual timeliness.
+	GST Time
+}
+
+// SimResult is the outcome of a simulated execution.
+type SimResult struct {
+	// States holds each process's final state.
+	States []model.State
+	// Config is the final configuration (states + in-flight messages).
+	Config *model.Configuration
+	// Steps is the number of steps executed; Decided reports whether every
+	// correct process decided before the budget ran out.
+	Steps   int
+	Decided bool
+	// Decisions maps each decided process to its value.
+	Decisions map[ProcessID]int
+	// MessagesSent counts all messages sent, by payload kind.
+	MessagesSent int
+	SentKinds    map[string]int
+	// EmulatedOutputs holds the emulated failure-detector output samples of
+	// transformation algorithms (empty for plain consensus runs).
+	EmulatedOutputs []trace.Sample
+}
+
+// Simulate runs one execution on the deterministic step simulator: at each
+// logical time a seeded fair scheduler picks an alive process and a pending
+// message (or none), the process's failure-detector module is read from the
+// history, and one atomic step of the paper's model (§2.4) is applied.
+func Simulate(opts SimOptions) (*SimResult, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 50000
+	}
+	var stop func(*model.Configuration, model.Time) bool
+	if opts.StopWhenDecided {
+		stop = sim.AllCorrectDecided(opts.Pattern)
+	}
+	var sched sim.Scheduler = sim.NewFairScheduler(opts.Seed, 0.8, 3)
+	if opts.GST > 0 {
+		sched = &sim.PartialSyncScheduler{
+			GST:    opts.GST,
+			Before: sim.NewFairScheduler(opts.Seed, 0.3, 10),
+			After:  sim.NewFairScheduler(opts.Seed+1, 0.9, 2),
+		}
+	}
+	hist := historyOrNull(opts.History)
+	rec := &trace.Recorder{}
+	res, err := sim.Run(sim.Options{
+		Automaton: opts.Automaton,
+		Pattern:   opts.Pattern,
+		History:   hist,
+		Scheduler: sched,
+		MaxSteps:  maxSteps,
+		StopWhen:  stop,
+		Recorder:  rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{
+		States:          res.Config.States,
+		Config:          res.Config,
+		Steps:           res.Steps,
+		Decided:         res.Stopped || stopAllDecided(res.Config, opts.Pattern),
+		Decisions:       sim.Decisions(res.Config),
+		MessagesSent:    rec.MessagesSent,
+		SentKinds:       rec.SentKinds,
+		EmulatedOutputs: rec.Outputs,
+	}, nil
+}
+
+func stopAllDecided(c *model.Configuration, f *FailurePattern) bool {
+	return sim.AllCorrectDecided(f)(c, 0)
+}
+
+// ClusterOptions configures a goroutine-based asynchronous execution: one
+// goroutine per process, channel-backed links, crash injection, and local
+// failure-detector modules read at a shared logical clock.
+type ClusterOptions struct {
+	Automaton Automaton
+	Pattern   *FailurePattern
+	History   History
+	Seed      int64
+	// MaxTicks bounds the cluster's total steps (default 200000).
+	MaxTicks Time
+}
+
+// RunCluster executes the automaton on the concurrent runtime and blocks
+// until every correct process decides or the budget runs out.
+func RunCluster(opts ClusterOptions) (*SimResult, error) {
+	maxTicks := opts.MaxTicks
+	if maxTicks <= 0 {
+		maxTicks = 200000
+	}
+	hist := historyOrNull(opts.History)
+	res, err := runtime.Run(runtime.Config{
+		Automaton:       opts.Automaton,
+		Pattern:         opts.Pattern,
+		History:         hist,
+		Seed:            opts.Seed,
+		MaxTicks:        maxTicks,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := res.FinalConfiguration()
+	return &SimResult{
+		States:          res.States,
+		Config:          cfg,
+		Steps:           int(res.Ticks),
+		Decided:         res.Decided,
+		Decisions:       sim.Decisions(cfg),
+		MessagesSent:    res.Rec.MessagesSent,
+		SentKinds:       res.Rec.SentKinds,
+		EmulatedOutputs: res.Rec.Outputs,
+	}, nil
+}
+
+// CheckEmulatedSigmaNu verifies that recorded emulated outputs satisfy the
+// Σν specification, using the last completeness violation as the horizon
+// for the eventual property and requiring it to fall within the first
+// four-fifths of the record.
+func CheckEmulatedSigmaNu(r *SimResult, f *FailurePattern) error {
+	return checkEmulated(r, f, check.SigmaNu)
+}
+
+// CheckEmulatedSigmaNuPlus verifies emulated outputs against the Σν+ spec.
+func CheckEmulatedSigmaNuPlus(r *SimResult, f *FailurePattern) error {
+	return checkEmulated(r, f, check.SigmaNuPlus)
+}
+
+// CheckEmulatedSigma verifies emulated outputs against the full (uniform) Σ
+// spec.
+func CheckEmulatedSigma(r *SimResult, f *FailurePattern) error {
+	return checkEmulated(r, f, check.Sigma)
+}
+
+func checkEmulated(r *SimResult, f *FailurePattern, spec func([]trace.Sample, *model.FailurePattern, model.Time) error) error {
+	horizon, err := check.LastCompletenessViolation(r.EmulatedOutputs, f)
+	if err != nil {
+		return err
+	}
+	end := Time(0)
+	for _, s := range r.EmulatedOutputs {
+		if s.T > end {
+			end = s.T
+		}
+	}
+	if horizon > end*4/5 {
+		return errStabilization{horizon: horizon, end: end}
+	}
+	return spec(r.EmulatedOutputs, f, horizon)
+}
+
+// nullHistory is the trivial no-information detector used when an
+// automaton ignores the ambient failure detector.
+func nullHistory() History { return fd.Null }
+
+type errStabilization struct {
+	horizon, end Time
+}
+
+func (e errStabilization) Error() string {
+	return fmt.Sprintf("nuconsensus: emulated detector had completeness violations too close to the end of the record (horizon %d of %d); run longer to observe stabilization",
+		e.horizon, e.end)
+}
+
+// RunTCP executes the automaton over a real TCP mesh on the loopback
+// interface: one goroutine per process, one socket per process pair, every
+// payload — including quorum histories and whole DAG snapshots — serialized
+// with the internal/wire binary format. The most system-like substrate;
+// asynchrony comes from goroutine scheduling and TCP buffering.
+func RunTCP(opts ClusterOptions) (*SimResult, error) {
+	maxTicks := opts.MaxTicks
+	if maxTicks <= 0 {
+		maxTicks = 200000
+	}
+	hist := historyOrNull(opts.History)
+	res, err := netrun.Run(netrun.Config{
+		Automaton:       opts.Automaton,
+		Pattern:         opts.Pattern,
+		History:         hist,
+		Seed:            opts.Seed,
+		MaxTicks:        maxTicks,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := res.FinalConfiguration()
+	return &SimResult{
+		States:          res.States,
+		Config:          cfg,
+		Steps:           int(res.Ticks),
+		Decided:         res.Decided,
+		Decisions:       sim.Decisions(cfg),
+		MessagesSent:    res.Rec.MessagesSent,
+		SentKinds:       res.Rec.SentKinds,
+		EmulatedOutputs: res.Rec.Outputs,
+	}, nil
+}
