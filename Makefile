@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments experiments-full fuzz fmt vet clean
+.PHONY: all build test test-short race bench experiments experiments-full fuzz fmt vet ci clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/runtime ./internal/netrun
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -25,7 +25,7 @@ experiments:
 	$(GO) run ./cmd/experiments
 
 experiments-full:
-	$(GO) run ./cmd/experiments -full -o EXPERIMENTS.tables.md
+	$(GO) run ./cmd/experiments -full -parallel 0 -json EXPERIMENTS.tables.json -o EXPERIMENTS.tables.md
 
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecodePayload -fuzztime 30s
@@ -36,6 +36,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# ci mirrors .github/workflows/ci.yml: static checks, build, tests, race
+# detector, and a parallel experiments run that fails on any claim failure.
+ci: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./...
+	$(GO) run ./cmd/experiments -parallel 4 -json experiments.json
 
 clean:
 	$(GO) clean ./...

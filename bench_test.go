@@ -6,6 +6,7 @@
 package nuconsensus_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -275,7 +276,7 @@ func BenchmarkE8(b *testing.B) {
 func BenchmarkE9(b *testing.B) {
 	sc := experiments.Scale{Seeds: 1, MaxSteps: 1000}
 	for i := 0; i < b.N; i++ {
-		if tb := experiments.E9(sc); !tb.Pass {
+		if tb := experiments.Registry["E9"].Run(sc); !tb.Pass {
 			b.Fatalf("E9 failed:\n%s", tb.Render())
 		}
 	}
@@ -285,9 +286,34 @@ func BenchmarkE9(b *testing.B) {
 func BenchmarkE10(b *testing.B) {
 	sc := experiments.Scale{Seeds: 1, MaxSteps: 1000}
 	for i := 0; i < b.N; i++ {
-		if tb := experiments.E10(sc); !tb.Pass {
+		if tb := experiments.Registry["E10"].Run(sc); !tb.Pass {
 			b.Fatalf("E10 failed:\n%s", tb.Render())
 		}
+	}
+}
+
+// BenchmarkAllParallel runs a representative slice of the experiment suite
+// through the worker-pool engine at several pool sizes. Comparing the
+// workers=1 and workers=4 sub-benchmarks gives the parallel speedup on the
+// host; the rendered output is identical at every size, so this measures
+// scheduling only.
+func BenchmarkAllParallel(b *testing.B) {
+	ids := []string{"E1", "E7", "E8", "E9", "E10", "E13", "E15", "Q1", "Q2", "Q7"}
+	sc := experiments.Scale{Seeds: 2, MaxSteps: 20000}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tables, err := experiments.RunIDs(context.Background(), ids, sc, experiments.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, tb := range tables {
+					if !tb.Pass {
+						b.Fatalf("%s failed:\n%s", tb.ID, tb.Render())
+					}
+				}
+			}
+		})
 	}
 }
 

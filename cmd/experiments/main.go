@@ -1,19 +1,28 @@
 // Command experiments regenerates the reproduction tables of EXPERIMENTS.md:
-// one table per theorem/algorithm/scenario of the paper (E1–E10) and per
-// quantitative figure (Q1–Q5).
+// one table per theorem/algorithm/scenario of the paper (E1–E15) and per
+// quantitative figure (Q1–Q7), run on the parallel deterministic engine of
+// internal/experiments.
 //
 // Usage:
 //
-//	experiments [-e E1,Q4] [-full] [-seeds N]
+//	experiments [-e E1,Q4] [-full] [-seeds N] [-parallel N] [-json out.json] [-timeout 5m]
 //
-// With no -e flag, every experiment runs in canonical order. The process
-// exits nonzero if any selected experiment fails its claim.
+// With no -e flag, every experiment runs in canonical order. -parallel sets
+// the worker-pool size (default: all CPUs); the rendered tables on stdout
+// are byte-identical for every worker count. -json additionally writes a
+// machine-readable report (tables, per-row timing, pass verdicts) for CI to
+// archive. -timeout aborts the whole run via context cancellation. The
+// process exits 1 if any selected experiment fails its claim, 2 on usage or
+// runtime errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,20 +30,33 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: parses flags, drives the engine,
+// renders tables, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		sel   = flag.String("e", "", "comma-separated experiment IDs (default: all)")
-		full  = flag.Bool("full", false, "run at full scale (slower, more seeds)")
-		seeds = flag.Int("seeds", 0, "override the number of seeds per configuration")
-		out   = flag.String("o", "", "also write the rendered tables to this file")
+		sel      = fs.String("e", "", "comma-separated experiment IDs (default: all)")
+		full     = fs.Bool("full", false, "run at full scale (slower, more seeds)")
+		seeds    = fs.Int("seeds", 0, "override the number of seeds per configuration")
+		out      = fs.String("o", "", "also write the rendered tables to this file")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "worker-pool size (1 = sequential; output is identical either way)")
+		jsonOut  = fs.String("json", "", "write a machine-readable JSON report to this file")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var fileOut *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		defer f.Close()
 		fileOut = f
@@ -54,19 +76,34 @@ func main() {
 		for _, id := range strings.Split(*sel, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := experiments.Registry[id]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(experiments.IDs(), ", "))
-				os.Exit(2)
+				fmt.Fprintf(stderr, "unknown experiment %q; known: %s\n", id, strings.Join(experiments.IDs(), ", "))
+				return 2
 			}
 			ids = append(ids, id)
 		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	tables, err := experiments.RunIDs(ctx, ids, sc, experiments.Options{Workers: *parallel})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	wall := time.Since(start)
+
 	allPass := true
-	for _, id := range ids {
-		start := time.Now()
-		table := experiments.Registry[id](sc)
-		fmt.Println(table.Render())
-		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	for _, table := range tables {
+		fmt.Fprintln(stdout, table.Render())
+		// Timing goes to stderr so stdout stays byte-identical across runs
+		// and worker counts.
+		fmt.Fprintf(stderr, "(%s took %v of worker time)\n", table.ID, table.Elapsed.Round(time.Millisecond))
 		if fileOut != nil {
 			fmt.Fprintln(fileOut, table.Render())
 		}
@@ -74,8 +111,29 @@ func main() {
 			allPass = false
 		}
 	}
-	if !allPass {
-		fmt.Fprintln(os.Stderr, "FAIL: at least one experiment did not support its claim")
-		os.Exit(1)
+	fmt.Fprintf(stderr, "(%d experiments, %d workers, %v wall)\n", len(tables), *parallel, wall.Round(time.Millisecond))
+
+	if *jsonOut != "" {
+		rep := experiments.NewReport(tables, sc, *parallel, wall)
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
+
+	if !allPass {
+		fmt.Fprintln(stderr, "FAIL: at least one experiment did not support its claim")
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nuconsensus/internal/experiments"
+)
+
+// TestRunUnknownExperiment: an unknown -e ID is a usage error (exit 2).
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-e", "NOPE"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-e NOPE) = %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("stderr missing diagnosis: %s", errb.String())
+	}
+}
+
+// TestRunFailingClaimExitsOne: a failed claim exits 1 and says FAIL. A
+// test-only spec is registered so the check doesn't depend on breaking a
+// real experiment.
+func TestRunFailingClaimExitsOne(t *testing.T) {
+	experiments.Registry["X1"] = &experiments.Spec{
+		ID: "X1", Title: "always fails", Claim: "test-only", Columns: []string{"verdict"},
+		Configs: func(experiments.Scale) []experiments.Config { return []experiments.Config{{}} },
+		Unit: func(_ experiments.Scale, _ experiments.Config, _ *rand.Rand) experiments.UnitResult {
+			return experiments.UnitResult{Counted: true, Fail: true, Cells: []string{"no"}}
+		},
+	}
+	defer delete(experiments.Registry, "X1")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-e", "X1"}, &out, &errb); code != 1 {
+		t.Fatalf("run(-e X1) = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "FAIL") {
+		t.Fatalf("stderr missing FAIL verdict: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "verdict: FAIL") {
+		t.Fatalf("stdout missing rendered FAIL table:\n%s", out.String())
+	}
+}
+
+// TestRunJSONOutput: -json writes a parseable report alongside the rendered
+// stdout tables.
+func TestRunJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-e", "E7", "-parallel", "2", "-json", path}, &out, &errb); code != 0 {
+		t.Fatalf("run(-e E7 -json) = %d (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "## E7") {
+		t.Fatalf("stdout missing rendered table:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if len(rep.Tables) != 1 || rep.Tables[0].ID != "E7" {
+		t.Fatalf("report content wrong: %+v", rep)
+	}
+	if !rep.Pass || rep.Workers != 2 {
+		t.Fatalf("report metadata wrong: pass=%v workers=%d", rep.Pass, rep.Workers)
+	}
+}

@@ -1,8 +1,8 @@
 package experiments
 
 import (
-	"fmt"
 	"math/rand"
+	"strconv"
 
 	"nuconsensus/internal/consensus"
 	"nuconsensus/internal/fd"
@@ -10,198 +10,209 @@ import (
 	"nuconsensus/internal/transform"
 )
 
-// E1 exercises Theorem 6.27: A_nuc solves nonuniform consensus using
+// itoa is the cell formatter for integer columns.
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// e1Spec exercises Theorem 6.27: A_nuc solves nonuniform consensus using
 // (Ω, Σν+) in any environment — here swept over n, every number of
 // failures f (including f ≥ n/2, where majority-based algorithms are
 // stuck), randomized crash times and detector noise.
-func E1(sc Scale) Table {
-	t := Table{
-		ID:    "E1",
-		Title: "A_nuc solves nonuniform consensus with (Ω, Σν+)",
-		Claim: "Theorem 6.27: in any environment, every admissible run of A_nuc " +
-			"using (Ω, Σν+) satisfies termination, validity and nonuniform agreement.",
-		Columns: []string{"n", "f", "runs", "ok", "avg steps", "avg rounds", "avg msgs"},
-		Pass:    true,
-	}
-	for _, n := range []int{3, 4, 5, 6, 7} {
-		for f := 0; f < n; f++ {
-			var runs, ok, steps, rounds, msgs int
-			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
-				rng := rand.New(rand.NewSource(seed*1000 + int64(n*10+f)))
-				pattern := randomPattern(n, f, 80, rng)
-				hist := fd.PairHistory{
-					First:  fd.NewOmega(pattern, 120, seed),
-					Second: fd.NewSigmaNuPlus(pattern, 120, seed),
-				}
-				r, err := runConsensus(consensus.NewANuc(mixedProposals(n, rng)), pattern, hist, seed, sc.MaxSteps)
-				runs++
-				if err == nil && r.Decided && r.Outcome.NonuniformConsensus(pattern) == nil {
-					ok++
-				} else {
-					t.Pass = false
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: decided=%v err=%v consensus=%v",
-						n, f, seed, r.Decided, err, r.Outcome.NonuniformConsensus(pattern)))
-				}
-				steps += r.Steps
-				rounds += r.MaxRound
-				msgs += r.Sent
+var e1Spec = &Spec{
+	ID:    "E1",
+	Title: "A_nuc solves nonuniform consensus with (Ω, Σν+)",
+	Claim: "Theorem 6.27: in any environment, every admissible run of A_nuc " +
+		"using (Ω, Σν+) satisfies termination, validity and nonuniform agreement.",
+	Columns: []string{"n", "f", "runs", "ok", "avg steps", "avg rounds", "avg msgs"},
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for _, n := range []int{3, 4, 5, 6, 7} {
+			for f := 0; f < n; f++ {
+				cfgs = append(cfgs, seedRange(Config{N: n, F: f}, sc.Seeds)...)
 			}
-			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f), fmt.Sprintf("%d", runs),
-				fmt.Sprintf("%d", ok), avg(steps, runs), avg(rounds, runs), avg(msgs, runs))
 		}
-	}
-	return t
+		return cfgs
+	},
+	Unit: func(sc Scale, cfg Config, rng *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		pattern := randomPattern(cfg.N, cfg.F, 80, rng)
+		hist := fd.PairHistory{
+			First:  fd.NewOmega(pattern, 120, cfg.Seed),
+			Second: fd.NewSigmaNuPlus(pattern, 120, cfg.Seed),
+		}
+		r, err := runConsensus(consensus.NewANuc(mixedProposals(cfg.N, rng)), pattern, hist, cfg.Seed, sc.MaxSteps)
+		if err == nil && r.Decided && r.Outcome.NonuniformConsensus(pattern) == nil {
+			u.OK = true
+		} else {
+			u.failf("n=%d f=%d seed=%d: decided=%v err=%v consensus=%v",
+				cfg.N, cfg.F, cfg.Seed, r.Decided, err, r.Outcome.NonuniformConsensus(pattern))
+		}
+		u.Add("steps", r.Steps)
+		u.Add("rounds", r.MaxRound)
+		u.Add("msgs", r.Sent)
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		return []string{itoa(g.Key.N), itoa(g.Key.F), itoa(g.Runs()), itoa(g.OKs()),
+			g.Avg("steps"), g.Avg("rounds"), g.Avg("msgs")}
+	},
 }
 
-// E2 exercises Theorems 6.28/6.29: (Ω, Σν) suffices end to end — A_nuc
+// e2Spec exercises Theorems 6.28/6.29: (Ω, Σν) suffices end to end — A_nuc
 // composed with T_{Σν→Σν+}, driven by adversarial Σν histories whose
 // faulty modules emit junk quorums.
-func E2(sc Scale) Table {
-	t := Table{
-		ID:    "E2",
-		Title: "(Ω, Σν) solves nonuniform consensus via T_{Σν→Σν+} ∘ A_nuc",
-		Claim: "Theorem 6.28: running T_{Σν→Σν+} concurrently with A_nuc solves " +
-			"nonuniform consensus with (Ω, Σν) in any environment.",
-		Columns: []string{"n", "f", "runs", "ok", "avg steps", "avg rounds"},
-		Pass:    true,
-	}
-	seeds := min(sc.Seeds, 3) // DAG-based runs are quadratic in steps
-	for _, n := range []int{3, 4, 5} {
-		for _, f := range []int{0, 1, n - 1} {
-			var runs, ok, steps, rounds int
-			for seed := int64(1); seed <= int64(seeds); seed++ {
-				rng := rand.New(rand.NewSource(seed*2000 + int64(n*10+f)))
-				pattern := randomPattern(n, f, 60, rng)
-				hist := fd.PairHistory{
-					First:  fd.NewOmega(pattern, 100, seed),
-					Second: fd.NewSigmaNu(pattern, 100, seed),
-				}
-				aut := transform.NewComposed(
-					transform.NewSigmaNuPlusTransformer(n),
-					consensus.NewANuc(mixedProposals(n, rng)),
-				)
-				r, err := runConsensus(aut, pattern, hist, seed, min(sc.MaxSteps, 6000))
-				runs++
-				if err == nil && r.Decided && r.Outcome.NonuniformConsensus(pattern) == nil {
-					ok++
-				} else {
-					t.Pass = false
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: decided=%v err=%v consensus=%v",
-						n, f, seed, r.Decided, err, r.Outcome.NonuniformConsensus(pattern)))
-				}
-				steps += r.Steps
-				rounds += r.MaxRound
+var e2Spec = &Spec{
+	ID:    "E2",
+	Title: "(Ω, Σν) solves nonuniform consensus via T_{Σν→Σν+} ∘ A_nuc",
+	Claim: "Theorem 6.28: running T_{Σν→Σν+} concurrently with A_nuc solves " +
+		"nonuniform consensus with (Ω, Σν) in any environment.",
+	Columns: []string{"n", "f", "runs", "ok", "avg steps", "avg rounds"},
+	Configs: func(sc Scale) []Config {
+		seeds := min(sc.Seeds, 3) // DAG-based runs are quadratic in steps
+		var cfgs []Config
+		for _, n := range []int{3, 4, 5} {
+			for _, f := range []int{0, 1, n - 1} {
+				cfgs = append(cfgs, seedRange(Config{N: n, F: f}, seeds)...)
 			}
-			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f), fmt.Sprintf("%d", runs),
-				fmt.Sprintf("%d", ok), avg(steps, runs), avg(rounds, runs))
 		}
-	}
-	return t
+		return cfgs
+	},
+	Unit: func(sc Scale, cfg Config, rng *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		pattern := randomPattern(cfg.N, cfg.F, 60, rng)
+		hist := fd.PairHistory{
+			First:  fd.NewOmega(pattern, 100, cfg.Seed),
+			Second: fd.NewSigmaNu(pattern, 100, cfg.Seed),
+		}
+		aut := transform.NewComposed(
+			transform.NewSigmaNuPlusTransformer(cfg.N),
+			consensus.NewANuc(mixedProposals(cfg.N, rng)),
+		)
+		r, err := runConsensus(aut, pattern, hist, cfg.Seed, min(sc.MaxSteps, 6000))
+		if err == nil && r.Decided && r.Outcome.NonuniformConsensus(pattern) == nil {
+			u.OK = true
+		} else {
+			u.failf("n=%d f=%d seed=%d: decided=%v err=%v consensus=%v",
+				cfg.N, cfg.F, cfg.Seed, r.Decided, err, r.Outcome.NonuniformConsensus(pattern))
+		}
+		u.Add("steps", r.Steps)
+		u.Add("rounds", r.MaxRound)
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		return []string{itoa(g.Key.N), itoa(g.Key.F), itoa(g.Runs()), itoa(g.OKs()),
+			g.Avg("steps"), g.Avg("rounds")}
+	},
 }
 
-// Q1 measures decision latency (steps and rounds until every correct
+// q1Spec measures decision latency (steps and rounds until every correct
 // process decides) for A_nuc vs the Mostéfaoui–Raynal baselines, at
 // minority failures (all three run) and at f = n−1 (only the
 // quorum-failure-detector algorithms terminate; MR-majority blocks, which
 // is the separation the paper's "any environment" claim is about).
-func Q1(sc Scale) Table {
-	t := Table{
-		ID:    "Q1",
-		Title: "Decision latency vs n and f: A_nuc vs MR-majority vs MR-Σ",
-		Claim: "§6.3: A_nuc pays extra rounds/messages over MR for nonuniformity " +
-			"defenses; MR-majority cannot terminate once f ≥ n/2 while A_nuc and MR-Σ can.",
-		Columns: []string{"n", "f", "A_nuc steps", "A_nuc rounds", "MR-maj steps", "MR-Σ steps"},
-		Pass:    true,
-	}
-	for _, n := range []int{3, 5, 7, 9, 11} {
-		for _, f := range []int{(n - 1) / 2, n - 1} {
-			var aSteps, aRounds, aN int
-			var mSteps, mN int
-			var sSteps, sN int
-			majorityWorks := 2*f < n
-			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
-				rng := rand.New(rand.NewSource(seed*3000 + int64(n*100+f)))
-				pattern := randomPattern(n, f, 60, rng)
-				props := mixedProposals(n, rng)
-				pairNuPlus := fd.PairHistory{First: fd.NewOmega(pattern, 100, seed), Second: fd.NewSigmaNuPlus(pattern, 100, seed)}
-				pairSigma := fd.PairHistory{First: fd.NewOmega(pattern, 100, seed), Second: fd.NewSigma(pattern, 100, seed)}
-
-				if r, err := runConsensus(consensus.NewANuc(props), pattern, pairNuPlus, seed, sc.MaxSteps); err == nil && r.Decided {
-					aSteps += r.Steps
-					aRounds += r.MaxRound
-					aN++
-				} else {
-					t.Pass = false
-				}
-				if majorityWorks {
-					if r, err := runConsensus(consensus.NewMRMajority(props), pattern, pairSigma, seed, sc.MaxSteps); err == nil && r.Decided {
-						mSteps += r.Steps
-						mN++
-					} else {
-						t.Pass = false
-					}
-				}
-				if r, err := runConsensus(consensus.NewMRSigma(props), pattern, pairSigma, seed, sc.MaxSteps); err == nil && r.Decided {
-					sSteps += r.Steps
-					sN++
-				} else {
-					t.Pass = false
-				}
+var q1Spec = &Spec{
+	ID:    "Q1",
+	Title: "Decision latency vs n and f: A_nuc vs MR-majority vs MR-Σ",
+	Claim: "§6.3: A_nuc pays extra rounds/messages over MR for nonuniformity " +
+		"defenses; MR-majority cannot terminate once f ≥ n/2 while A_nuc and MR-Σ can.",
+	Columns: []string{"n", "f", "A_nuc steps", "A_nuc rounds", "MR-maj steps", "MR-Σ steps"},
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for _, n := range []int{3, 5, 7, 9, 11} {
+			for _, f := range []int{(n - 1) / 2, n - 1} {
+				cfgs = append(cfgs, seedRange(Config{N: n, F: f}, sc.Seeds)...)
 			}
-			mCell := "blocks (f ≥ n/2)"
-			if majorityWorks {
-				mCell = avg(mSteps, mN)
-			}
-			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f),
-				avg(aSteps, aN), avg(aRounds, aN), mCell, avg(sSteps, sN))
 		}
-	}
-	return t
+		return cfgs
+	},
+	Unit: func(sc Scale, cfg Config, rng *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		n, f := cfg.N, cfg.F
+		majorityWorks := 2*f < n
+		pattern := randomPattern(n, f, 60, rng)
+		props := mixedProposals(n, rng)
+		pairNuPlus := fd.PairHistory{First: fd.NewOmega(pattern, 100, cfg.Seed), Second: fd.NewSigmaNuPlus(pattern, 100, cfg.Seed)}
+		pairSigma := fd.PairHistory{First: fd.NewOmega(pattern, 100, cfg.Seed), Second: fd.NewSigma(pattern, 100, cfg.Seed)}
+
+		if r, err := runConsensus(consensus.NewANuc(props), pattern, pairNuPlus, cfg.Seed, sc.MaxSteps); err == nil && r.Decided {
+			u.Add("aSteps", r.Steps)
+			u.Add("aRounds", r.MaxRound)
+			u.Add("aN", 1)
+		} else {
+			u.Fail = true
+		}
+		if majorityWorks {
+			if r, err := runConsensus(consensus.NewMRMajority(props), pattern, pairSigma, cfg.Seed, sc.MaxSteps); err == nil && r.Decided {
+				u.Add("mSteps", r.Steps)
+				u.Add("mN", 1)
+			} else {
+				u.Fail = true
+			}
+		}
+		if r, err := runConsensus(consensus.NewMRSigma(props), pattern, pairSigma, cfg.Seed, sc.MaxSteps); err == nil && r.Decided {
+			u.Add("sSteps", r.Steps)
+			u.Add("sN", 1)
+		} else {
+			u.Fail = true
+		}
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		mCell := "blocks (f ≥ n/2)"
+		if 2*g.Key.F < g.Key.N {
+			mCell = avg(g.Sum("mSteps"), g.Sum("mN"))
+		}
+		return []string{itoa(g.Key.N), itoa(g.Key.F),
+			avg(g.Sum("aSteps"), g.Sum("aN")), avg(g.Sum("aRounds"), g.Sum("aN")),
+			mCell, avg(g.Sum("sSteps"), g.Sum("sN"))}
+	},
 }
 
-// Q2 measures message complexity per decision by payload kind, showing the
-// SAW/ACK overhead A_nuc pays for the quorum-awareness property.
-func Q2(sc Scale) Table {
-	t := Table{
-		ID:    "Q2",
-		Title: "Messages per decided run, by kind (A_nuc vs MR-Σ)",
-		Claim: "§6.3: A_nuc adds the SAW/ACK quorum-awareness traffic and history " +
-			"piggybacking on top of MR's LEAD/REP/PROP pattern.",
-		Columns: []string{"algorithm", "n", "LEAD", "REP", "PROP", "SAW", "ACK", "total"},
-		Pass:    true,
-	}
-	for _, n := range []int{3, 5, 7, 9} {
-		for _, alg := range []string{"A_nuc", "MR-Σ"} {
-			kinds := map[string]int{}
-			total, runs := 0, 0
-			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
-				rng := rand.New(rand.NewSource(seed*4000 + int64(n)))
-				pattern := randomPattern(n, (n-1)/2, 60, rng)
-				props := mixedProposals(n, rng)
-				var aut model.Automaton
-				var hist model.History
-				if alg == "A_nuc" {
-					aut = consensus.NewANuc(props)
-					hist = fd.PairHistory{First: fd.NewOmega(pattern, 100, seed), Second: fd.NewSigmaNuPlus(pattern, 100, seed)}
-				} else {
-					aut = consensus.NewMRSigma(props)
-					hist = fd.PairHistory{First: fd.NewOmega(pattern, 100, seed), Second: fd.NewSigma(pattern, 100, seed)}
-				}
-				r, err := runConsensus(aut, pattern, hist, seed, sc.MaxSteps)
-				if err != nil || !r.Decided {
-					t.Pass = false
-					continue
-				}
-				for k, v := range r.Kinds {
-					kinds[k] += v
-				}
-				total += r.Sent
-				runs++
+// q2Spec measures message complexity per decision by payload kind, showing
+// the SAW/ACK overhead A_nuc pays for the quorum-awareness property.
+var q2Spec = &Spec{
+	ID:    "Q2",
+	Title: "Messages per decided run, by kind (A_nuc vs MR-Σ)",
+	Claim: "§6.3: A_nuc adds the SAW/ACK quorum-awareness traffic and history " +
+		"piggybacking on top of MR's LEAD/REP/PROP pattern.",
+	Columns: []string{"algorithm", "n", "LEAD", "REP", "PROP", "SAW", "ACK", "total"},
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for _, n := range []int{3, 5, 7, 9} {
+			for _, alg := range []string{"A_nuc", "MR-Σ"} {
+				cfgs = append(cfgs, seedRange(Config{Label: alg, N: n}, sc.Seeds)...)
 			}
-			t.AddRow(alg, fmt.Sprintf("%d", n),
-				avg(kinds["LEAD"], runs), avg(kinds["REP"], runs), avg(kinds["PROP"], runs),
-				avg(kinds["SAW"], runs), avg(kinds["ACK"], runs), avg(total, runs))
 		}
-	}
-	return t
+		return cfgs
+	},
+	Unit: func(sc Scale, cfg Config, rng *rand.Rand) UnitResult {
+		var u UnitResult
+		n := cfg.N
+		pattern := randomPattern(n, (n-1)/2, 60, rng)
+		props := mixedProposals(n, rng)
+		var aut model.Automaton
+		var hist model.History
+		if cfg.Label == "A_nuc" {
+			aut = consensus.NewANuc(props)
+			hist = fd.PairHistory{First: fd.NewOmega(pattern, 100, cfg.Seed), Second: fd.NewSigmaNuPlus(pattern, 100, cfg.Seed)}
+		} else {
+			aut = consensus.NewMRSigma(props)
+			hist = fd.PairHistory{First: fd.NewOmega(pattern, 100, cfg.Seed), Second: fd.NewSigma(pattern, 100, cfg.Seed)}
+		}
+		r, err := runConsensus(aut, pattern, hist, cfg.Seed, sc.MaxSteps)
+		if err != nil || !r.Decided {
+			u.Fail = true
+			return u
+		}
+		u.Counted, u.OK = true, true
+		for k, v := range r.Kinds {
+			u.Add(k, v)
+		}
+		u.Add("total", r.Sent)
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		return []string{g.Key.Label, itoa(g.Key.N),
+			g.Avg("LEAD"), g.Avg("REP"), g.Avg("PROP"),
+			g.Avg("SAW"), g.Avg("ACK"), g.Avg("total")}
+	},
 }

@@ -55,139 +55,172 @@ func (a contaminationAdversary) sigmaNuPlusHistory(pattern *model.FailurePattern
 	}
 }
 
-// huntResult counts outcomes of a randomized contamination hunt.
-type huntResult struct {
-	runs, violations, undecided int
-}
-
-// hunt runs the adversary against an algorithm across seeds and counts
-// nonuniform-agreement violations.
-func hunt(adv contaminationAdversary, build func(props []int) model.Automaton, history func(*model.FailurePattern, int64) model.History, seeds, maxSteps int) huntResult {
-	var res huntResult
-	for seed := int64(1); seed <= int64(seeds); seed++ {
-		rng := rand.New(rand.NewSource(seed * 911))
-		pattern := adv.pattern()
-		props := make([]int, adv.n)
-		props[adv.misleader] = 1 // the faulty process's divergent estimate
-		for i := range props {
-			if model.ProcessID(i) != adv.misleader {
-				props[i] = 0
-			}
-		}
-		_ = rng
-		r, err := runConsensus(build(props), pattern, history(pattern, seed), seed, maxSteps)
-		if err != nil {
-			continue
-		}
-		res.runs++
-		if r.Outcome.NonuniformAgreement(pattern) != nil {
-			res.violations++
-		}
-		if !r.Decided {
-			res.undecided++
-		}
+// huntSeed runs the adversary against an algorithm for one seed and records
+// the outcome on u as the counters "runs", "viol" and "undec". Runs that
+// error out are not counted — exactly the accounting of the old sequential
+// hunt loop, just one seed at a time so the engine can fan seeds out.
+func huntSeed(u *UnitResult, adv contaminationAdversary, build func(props []int) model.Automaton, history func(*model.FailurePattern, int64) model.History, seed int64, maxSteps int) {
+	pattern := adv.pattern()
+	props := make([]int, adv.n)
+	props[adv.misleader] = 1 // the faulty process's divergent estimate
+	r, err := runConsensus(build(props), pattern, history(pattern, seed), seed, maxSteps)
+	if err != nil {
+		return
 	}
-	return res
+	u.Add("runs", 1)
+	if r.Outcome.NonuniformAgreement(pattern) != nil {
+		u.Add("viol", 1)
+	}
+	if !r.Decided {
+		u.Add("undec", 1)
+	}
 }
 
-// E6 stages the contamination scenario of §6.3: the naive Mostéfaoui–
+// e6Adversary is the fixed adversary of E6 (and the Q5 ablations).
+var e6Adversary = contaminationAdversary{n: 3, misleader: 2, period: 40, stabilize: 280}
+
+// buildNaive and buildBoostedANuc are the two contestants of E6/Q4.
+func buildNaive(props []int) model.Automaton { return consensus.NewMRNaiveNu(props) }
+
+func buildBoostedANuc(n int) func(props []int) model.Automaton {
+	return func(props []int) model.Automaton {
+		return transform.NewComposed(transform.NewSigmaNuPlusTransformer(n), consensus.NewANuc(props))
+	}
+}
+
+// e6Spec stages the contamination scenario of §6.3: the naive Mostéfaoui–
 // Raynal adaptation with Σν quorums violates nonuniform agreement under
 // the adversary, while A_nuc (composed with T_{Σν→Σν+} per Theorem 6.28)
 // never does on the same histories.
-func E6(sc Scale) Table {
-	t := Table{
-		ID:    "E6",
-		Title: "Contamination: naive MR+Σν violates agreement; A_nuc does not",
-		Claim: "§6.3: replacing majorities by Σν quorums in MR admits contamination " +
-			"(a correct process adopts a faulty process's estimate after another " +
-			"correct process decided differently); A_nuc's distrust + quorum-awareness " +
-			"machinery prevents it.",
-		Columns: []string{"algorithm", "runs", "agreement violations", "undecided"},
-	}
-	adv := contaminationAdversary{n: 3, misleader: 2, period: 40, stabilize: 280}
-	seeds := sc.Seeds * 10
-
-	naive := hunt(adv, func(props []int) model.Automaton { return consensus.NewMRNaiveNu(props) },
-		adv.sigmaNuHistory, seeds, 20000)
-	t.AddRow("MR-naiveΣν", fmt.Sprintf("%d", naive.runs), fmt.Sprintf("%d", naive.violations), fmt.Sprintf("%d", naive.undecided))
-
-	anuc := hunt(adv, func(props []int) model.Automaton {
-		return transform.NewComposed(transform.NewSigmaNuPlusTransformer(adv.n), consensus.NewANuc(props))
-	}, adv.sigmaNuHistory, seeds, 8000)
-	t.AddRow("T_{Σν→Σν+}∘A_nuc", fmt.Sprintf("%d", anuc.runs), fmt.Sprintf("%d", anuc.violations), fmt.Sprintf("%d", anuc.undecided))
-
-	t.Pass = naive.violations > 0 && anuc.violations == 0 && anuc.undecided == 0
-	if naive.violations == 0 {
-		t.Notes = append(t.Notes, "hunt failed to exhibit the naive algorithm's contamination — adversary too weak")
-	}
-	return t
+var e6Spec = &Spec{
+	ID:    "E6",
+	Title: "Contamination: naive MR+Σν violates agreement; A_nuc does not",
+	Claim: "§6.3: replacing majorities by Σν quorums in MR admits contamination " +
+		"(a correct process adopts a faulty process's estimate after another " +
+		"correct process decided differently); A_nuc's distrust + quorum-awareness " +
+		"machinery prevents it.",
+	Columns: []string{"algorithm", "runs", "agreement violations", "undecided"},
+	Configs: func(sc Scale) []Config {
+		seeds := sc.Seeds * 10
+		var cfgs []Config
+		cfgs = append(cfgs, seedRange(Config{Label: "MR-naiveΣν"}, seeds)...)
+		cfgs = append(cfgs, seedRange(Config{Label: "T_{Σν→Σν+}∘A_nuc"}, seeds)...)
+		return cfgs
+	},
+	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+		var u UnitResult
+		adv := e6Adversary
+		if cfg.Label == "MR-naiveΣν" {
+			huntSeed(&u, adv, buildNaive, adv.sigmaNuHistory, cfg.Seed, 20000)
+		} else {
+			huntSeed(&u, adv, buildBoostedANuc(adv.n), adv.sigmaNuHistory, cfg.Seed, 8000)
+		}
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		return []string{g.Key.Label, itoa(g.Sum("runs")), itoa(g.Sum("viol")), itoa(g.Sum("undec"))}
+	},
+	Finalize: func(_ Scale, t *Table, gs []Group) {
+		naive, anuc := gs[0], gs[1]
+		t.Pass = naive.Sum("viol") > 0 && anuc.Sum("viol") == 0 && anuc.Sum("undec") == 0
+		if naive.Sum("viol") == 0 {
+			t.Notes = append(t.Notes, "hunt failed to exhibit the naive algorithm's contamination — adversary too weak")
+		}
+	},
 }
 
-// Q4 sweeps the adversary's Ω swing period and reports contamination
+// q4Spec sweeps the adversary's Ω swing period and reports contamination
 // frequency for the naive algorithm vs A_nuc.
-func Q4(sc Scale) Table {
-	t := Table{
-		ID:    "Q4",
-		Title: "Contamination frequency vs adversary swing period",
-		Claim: "§6.3: contamination is a scheduling/detector-timing phenomenon — its " +
-			"frequency in the naive algorithm varies with the adversary, while A_nuc " +
-			"stays at zero violations for every adversary.",
-		Columns: []string{"Ω swing period", "naive violations/runs", "A_nuc violations/runs"},
-		Pass:    true,
-	}
-	seeds := sc.Seeds * 7
-	for _, period := range []model.Time{15, 40, 80, 140} {
-		adv := contaminationAdversary{n: 3, misleader: 2, period: period, stabilize: 280}
-		naive := hunt(adv, func(props []int) model.Automaton { return consensus.NewMRNaiveNu(props) },
-			adv.sigmaNuHistory, seeds, 20000)
-		anuc := hunt(adv, func(props []int) model.Automaton {
-			return transform.NewComposed(transform.NewSigmaNuPlusTransformer(adv.n), consensus.NewANuc(props))
-		}, adv.sigmaNuHistory, seeds, 8000)
-		if anuc.violations > 0 {
-			t.Pass = false
+var q4Spec = &Spec{
+	ID:    "Q4",
+	Title: "Contamination frequency vs adversary swing period",
+	Claim: "§6.3: contamination is a scheduling/detector-timing phenomenon — its " +
+		"frequency in the naive algorithm varies with the adversary, while A_nuc " +
+		"stays at zero violations for every adversary.",
+	Columns: []string{"Ω swing period", "naive violations/runs", "A_nuc violations/runs"},
+	Configs: func(sc Scale) []Config {
+		seeds := sc.Seeds * 7
+		var cfgs []Config
+		for _, period := range []int{15, 40, 80, 140} {
+			for _, alg := range []string{"naive", "anuc"} {
+				cfgs = append(cfgs, seedRange(Config{Label: alg, Arg: period}, seeds)...)
+			}
 		}
-		t.AddRow(fmt.Sprintf("%d", period),
-			fmt.Sprintf("%d/%d", naive.violations, naive.runs),
-			fmt.Sprintf("%d/%d", anuc.violations, anuc.runs))
-	}
-	return t
+		return cfgs
+	},
+	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+		var u UnitResult
+		adv := contaminationAdversary{n: 3, misleader: 2, period: model.Time(cfg.Arg), stabilize: 280}
+		if cfg.Label == "naive" {
+			huntSeed(&u, adv, buildNaive, adv.sigmaNuHistory, cfg.Seed, 20000)
+		} else {
+			huntSeed(&u, adv, buildBoostedANuc(adv.n), adv.sigmaNuHistory, cfg.Seed, 8000)
+			if u.Metrics["viol"] > 0 {
+				u.Fail = true
+			}
+		}
+		return u
+	},
+	Row: nil, // rows assembled in Finalize: one per period, spanning both groups
+	Finalize: func(_ Scale, t *Table, gs []Group) {
+		// Groups alternate naive/anuc per period, in config order.
+		for i := 0; i+1 < len(gs); i += 2 {
+			naive, anuc := gs[i], gs[i+1]
+			t.AddRow(itoa(naive.Key.Arg),
+				fmt.Sprintf("%d/%d", naive.Sum("viol"), naive.Sum("runs")),
+				fmt.Sprintf("%d/%d", anuc.Sum("viol"), anuc.Sum("runs")))
+		}
+	},
 }
 
-// Q5 ablates A_nuc's machinery and reports which consensus property breaks
-// under the contamination adversary, plus the freshness-barrier ablation's
-// effect on the Σν+ transformer.
-func Q5(sc Scale) Table {
-	t := Table{
-		ID:    "Q5",
-		Title: "Ablations: which defense prevents which failure",
-		Claim: "§6.3's design discussion: the distrust rule blocks estimate " +
-			"contamination; the seen-gate (quorum awareness, Lemma 6.24) gates " +
-			"decisions on quorum visibility. Removing defenses must not be safe.",
-		Columns: []string{"variant", "runs", "agreement violations", "undecided"},
-		Pass:    true,
-	}
-	adv := contaminationAdversary{n: 3, misleader: 2, period: 40, stabilize: 280}
-	seeds := sc.Seeds * 10
-	variants := []struct {
-		name string
-		ab   consensus.Ablation
-	}{
-		{"A_nuc (full)", consensus.Ablation{}},
-		{"A_nuc −distrust", consensus.Ablation{NoDistrust: true}},
-		{"A_nuc −seen-gate", consensus.Ablation{NoSeenGate: true}},
-		{"A_nuc −both", consensus.Ablation{NoDistrust: true, NoSeenGate: true}},
-	}
-	for _, v := range variants {
-		ab := v.ab
-		res := hunt(adv, func(props []int) model.Automaton {
-			return consensus.NewANucAblated(props, ab)
-		}, adv.sigmaNuPlusHistory, seeds, 20000)
-		t.AddRow(v.name, fmt.Sprintf("%d", res.runs), fmt.Sprintf("%d", res.violations), fmt.Sprintf("%d", res.undecided))
-		if v.name == "A_nuc (full)" && (res.violations > 0 || res.undecided > 0) {
-			t.Pass = false
+// q5Variants are the A_nuc ablations exercised by Q5.
+var q5Variants = []struct {
+	name string
+	ab   consensus.Ablation
+}{
+	{"A_nuc (full)", consensus.Ablation{}},
+	{"A_nuc −distrust", consensus.Ablation{NoDistrust: true}},
+	{"A_nuc −seen-gate", consensus.Ablation{NoSeenGate: true}},
+	{"A_nuc −both", consensus.Ablation{NoDistrust: true, NoSeenGate: true}},
+}
+
+// q5Spec ablates A_nuc's machinery and reports which consensus property
+// breaks under the contamination adversary, plus the freshness-barrier
+// ablation's effect on the Σν+ transformer.
+var q5Spec = &Spec{
+	ID:    "Q5",
+	Title: "Ablations: which defense prevents which failure",
+	Claim: "§6.3's design discussion: the distrust rule blocks estimate " +
+		"contamination; the seen-gate (quorum awareness, Lemma 6.24) gates " +
+		"decisions on quorum visibility. Removing defenses must not be safe.",
+	Columns: []string{"variant", "runs", "agreement violations", "undecided"},
+	Configs: func(sc Scale) []Config {
+		seeds := sc.Seeds * 10
+		var cfgs []Config
+		for i, v := range q5Variants {
+			cfgs = append(cfgs, seedRange(Config{Label: v.name, Arg: i}, seeds)...)
 		}
-	}
-	t.Notes = append(t.Notes,
-		"the full algorithm must show zero violations; ablated variants document the observed failure mode under this adversary (absence of violations for an ablation means this particular adversary does not exercise that defense)")
-	return t
+		return cfgs
+	},
+	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+		var u UnitResult
+		adv := e6Adversary
+		ab := q5Variants[cfg.Arg].ab
+		huntSeed(&u, adv, func(props []int) model.Automaton {
+			return consensus.NewANucAblated(props, ab)
+		}, adv.sigmaNuPlusHistory, cfg.Seed, 20000)
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		return []string{g.Key.Label, itoa(g.Sum("runs")), itoa(g.Sum("viol")), itoa(g.Sum("undec"))}
+	},
+	Finalize: func(_ Scale, t *Table, gs []Group) {
+		for _, g := range gs {
+			if g.Key.Label == "A_nuc (full)" && (g.Sum("viol") > 0 || g.Sum("undec") > 0) {
+				t.Pass = false
+			}
+		}
+		t.Notes = append(t.Notes,
+			"the full algorithm must show zero violations; ablated variants document the observed failure mode under this adversary (absence of violations for an ablation means this particular adversary does not exercise that defense)")
+	},
 }

@@ -1,86 +1,88 @@
 package experiments
 
 import (
-	"fmt"
+	"math/rand"
 
 	"nuconsensus/internal/consensus"
 	"nuconsensus/internal/fd"
 	"nuconsensus/internal/model"
 )
 
-// E15 exercises the Chandra–Toueg baseline (the paper's reference [2]):
+// e15Spec exercises the Chandra–Toueg baseline (the paper's reference [2]):
 // ◇S plus a correct majority solves uniform consensus; without the
 // majority the algorithm (correctly) blocks. Alongside Q1 it completes the
 // baseline picture: majority algorithms (MR-Ω, CT-◇S) stop at f < n/2,
 // quorum-detector algorithms (MR-Σ, A_nuc) cover every f < n.
-func E15(sc Scale) Table {
-	t := Table{
-		ID:    "E15",
-		Title: "Chandra–Toueg (◇S + majority) baseline",
-		Claim: "[2]: the rotating-coordinator algorithm solves uniform consensus " +
-			"with ◇S when a majority is correct — and cannot terminate otherwise.",
-		Columns: []string{"n", "f", "runs", "ok", "avg steps", "avg rounds"},
-		Pass:    true,
-	}
-	for _, n := range []int{3, 5, 7} {
-		for _, f := range []int{0, (n - 1) / 2, (n + 1) / 2} {
-			majorityOK := 2*f < n
-			var runs, ok, steps, rounds int
-			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
-				pattern := model.NewFailurePattern(n)
-				for i := 0; i < f; i++ {
-					crashAt := model.Time(10 + 11*i)
-					if !majorityOK {
-						// The blocking claim needs the majority to be gone
-						// from the start: with late crashes a round can
-						// legitimately finish before they happen.
-						crashAt = 1
-					}
-					pattern.SetCrash(model.ProcessID(i), crashAt)
-				}
-				props := make([]int, n)
-				for i := range props {
-					props[i] = i % 2
-				}
-				budget := sc.MaxSteps
-				if !majorityOK {
-					budget = 4000 // expecting a block, keep it cheap
-				}
-				r, err := runConsensus(consensus.NewCT(props), pattern,
-					fd.NewSuspicion(pattern, 90, seed), seed, budget)
-				runs++
-				if err != nil {
-					t.Pass = false
-					continue
-				}
-				if majorityOK {
-					if r.Decided && r.Outcome.UniformConsensus(pattern) == nil {
-						ok++
-						steps += r.Steps
-						rounds += r.MaxRound
-					} else {
-						t.Pass = false
-						t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: decided=%v %v",
-							n, f, seed, r.Decided, r.Outcome.UniformConsensus(pattern)))
-					}
-				} else {
-					// Correct behavior is to block, never to decide wrongly.
-					if !r.Decided && r.Outcome.UniformAgreement() == nil {
-						ok++
-					} else {
-						t.Pass = false
-						t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: decided without a majority", n, f, seed))
-					}
-				}
+var e15Spec = &Spec{
+	ID:    "E15",
+	Title: "Chandra–Toueg (◇S + majority) baseline",
+	Claim: "[2]: the rotating-coordinator algorithm solves uniform consensus " +
+		"with ◇S when a majority is correct — and cannot terminate otherwise.",
+	Columns: []string{"n", "f", "runs", "ok", "avg steps", "avg rounds"},
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for _, n := range []int{3, 5, 7} {
+			for _, f := range []int{0, (n - 1) / 2, (n + 1) / 2} {
+				cfgs = append(cfgs, seedRange(Config{N: n, F: f}, sc.Seeds)...)
 			}
-			cell := avg(steps, ok)
-			roundCell := avg(rounds, ok)
-			if !majorityOK {
-				cell, roundCell = "blocks (f ≥ n/2)", "—"
-			}
-			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f), fmt.Sprintf("%d", runs),
-				fmt.Sprintf("%d", ok), cell, roundCell)
 		}
-	}
-	return t
+		return cfgs
+	},
+	Unit: func(sc Scale, cfg Config, _ *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		n, f, seed := cfg.N, cfg.F, cfg.Seed
+		majorityOK := 2*f < n
+		pattern := model.NewFailurePattern(n)
+		for i := 0; i < f; i++ {
+			crashAt := model.Time(10 + 11*i)
+			if !majorityOK {
+				// The blocking claim needs the majority to be gone from the
+				// start: with late crashes a round can legitimately finish
+				// before they happen.
+				crashAt = 1
+			}
+			pattern.SetCrash(model.ProcessID(i), crashAt)
+		}
+		props := make([]int, n)
+		for i := range props {
+			props[i] = i % 2
+		}
+		budget := sc.MaxSteps
+		if !majorityOK {
+			budget = 4000 // expecting a block, keep it cheap
+		}
+		r, err := runConsensus(consensus.NewCT(props), pattern,
+			fd.NewSuspicion(pattern, 90, seed), seed, budget)
+		if err != nil {
+			u.Fail = true
+			return u
+		}
+		if majorityOK {
+			if r.Decided && r.Outcome.UniformConsensus(pattern) == nil {
+				u.OK = true
+				u.Add("steps", r.Steps)
+				u.Add("rounds", r.MaxRound)
+			} else {
+				u.failf("n=%d f=%d seed=%d: decided=%v %v",
+					n, f, seed, r.Decided, r.Outcome.UniformConsensus(pattern))
+			}
+		} else {
+			// Correct behavior is to block, never to decide wrongly.
+			if !r.Decided && r.Outcome.UniformAgreement() == nil {
+				u.OK = true
+			} else {
+				u.failf("n=%d f=%d seed=%d: decided without a majority", n, f, seed)
+			}
+		}
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		cell := g.AvgOverOK("steps")
+		roundCell := g.AvgOverOK("rounds")
+		if 2*g.Key.F >= g.Key.N {
+			cell, roundCell = "blocks (f ≥ n/2)", "—"
+		}
+		return []string{itoa(g.Key.N), itoa(g.Key.F), itoa(g.Runs()),
+			itoa(g.OKs()), cell, roundCell}
+	},
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"reflect"
 
 	"nuconsensus/internal/consensus"
@@ -23,21 +24,28 @@ func (s *restrictedScheduler) Next(t model.Time, alive model.ProcessSet, c *mode
 	return s.inner.Next(t, alive.Intersect(s.allowed), c)
 }
 
-// E9 exercises Lemma 2.2: a merging of two mergeable finite runs is itself
-// a run (properties (1)–(5)) and preserves every participant's final state.
-func E9(sc Scale) Table {
-	t := Table{
-		ID:    "E9",
-		Title: "Run merging (partition argument substrate)",
-		Claim: "Lemma 2.2: merging runs with disjoint participants yields a run of " +
-			"the algorithm in which each participant's state is unchanged.",
-		Columns: []string{"seed", "|S₀|", "|S₁|", "merged validates", "states preserved"},
-		Pass:    true,
-	}
-	n := 4
-	sideA := model.SetOf(0, 1)
-	sideB := model.SetOf(2, 3)
-	for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
+// e9Spec exercises Lemma 2.2: a merging of two mergeable finite runs is
+// itself a run (properties (1)–(5)) and preserves every participant's final
+// state.
+var e9Spec = &Spec{
+	ID:    "E9",
+	Title: "Run merging (partition argument substrate)",
+	Claim: "Lemma 2.2: merging runs with disjoint participants yields a run of " +
+		"the algorithm in which each participant's state is unchanged.",
+	Columns: []string{"seed", "|S₀|", "|S₁|", "merged validates", "states preserved"},
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for s := 1; s <= sc.Seeds; s++ {
+			cfgs = append(cfgs, Config{Arg: s, Seed: int64(s)})
+		}
+		return cfgs
+	},
+	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		seed := cfg.Seed
+		n := 4
+		sideA := model.SetOf(0, 1)
+		sideB := model.SetOf(2, 3)
 		pattern := model.NewFailurePattern(n)
 		hist := fd.PairHistory{First: fd.NewOmega(pattern, 0, seed), Second: fd.NewSigma(pattern, 0, seed)}
 		run := func(aut model.Automaton, side model.ProcessSet, s int64) (*model.Run, error) {
@@ -62,9 +70,8 @@ func E9(sc Scale) Table {
 		r0, err0 := run(a0, sideA, seed)
 		r1, err1 := run(a1, sideB, seed+100)
 		if err0 != nil || err1 != nil {
-			t.Pass = false
-			t.Notes = append(t.Notes, fmt.Sprintf("seed=%d: %v %v", seed, err0, err1))
-			continue
+			u.failf("seed=%d: %v %v", seed, err0, err1)
+			return u
 		}
 		m, err := model.MergeRuns(r0, r1, merged)
 		validates := "no"
@@ -92,37 +99,45 @@ func E9(sc Scale) Table {
 					}
 				}
 			} else {
-				t.Notes = append(t.Notes, fmt.Sprintf("seed=%d: validate: %v", seed, err))
+				u.Notef("seed=%d: validate: %v", seed, err)
 			}
 		} else {
-			t.Notes = append(t.Notes, fmt.Sprintf("seed=%d: merge: %v", seed, err))
+			u.Notef("seed=%d: merge: %v", seed, err)
 		}
 		if validates != "yes" || preserved != "yes" {
-			t.Pass = false
+			u.Fail = true
+		} else {
+			u.OK = true
 		}
-		t.AddRow(fmt.Sprintf("%d", seed), fmt.Sprintf("%d", len(r0.Schedule)),
-			fmt.Sprintf("%d", len(r1.Schedule)), validates, preserved)
-	}
-	return t
+		u.Cells = []string{fmt.Sprintf("%d", seed), itoa(len(r0.Schedule)),
+			itoa(len(r1.Schedule)), validates, preserved}
+		return u
+	},
 }
 
-// E10 exercises the §4 DAG lemmas on real A_DAG executions: sample times
-// strictly increase along edges (Observation 4.4), same-process samples
-// chain (Observation 4.2), fresh subgraphs contain only correct samples
-// (Lemma 4.6), and long canonical paths visit every correct process many
-// times (Lemma 4.8's finite shadow).
-func E10(sc Scale) Table {
-	t := Table{
-		ID:    "E10",
-		Title: "Sample-DAG structure (§4 lemmas)",
-		Claim: "Observations 4.2/4.4 and Lemmas 4.6/4.8: edges respect sample times, " +
-			"own samples chain, fresh subgraphs are correct-only, canonical paths " +
-			"revisit all correct processes.",
-		Columns: []string{"seed", "nodes", "edge-times ok", "own-chain ok", "fresh-correct ok", "path visits/correct"},
-		Pass:    true,
-	}
-	n := 4
-	for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
+// e10Spec exercises the §4 DAG lemmas on real A_DAG executions: sample
+// times strictly increase along edges (Observation 4.4), same-process
+// samples chain (Observation 4.2), fresh subgraphs contain only correct
+// samples (Lemma 4.6), and long canonical paths visit every correct process
+// many times (Lemma 4.8's finite shadow).
+var e10Spec = &Spec{
+	ID:    "E10",
+	Title: "Sample-DAG structure (§4 lemmas)",
+	Claim: "Observations 4.2/4.4 and Lemmas 4.6/4.8: edges respect sample times, " +
+		"own samples chain, fresh subgraphs are correct-only, canonical paths " +
+		"revisit all correct processes.",
+	Columns: []string{"seed", "nodes", "edge-times ok", "own-chain ok", "fresh-correct ok", "path visits/correct"},
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for s := 1; s <= sc.Seeds; s++ {
+			cfgs = append(cfgs, Config{Arg: s, Seed: int64(s)})
+		}
+		return cfgs
+	},
+	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		seed := cfg.Seed
+		n := 4
 		pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 40})
 		rec := &trace.Recorder{}
 		res, err := sim.Run(sim.Options{
@@ -134,9 +149,8 @@ func E10(sc Scale) Table {
 			Recorder:  rec,
 		})
 		if err != nil {
-			t.Pass = false
-			t.Notes = append(t.Notes, fmt.Sprintf("seed=%d: %v", seed, err))
-			continue
+			u.failf("seed=%d: %v", seed, err)
+			return u
 		}
 		p0 := model.ProcessID(0)
 		g := res.Config.States[p0].(dag.GraphHolder).SampleGraph()
@@ -153,12 +167,12 @@ func E10(sc Scale) Table {
 		edgeOK, chainOK := true, true
 		for v := 0; v < g.Len(); v++ {
 			nv := g.Node(v)
-			for u := 0; u < v; u++ {
-				if !g.HasEdge(u, v) {
+			for q := 0; q < v; q++ {
+				if !g.HasEdge(q, v) {
 					continue
 				}
-				nu := g.Node(u)
-				if tau[nu.Key()] >= tau[nv.Key()] {
+				nq := g.Node(q)
+				if tau[nq.Key()] >= tau[nv.Key()] {
 					edgeOK = false
 				}
 			}
@@ -203,11 +217,13 @@ func E10(sc Scale) Table {
 			}
 		})
 		if !edgeOK || !chainOK || !freshOK || minVisits < 3 {
-			t.Pass = false
+			u.Fail = true
+		} else {
+			u.OK = true
 		}
-		t.AddRow(fmt.Sprintf("%d", seed), fmt.Sprintf("%d", g.Len()),
+		u.Cells = []string{fmt.Sprintf("%d", seed), itoa(g.Len()),
 			fmt.Sprintf("%v", edgeOK), fmt.Sprintf("%v", chainOK),
-			fmt.Sprintf("%v", freshOK), fmt.Sprintf("%d", minVisits))
-	}
-	return t
+			fmt.Sprintf("%v", freshOK), itoa(minVisits)}
+		return u
+	},
 }

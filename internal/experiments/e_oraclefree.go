@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"fmt"
+	"math/rand"
 
 	"nuconsensus/internal/check"
 	"nuconsensus/internal/consensus"
@@ -13,72 +13,72 @@ import (
 	"nuconsensus/internal/transform"
 )
 
-// E11 exercises the heartbeat implementation of Ω (internal/hb): under
+// e11Spec exercises the heartbeat implementation of Ω (internal/hb): under
 // partial synchrony — including a hostile pre-GST prefix — the emitted
 // leader history satisfies the Ω specification.
-func E11(sc Scale) Table {
-	t := Table{
-		ID:    "E11",
-		Title: "Heartbeat Ω under partial synchrony (extension)",
-		Claim: "Ω is implementable without oracles given eventual timeliness: " +
-			"adaptive-timeout heartbeats converge on the smallest correct process " +
-			"at all correct processes.",
-		Columns: []string{"n", "f", "GST", "runs", "ok", "avg leader-stable t"},
-		Pass:    true,
-	}
-	for _, n := range []int{3, 5, 8} {
-		fs := []int{1}
-		if mid := (n - 1) / 2; mid != 1 {
-			fs = append(fs, mid)
-		}
-		for _, f := range fs {
-			gst := model.Time(300)
-			var runs, ok int
-			var stabSum model.Time
-			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
-				pattern := model.NewFailurePattern(n)
-				for i := 0; i < f; i++ {
-					pattern.SetCrash(model.ProcessID(i), model.Time(30+20*i))
-				}
-				rec := &trace.Recorder{}
-				res, err := sim.Run(sim.Options{
-					Automaton: hb.NewOmega(n, 0, 0),
-					Pattern:   pattern,
-					History:   fd.Null,
-					Scheduler: &sim.PartialSyncScheduler{
-						GST:    gst,
-						Before: sim.NewFairScheduler(seed, 0.2, 20),
-						After:  sim.NewFairScheduler(seed+99, 0.9, 2),
-					},
-					MaxSteps: 2500,
-					Recorder: rec,
-				})
-				runs++
-				if err != nil {
-					t.Pass = false
-					continue
-				}
-				stab := leaderHorizon(rec.Outputs, pattern)
-				if stab > res.Time*4/5 {
-					t.Pass = false
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: leader unstable until %d of %d", n, f, seed, stab, res.Time))
-					continue
-				}
-				if err := check.OmegaOutputs(rec.Outputs, pattern, stab); err != nil {
-					t.Pass = false
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: %v", n, f, seed, err))
-					continue
-				}
-				ok++
-				if stab > 0 {
-					stabSum += stab
-				}
+var e11Spec = &Spec{
+	ID:    "E11",
+	Title: "Heartbeat Ω under partial synchrony (extension)",
+	Claim: "Ω is implementable without oracles given eventual timeliness: " +
+		"adaptive-timeout heartbeats converge on the smallest correct process " +
+		"at all correct processes.",
+	Columns: []string{"n", "f", "GST", "runs", "ok", "avg leader-stable t"},
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for _, n := range []int{3, 5, 8} {
+			fs := []int{1}
+			if mid := (n - 1) / 2; mid != 1 {
+				fs = append(fs, mid)
 			}
-			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f), fmt.Sprintf("%d", gst),
-				fmt.Sprintf("%d", runs), fmt.Sprintf("%d", ok), avg(int(stabSum), ok))
+			for _, f := range fs {
+				cfgs = append(cfgs, seedRange(Config{N: n, F: f}, sc.Seeds)...)
+			}
 		}
-	}
-	return t
+		return cfgs
+	},
+	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		n, f, seed := cfg.N, cfg.F, cfg.Seed
+		pattern := model.NewFailurePattern(n)
+		for i := 0; i < f; i++ {
+			pattern.SetCrash(model.ProcessID(i), model.Time(30+20*i))
+		}
+		rec := &trace.Recorder{}
+		res, err := sim.Run(sim.Options{
+			Automaton: hb.NewOmega(n, 0, 0),
+			Pattern:   pattern,
+			History:   fd.Null,
+			Scheduler: &sim.PartialSyncScheduler{
+				GST:    300,
+				Before: sim.NewFairScheduler(seed, 0.2, 20),
+				After:  sim.NewFairScheduler(seed+99, 0.9, 2),
+			},
+			MaxSteps: 2500,
+			Recorder: rec,
+		})
+		if err != nil {
+			u.Fail = true
+			return u
+		}
+		stab := leaderHorizon(rec.Outputs, pattern)
+		if stab > res.Time*4/5 {
+			u.failf("n=%d f=%d seed=%d: leader unstable until %d of %d", n, f, seed, stab, res.Time)
+			return u
+		}
+		if err := check.OmegaOutputs(rec.Outputs, pattern, stab); err != nil {
+			u.failf("n=%d f=%d seed=%d: %v", n, f, seed, err)
+			return u
+		}
+		u.OK = true
+		if stab > 0 {
+			u.Add("stab", int(stab))
+		}
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		return []string{itoa(g.Key.N), itoa(g.Key.F), "300",
+			itoa(g.Runs()), itoa(g.OKs()), g.AvgOverOK("stab")}
+	},
 }
 
 // leaderHorizon returns the last time a correct process's emitted leader
@@ -98,66 +98,69 @@ func leaderHorizon(outs []trace.Sample, pattern *model.FailurePattern) model.Tim
 	return last
 }
 
-// E12 exercises the oracle-free stack: heartbeat Ω + from-scratch Σν+ +
-// A_nuc solves nonuniform consensus with no failure detector in
+// e12Spec exercises the oracle-free stack: heartbeat Ω + from-scratch Σν+
+// + A_nuc solves nonuniform consensus with no failure detector in
 // majority-correct environments under partial synchrony.
-func E12(sc Scale) Table {
-	t := Table{
-		ID:    "E12",
-		Title: "Oracle-free nonuniform consensus (extension)",
-		Claim: "With a correct majority and eventual timeliness, the weakest-detector " +
-			"pair (Ω, Σν+) is constructible from scratch, so A_nuc runs with zero " +
-			"oracles (heartbeats + Theorem 7.1 IF threshold quorums).",
-		Columns: []string{"n", "f", "runs", "ok", "avg steps"},
-		Pass:    true,
-	}
-	for _, n := range []int{3, 5, 7} {
-		tf := (n - 1) / 2
-		for _, f := range []int{0, tf} {
-			var runs, ok, steps int
-			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
-				pattern := model.NewFailurePattern(n)
-				for i := 0; i < f; i++ {
-					pattern.SetCrash(model.ProcessID(i), model.Time(40+25*i))
-				}
-				props := make([]int, n)
-				for i := range props {
-					props[i] = i % 2
-				}
-				aut := transform.NewOracleFree(
-					hb.NewOmega(n, 0, 0),
-					transform.NewScratchSigmaNuPlus(n, tf),
-					consensus.NewANuc(props),
-				)
-				res, err := sim.Run(sim.Options{
-					Automaton: aut,
-					Pattern:   pattern,
-					History:   fd.Null,
-					Scheduler: &sim.PartialSyncScheduler{
-						GST:    250,
-						Before: sim.NewFairScheduler(seed, 0.3, 10),
-						After:  sim.NewFairScheduler(seed+99, 0.9, 2),
-					},
-					MaxSteps: sc.MaxSteps,
-					StopWhen: sim.AllCorrectDecided(pattern),
-				})
-				runs++
-				if err != nil || !res.Stopped {
-					t.Pass = false
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: err=%v stopped=%v", n, f, seed, err, res != nil && res.Stopped))
-					continue
-				}
-				if err := check.OutcomeFromConfig(res.Config).NonuniformConsensus(pattern); err != nil {
-					t.Pass = false
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: %v", n, f, seed, err))
-					continue
-				}
-				ok++
-				steps += res.Steps
+var e12Spec = &Spec{
+	ID:    "E12",
+	Title: "Oracle-free nonuniform consensus (extension)",
+	Claim: "With a correct majority and eventual timeliness, the weakest-detector " +
+		"pair (Ω, Σν+) is constructible from scratch, so A_nuc runs with zero " +
+		"oracles (heartbeats + Theorem 7.1 IF threshold quorums).",
+	Columns: []string{"n", "f", "runs", "ok", "avg steps"},
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for _, n := range []int{3, 5, 7} {
+			tf := (n - 1) / 2
+			for _, f := range []int{0, tf} {
+				cfgs = append(cfgs, seedRange(Config{N: n, F: f}, sc.Seeds)...)
 			}
-			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f), fmt.Sprintf("%d", runs),
-				fmt.Sprintf("%d", ok), avg(steps, ok))
 		}
-	}
-	return t
+		return cfgs
+	},
+	Unit: func(sc Scale, cfg Config, _ *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		n, f, seed := cfg.N, cfg.F, cfg.Seed
+		tf := (n - 1) / 2
+		pattern := model.NewFailurePattern(n)
+		for i := 0; i < f; i++ {
+			pattern.SetCrash(model.ProcessID(i), model.Time(40+25*i))
+		}
+		props := make([]int, n)
+		for i := range props {
+			props[i] = i % 2
+		}
+		aut := transform.NewOracleFree(
+			hb.NewOmega(n, 0, 0),
+			transform.NewScratchSigmaNuPlus(n, tf),
+			consensus.NewANuc(props),
+		)
+		res, err := sim.Run(sim.Options{
+			Automaton: aut,
+			Pattern:   pattern,
+			History:   fd.Null,
+			Scheduler: &sim.PartialSyncScheduler{
+				GST:    250,
+				Before: sim.NewFairScheduler(seed, 0.3, 10),
+				After:  sim.NewFairScheduler(seed+99, 0.9, 2),
+			},
+			MaxSteps: sc.MaxSteps,
+			StopWhen: sim.AllCorrectDecided(pattern),
+		})
+		if err != nil || !res.Stopped {
+			u.failf("n=%d f=%d seed=%d: err=%v stopped=%v", n, f, seed, err, res != nil && res.Stopped)
+			return u
+		}
+		if err := check.OutcomeFromConfig(res.Config).NonuniformConsensus(pattern); err != nil {
+			u.failf("n=%d f=%d seed=%d: %v", n, f, seed, err)
+			return u
+		}
+		u.OK = true
+		u.Add("steps", res.Steps)
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		return []string{itoa(g.Key.N), itoa(g.Key.F), itoa(g.Runs()),
+			itoa(g.OKs()), g.AvgOverOK("steps")}
+	},
 }

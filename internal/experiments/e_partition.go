@@ -127,91 +127,105 @@ func RunPartition(name string, candidate model.Automaton, n, tFaults int) Partit
 	return out
 }
 
-// E7 exercises Theorem 7.1 (ONLY-IF): for t ≥ n/2 there is no algorithm
+// e7Candidates are the two natural (Ω, Σν)→Σ candidates E7 defeats.
+var e7Candidates = []struct {
+	name string
+	aut  func(n, t int) model.Automaton
+}{
+	{"(n−t)-threshold", func(n, t int) model.Automaton { return transform.NewThresholdQuorum(n, t) }},
+	{"Σν-passthrough", func(n, t int) model.Automaton { return transform.NewPassthroughQuorum(n) }},
+}
+
+// e7Spec exercises Theorem 7.1 (ONLY-IF): for t ≥ n/2 there is no algorithm
 // transforming (Ω, Σν) to Σ. We run the proof's partition argument against
 // two natural candidates and exhibit, for each, a pair of runs whose
 // emitted quorums violate Σ's intersection property.
-func E7(_ Scale) Table {
-	t := Table{
-		ID:    "E7",
-		Title: "Partition argument: (Ω, Σν) cannot be transformed to Σ when t ≥ n/2",
-		Claim: "Theorem 7.1 (ONLY-IF): runs R and R′ force any candidate to output " +
-			"disjoint quorums A' ⊆ A and B' ⊆ B, violating Σ's intersection.",
-		Columns: []string{"candidate", "n", "t", "A' (run R, at τ)", "B' (run R′)", "disjoint?"},
-		Pass:    true,
-	}
-	for _, n := range []int{4, 6} {
-		tf := n / 2
-		cands := []struct {
-			name string
-			aut  model.Automaton
-		}{
-			{"(n−t)-threshold", transform.NewThresholdQuorum(n, tf)},
-			{"Σν-passthrough", transform.NewPassthroughQuorum(n)},
-		}
-		for _, c := range cands {
-			o := RunPartition(c.name, c.aut, n, tf)
-			if o.Err != nil {
-				t.Pass = false
-				t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: %v", c.name, n, o.Err))
-				continue
+var e7Spec = &Spec{
+	ID:    "E7",
+	Title: "Partition argument: (Ω, Σν) cannot be transformed to Σ when t ≥ n/2",
+	Claim: "Theorem 7.1 (ONLY-IF): runs R and R′ force any candidate to output " +
+		"disjoint quorums A' ⊆ A and B' ⊆ B, violating Σ's intersection.",
+	Columns: []string{"candidate", "n", "t", "A' (run R, at τ)", "B' (run R′)", "disjoint?"},
+	Configs: func(_ Scale) []Config {
+		var cfgs []Config
+		for _, n := range []int{4, 6} {
+			for i := range e7Candidates {
+				cfgs = append(cfgs, Config{Label: e7Candidates[i].name, Arg: i, N: n, F: n / 2})
 			}
-			if !o.Disjoint {
-				t.Pass = false
-			}
-			t.AddRow(c.name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", tf),
-				fmt.Sprintf("%s @t=%d", o.AQuorum, o.Tau), o.BQuorum.String(),
-				fmt.Sprintf("%v", o.Disjoint))
 		}
-	}
-	t.Notes = append(t.Notes,
-		"every candidate that satisfies completeness in both runs is forced into the intersection violation; a candidate that avoided it would have to fail completeness instead")
-	return t
+		return cfgs
+	},
+	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		n, tf := cfg.N, cfg.F
+		c := e7Candidates[cfg.Arg]
+		o := RunPartition(c.name, c.aut(n, tf), n, tf)
+		if o.Err != nil {
+			u.failf("%s n=%d: %v", c.name, n, o.Err)
+			return u
+		}
+		if !o.Disjoint {
+			u.Fail = true
+		} else {
+			u.OK = true
+		}
+		u.Cells = []string{c.name, itoa(n), itoa(tf),
+			fmt.Sprintf("%s @t=%d", o.AQuorum, o.Tau), o.BQuorum.String(),
+			fmt.Sprintf("%v", o.Disjoint)}
+		return u
+	},
+	Finalize: func(_ Scale, t *Table, _ []Group) {
+		t.Notes = append(t.Notes,
+			"every candidate that satisfies completeness in both runs is forced into the intersection violation; a candidate that avoided it would have to fail completeness instead")
+	},
 }
 
-// E8 exercises Theorem 7.1 (IF): with t < n/2, Σ is implementable from
+// e8Spec exercises Theorem 7.1 (IF): with t < n/2, Σ is implementable from
 // scratch — no failure detector at all.
-func E8(sc Scale) Table {
-	t := Table{
-		ID:    "E8",
-		Title: "From-scratch Σ in majority-correct environments",
-		Claim: "Theorem 7.1 (IF): for t < n/2, the (n−t)-threshold round algorithm " +
-			"implements Σ without any failure detector.",
-		Columns: []string{"n", "t", "f", "runs", "ok"},
-		Pass:    true,
-	}
-	for _, n := range []int{3, 5, 7, 9} {
-		tf := (n - 1) / 2
-		for _, f := range []int{0, tf} {
-			var runs, ok int
-			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
-				rng := rand.New(rand.NewSource(seed*9000 + int64(n*10+f)))
-				pattern := randomPattern(n, f, 50, rng)
-				rec := &trace.Recorder{}
-				res, err := sim.Run(sim.Options{
-					Automaton: transform.NewScratchSigma(n, tf),
-					Pattern:   pattern,
-					History:   fd.Null,
-					Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
-					MaxSteps:  800,
-					Recorder:  rec,
-				})
-				runs++
-				if err != nil {
-					t.Pass = false
-					continue
-				}
-				stab, herr := check.LastCompletenessViolation(rec.Outputs, pattern)
-				if herr == nil && stab <= res.Time*4/5 && check.Sigma(rec.Outputs, pattern, stab) == nil {
-					ok++
-				} else {
-					t.Pass = false
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: horizon=%d %v %v", n, f, seed, stab, herr, check.Sigma(rec.Outputs, pattern, stab)))
-				}
+var e8Spec = &Spec{
+	ID:    "E8",
+	Title: "From-scratch Σ in majority-correct environments",
+	Claim: "Theorem 7.1 (IF): for t < n/2, the (n−t)-threshold round algorithm " +
+		"implements Σ without any failure detector.",
+	Columns: []string{"n", "t", "f", "runs", "ok"},
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for _, n := range []int{3, 5, 7, 9} {
+			tf := (n - 1) / 2
+			for _, f := range []int{0, tf} {
+				cfgs = append(cfgs, seedRange(Config{N: n, F: f}, sc.Seeds)...)
 			}
-			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", tf), fmt.Sprintf("%d", f),
-				fmt.Sprintf("%d", runs), fmt.Sprintf("%d", ok))
 		}
-	}
-	return t
+		return cfgs
+	},
+	Unit: func(_ Scale, cfg Config, rng *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		n, f := cfg.N, cfg.F
+		tf := (n - 1) / 2
+		pattern := randomPattern(n, f, 50, rng)
+		rec := &trace.Recorder{}
+		res, err := sim.Run(sim.Options{
+			Automaton: transform.NewScratchSigma(n, tf),
+			Pattern:   pattern,
+			History:   fd.Null,
+			Scheduler: sim.NewFairScheduler(cfg.Seed, 0.8, 3),
+			MaxSteps:  800,
+			Recorder:  rec,
+		})
+		if err != nil {
+			u.Fail = true
+			return u
+		}
+		stab, herr := check.LastCompletenessViolation(rec.Outputs, pattern)
+		if herr == nil && stab <= res.Time*4/5 && check.Sigma(rec.Outputs, pattern, stab) == nil {
+			u.OK = true
+		} else {
+			u.failf("n=%d f=%d seed=%d: horizon=%d %v %v", n, f, cfg.Seed, stab, herr, check.Sigma(rec.Outputs, pattern, stab))
+		}
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		return []string{itoa(g.Key.N), itoa((g.Key.N - 1) / 2), itoa(g.Key.F),
+			itoa(g.Runs()), itoa(g.OKs())}
+	},
 }

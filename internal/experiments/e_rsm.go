@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"fmt"
+	"math/rand"
 
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/rsm"
@@ -9,81 +9,85 @@ import (
 	"nuconsensus/internal/trace"
 )
 
-// Q7 measures the replicated-log application built on per-slot A_nuc
+// q7Slots is the log length Q7 fills per run.
+const q7Slots = 5
+
+// q7Spec measures the replicated-log application built on per-slot A_nuc
 // instances: steps and messages per appended slot, and the agreement of
 // correct replicas' logs, across n and f.
-func Q7(sc Scale) Table {
-	t := Table{
-		ID:    "Q7",
-		Title: "Replicated log (SMR over A_nuc): cost per slot",
-		Claim: "§1 motivation: consensus is the substrate of fault-tolerant " +
-			"replication. The per-slot pipeline (live old instances, command " +
-			"forwarding, no DECIDED-gossip — unsound under nonuniformity, see E14) " +
-			"sustains a steady per-slot cost.",
-		Columns: []string{"n", "f", "slots", "runs", "ok", "avg steps/slot", "avg msgs/slot"},
-		Pass:    true,
-	}
-	const slots = 5
-	for _, n := range []int{3, 4, 5} {
-		for _, f := range []int{0, 1} {
-			var runs, ok, steps, msgs int
-			for seed := int64(1); seed <= int64(sc.Seeds); seed++ {
-				pattern := model.NewFailurePattern(n)
-				for i := 0; i < f; i++ {
-					pattern.SetCrash(model.ProcessID(n-1-i), model.Time(40+20*i))
-				}
-				cmds := make([][]int, n)
-				for p := range cmds {
-					cmds[p] = []int{100*p + 1}
-				}
-				rec := &trace.Recorder{}
-				res, err := sim.Run(sim.Options{
-					Automaton: rsm.NewLog(cmds, slots),
-					Pattern:   pattern,
-					History:   rsm.PairForLog(pattern, 80, seed),
-					Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
-					MaxSteps:  min(sc.MaxSteps*4, 200000),
-					StopWhen:  rsm.AllAppended(pattern, slots),
-					Recorder:  rec,
-				})
-				runs++
-				if err != nil || !res.Stopped {
-					t.Pass = false
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: err=%v filled=%v", n, f, seed, err, res != nil && res.Stopped))
-					continue
-				}
-				// All correct replicas must hold identical logs.
-				agree := true
-				var ref []int
-				pattern.Correct().ForEach(func(p model.ProcessID) {
-					entries := res.Config.States[p].(rsm.LogHolder).Entries()
-					if ref == nil {
-						ref = entries
-						return
-					}
-					if len(entries) != len(ref) {
-						agree = false
-						return
-					}
-					for i := range ref {
-						if entries[i] != ref[i] {
-							agree = false
-						}
-					}
-				})
-				if !agree {
-					t.Pass = false
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d f=%d seed=%d: correct logs diverged", n, f, seed))
-					continue
-				}
-				ok++
-				steps += res.Steps
-				msgs += rec.MessagesSent
+var q7Spec = &Spec{
+	ID:    "Q7",
+	Title: "Replicated log (SMR over A_nuc): cost per slot",
+	Claim: "§1 motivation: consensus is the substrate of fault-tolerant " +
+		"replication. The per-slot pipeline (live old instances, command " +
+		"forwarding, no DECIDED-gossip — unsound under nonuniformity, see E14) " +
+		"sustains a steady per-slot cost.",
+	Columns: []string{"n", "f", "slots", "runs", "ok", "avg steps/slot", "avg msgs/slot"},
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for _, n := range []int{3, 4, 5} {
+			for _, f := range []int{0, 1} {
+				cfgs = append(cfgs, seedRange(Config{N: n, F: f}, sc.Seeds)...)
 			}
-			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", f), fmt.Sprintf("%d", slots),
-				fmt.Sprintf("%d", runs), fmt.Sprintf("%d", ok),
-				avg(steps/slots, ok), avg(msgs/slots, ok))
 		}
-	}
-	return t
+		return cfgs
+	},
+	Unit: func(sc Scale, cfg Config, _ *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		n, f, seed := cfg.N, cfg.F, cfg.Seed
+		pattern := model.NewFailurePattern(n)
+		for i := 0; i < f; i++ {
+			pattern.SetCrash(model.ProcessID(n-1-i), model.Time(40+20*i))
+		}
+		cmds := make([][]int, n)
+		for p := range cmds {
+			cmds[p] = []int{100*p + 1}
+		}
+		rec := &trace.Recorder{}
+		res, err := sim.Run(sim.Options{
+			Automaton: rsm.NewLog(cmds, q7Slots),
+			Pattern:   pattern,
+			History:   rsm.PairForLog(pattern, 80, seed),
+			Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
+			MaxSteps:  min(sc.MaxSteps*4, 200000),
+			StopWhen:  rsm.AllAppended(pattern, q7Slots),
+			Recorder:  rec,
+		})
+		if err != nil || !res.Stopped {
+			u.failf("n=%d f=%d seed=%d: err=%v filled=%v", n, f, seed, err, res != nil && res.Stopped)
+			return u
+		}
+		// All correct replicas must hold identical logs.
+		agree := true
+		var ref []int
+		pattern.Correct().ForEach(func(p model.ProcessID) {
+			entries := res.Config.States[p].(rsm.LogHolder).Entries()
+			if ref == nil {
+				ref = entries
+				return
+			}
+			if len(entries) != len(ref) {
+				agree = false
+				return
+			}
+			for i := range ref {
+				if entries[i] != ref[i] {
+					agree = false
+				}
+			}
+		})
+		if !agree {
+			u.failf("n=%d f=%d seed=%d: correct logs diverged", n, f, seed)
+			return u
+		}
+		u.OK = true
+		u.Add("steps", res.Steps)
+		u.Add("msgs", rec.MessagesSent)
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		return []string{itoa(g.Key.N), itoa(g.Key.F), itoa(q7Slots),
+			itoa(g.Runs()), itoa(g.OKs()),
+			avg(g.Sum("steps")/q7Slots, g.OKs()), avg(g.Sum("msgs")/q7Slots, g.OKs())}
+	},
 }

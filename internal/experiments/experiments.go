@@ -1,14 +1,20 @@
 // Package experiments implements the reproduction experiments of
-// EXPERIMENTS.md: one function per experiment (E1–E10) and per quantitative
-// figure (Q1–Q5), each returning a Table that cmd/experiments renders and
+// EXPERIMENTS.md: one Spec per experiment (E1–E15) and per quantitative
+// figure (Q1–Q7), each producing a Table that cmd/experiments renders and
 // bench_test.go regenerates. Every theorem, algorithm and proof scenario of
-// the paper maps to one of these.
+// the paper maps to one of these. The specs run on the parallel
+// deterministic engine in engine.go: RunAll fans the per-seed units of
+// every experiment out across a worker pool and reduces them in canonical
+// order, so the tables are bitwise identical for any worker count.
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
+	"time"
 
 	"nuconsensus/internal/check"
 	"nuconsensus/internal/model"
@@ -18,13 +24,20 @@ import (
 
 // Table is one regenerated experiment table.
 type Table struct {
-	ID      string
-	Title   string
-	Claim   string // the paper's claim being exercised
-	Columns []string
-	Rows    [][]string
-	Pass    bool
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"` // the paper's claim being exercised
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Pass    bool       `json:"pass"`
+	Notes   []string   `json:"notes,omitempty"`
+
+	// Elapsed is the summed unit work time of the table; RowTimes is the
+	// per-row breakdown (same for any worker count up to scheduler noise,
+	// and deliberately excluded from Render so rendered output stays
+	// byte-identical across runs).
+	Elapsed  time.Duration   `json:"elapsed_ns"`
+	RowTimes []time.Duration `json:"row_times_ns,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -52,11 +65,39 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// Report is the machine-readable form of one engine run — what
+// cmd/experiments -json writes and CI archives.
+type Report struct {
+	Scale   Scale         `json:"scale"`
+	Workers int           `json:"workers"`
+	Pass    bool          `json:"pass"`
+	Wall    time.Duration `json:"wall_ns"`
+	Tables  []Table       `json:"tables"`
+}
+
+// NewReport assembles a Report from finished tables.
+func NewReport(tables []Table, sc Scale, workers int, wall time.Duration) Report {
+	r := Report{Scale: sc, Workers: workers, Pass: true, Wall: wall, Tables: tables}
+	for _, t := range tables {
+		if !t.Pass {
+			r.Pass = false
+		}
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
 // Scale controls how much work the experiments do; benchmarks and the CLI
 // use Quick, the recorded EXPERIMENTS.md run uses Full.
 type Scale struct {
-	Seeds    int
-	MaxSteps int
+	Seeds    int `json:"seeds"`
+	MaxSteps int `json:"max_steps"`
 }
 
 // Quick is the default scale for tests and benchmarks.

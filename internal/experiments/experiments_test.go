@@ -21,6 +21,11 @@ func TestRegistryComplete(t *testing.T) {
 			t.Fatalf("IDs() = %v, want %v", got, want)
 		}
 	}
+	for id, sp := range Registry {
+		if sp.ID != id {
+			t.Errorf("Registry[%q].ID = %q", id, sp.ID)
+		}
+	}
 }
 
 // TestFastExperimentsPass runs the cheap experiments end to end; the
@@ -31,7 +36,7 @@ func TestFastExperimentsPass(t *testing.T) {
 	for _, id := range fast {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			table := Registry[id](tiny)
+			table := Registry[id].Run(tiny)
 			if !table.Pass {
 				t.Fatalf("%s failed:\n%s", id, table.Render())
 			}
@@ -47,7 +52,7 @@ func TestSlowExperimentsPass(t *testing.T) {
 	for _, id := range slow {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			table := Registry[id](tiny)
+			table := Registry[id].Run(tiny)
 			if !table.Pass {
 				t.Fatalf("%s failed:\n%s", id, table.Render())
 			}
@@ -83,7 +88,7 @@ func TestAvg(t *testing.T) {
 }
 
 func TestRandomPattern(t *testing.T) {
-	tab := E9(tiny) // also doubles as a quick E9 sanity check
+	tab := Registry["E9"].Run(tiny) // also doubles as a quick E9 sanity check
 	if !tab.Pass {
 		t.Fatalf("E9 failed:\n%s", tab.Render())
 	}

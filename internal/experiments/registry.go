@@ -2,31 +2,31 @@ package experiments
 
 import "sort"
 
-// Registry maps experiment IDs to their implementations, in the order they
-// appear in EXPERIMENTS.md.
-var Registry = map[string]func(Scale) Table{
-	"E1":  E1,
-	"E2":  E2,
-	"E3":  E3,
-	"E4":  E4,
-	"E5":  E5,
-	"E6":  E6,
-	"E7":  E7,
-	"E8":  E8,
-	"E9":  E9,
-	"E10": E10,
-	"E11": E11,
-	"E12": E12,
-	"E13": E13,
-	"E14": E14,
-	"E15": E15,
-	"Q1":  Q1,
-	"Q2":  Q2,
-	"Q3":  Q3,
-	"Q4":  Q4,
-	"Q5":  Q5,
-	"Q6":  Q6,
-	"Q7":  Q7,
+// Registry maps experiment IDs to their specs, in the order they appear in
+// EXPERIMENTS.md.
+var Registry = map[string]*Spec{
+	"E1":  e1Spec,
+	"E2":  e2Spec,
+	"E3":  e3Spec,
+	"E4":  e4Spec,
+	"E5":  e5Spec,
+	"E6":  e6Spec,
+	"E7":  e7Spec,
+	"E8":  e8Spec,
+	"E9":  e9Spec,
+	"E10": e10Spec,
+	"E11": e11Spec,
+	"E12": e12Spec,
+	"E13": e13Spec,
+	"E14": e14Spec,
+	"E15": e15Spec,
+	"Q1":  q1Spec,
+	"Q2":  q2Spec,
+	"Q3":  q3Spec,
+	"Q4":  q4Spec,
+	"Q5":  q5Spec,
+	"Q6":  q6Spec,
+	"Q7":  q7Spec,
 }
 
 // IDs returns the experiment identifiers in canonical order.
@@ -48,11 +48,12 @@ func IDs() []string {
 	return ids
 }
 
-// All runs every experiment at the given scale.
+// All runs every experiment sequentially at the given scale; RunAll is the
+// parallel equivalent and produces identical tables.
 func All(sc Scale) []Table {
 	out := make([]Table, 0, len(Registry))
 	for _, id := range IDs() {
-		out = append(out, Registry[id](sc))
+		out = append(out, Registry[id].Run(sc))
 	}
 	return out
 }
