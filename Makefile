@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments experiments-full fuzz fmt vet ci clean
+.PHONY: all build test test-short race bench experiments experiments-full fuzz fmt vet lint ci clean
 
 all: build test
 
@@ -37,9 +37,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's own go/analysis suite (nodeterm, maporder,
+# specregistry, seedhash). Also usable as `go vet -vettool`:
+#   go build -o nuclint ./cmd/nuclint && go vet -vettool=./nuclint ./...
+lint:
+	$(GO) run ./cmd/nuclint ./...
+
 # ci mirrors .github/workflows/ci.yml: static checks, build, tests, race
 # detector, and a parallel experiments run that fails on any claim failure.
-ci: vet
+ci: vet lint
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"nuconsensus/internal/lint/analysis"
+)
+
+// vetConfig is the JSON configuration cmd/go writes for a vet tool, one
+// file per compilation unit (the same schema x/tools' unitchecker reads).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one compilation unit under `go vet -vettool`.
+// Dependencies arrive as export data (PackageFile) and fact files
+// (PackageVetx); the unit's own facts are written to VetxOutput so vet
+// can feed them to dependent units.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "nuclint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	exportFor := func(path string) (string, error) {
+		if f, ok := cfg.PackageFile[path]; ok && f != "" {
+			return f, nil
+		}
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.ImportMap, exportFor)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg, analysis.NewUnitFacts())
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	facts := analysis.NewUnitFacts()
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for depPath := range cfg.PackageVetx {
+		depPaths = append(depPaths, depPath)
+	}
+	sort.Strings(depPaths)
+	for _, depPath := range depPaths {
+		blob, err := os.ReadFile(cfg.PackageVetx[depPath])
+		if err != nil {
+			continue // missing facts only weaken cross-package checks
+		}
+		if err := facts.Decode(depPath, blob, analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	findings, err := analysis.RunWithFacts(pkg, analyzers, facts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if code := writeVetx(cfg, facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.Posn.Filename, f.Posn.Line, f.Posn.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeVetx persists the unit's exported facts; vet requires the file to
+// exist even when empty.
+func writeVetx(cfg vetConfig, facts *analysis.UnitFacts) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	blob, err := facts.Encode(cfg.ImportPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if blob == nil {
+		blob = []byte("[]")
+	}
+	if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	return 0
+}

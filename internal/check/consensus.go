@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 
 	"nuconsensus/internal/model"
 )
@@ -53,8 +54,8 @@ func (o ConsensusOutcome) Validity() error {
 	for _, v := range o.Proposals {
 		proposed[v] = true
 	}
-	for p, v := range o.Decisions {
-		if !proposed[v] {
+	for _, p := range o.sortedDeciders() {
+		if v := o.Decisions[p]; !proposed[v] {
 			return fmt.Errorf("check: %s decided %d, which no process proposed", p, v)
 		}
 	}
@@ -66,7 +67,8 @@ func (o ConsensusOutcome) Validity() error {
 func (o ConsensusOutcome) NonuniformAgreement(f *model.FailurePattern) error {
 	correct := f.Correct()
 	val, who := 0, model.NoProcess
-	for p, v := range o.Decisions {
+	for _, p := range o.sortedDeciders() {
+		v := o.Decisions[p]
 		if !correct.Has(p) {
 			continue
 		}
@@ -85,7 +87,8 @@ func (o ConsensusOutcome) NonuniformAgreement(f *model.FailurePattern) error {
 // decided different values.
 func (o ConsensusOutcome) UniformAgreement() error {
 	val, who := 0, model.NoProcess
-	for p, v := range o.Decisions {
+	for _, p := range o.sortedDeciders() {
+		v := o.Decisions[p]
 		if who == model.NoProcess {
 			val, who = v, p
 			continue
@@ -95,6 +98,18 @@ func (o ConsensusOutcome) UniformAgreement() error {
 		}
 	}
 	return nil
+}
+
+// sortedDeciders returns the deciding processes in ProcessID order, so
+// the first offending process an agreement/validity check reports is
+// independent of map iteration order.
+func (o ConsensusOutcome) sortedDeciders() []model.ProcessID {
+	ps := make([]model.ProcessID, 0, len(o.Decisions))
+	for p := range o.Decisions {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
 }
 
 // NonuniformConsensus checks all three properties of nonuniform consensus

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"reflect"
+	"sort"
+)
+
+// CheckFiles parses and type-checks one compilation unit described
+// explicitly — import path, directory, file list, import remapping and an
+// export-data locator. It backs cmd/nuclint's `go vet -vettool` mode,
+// where cmd/go hands the tool exactly this information in a .cfg file.
+func CheckFiles(importPath, dir string, goFiles []string, importMap map[string]string, exportFor func(string) (string, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exportFor)
+	t := &listPkg{
+		ImportPath: importPath,
+		Dir:        dir,
+		GoFiles:    goFiles,
+		ImportMap:  importMap,
+	}
+	pkg, err := typeCheck(fset, imp, t)
+	if err != nil {
+		return nil, err
+	}
+	pkg.ModuleDir = ModuleRootOf(dir)
+	return pkg, nil
+}
+
+// UnitFacts carries package facts across compilation units as JSON, the
+// analogue of the unitchecker's .vetx files.
+type UnitFacts struct {
+	store *factStore
+}
+
+// NewUnitFacts returns an empty fact set.
+func NewUnitFacts() *UnitFacts { return &UnitFacts{store: newFactStore()} }
+
+// encodedFact is the serialized form of one package fact.
+type encodedFact struct {
+	Analyzer string          `json:"analyzer"`
+	Type     string          `json:"type"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// Decode loads the facts previously encoded for pkgPath, matching each
+// entry to a FactTypes prototype of the given analyzers.
+func (u *UnitFacts) Decode(pkgPath string, data []byte, analyzers []*Analyzer) error {
+	var facts []encodedFact
+	if len(data) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(data, &facts); err != nil {
+		return fmt.Errorf("analysis: decoding facts for %s: %v", pkgPath, err)
+	}
+	for _, ef := range facts {
+		for _, a := range analyzers {
+			if a.Name != ef.Analyzer {
+				continue
+			}
+			for _, proto := range a.FactTypes {
+				t := reflect.TypeOf(proto)
+				if t.Elem().Name() != ef.Type {
+					continue
+				}
+				fact := reflect.New(t.Elem()).Interface().(Fact)
+				if err := json.Unmarshal(ef.Data, fact); err != nil {
+					return fmt.Errorf("analysis: decoding %s fact %s: %v", ef.Analyzer, ef.Type, err)
+				}
+				u.store.export(pkgPath, a.Name, fact)
+			}
+		}
+	}
+	return nil
+}
+
+// Encode serializes the facts exported for pkgPath, deterministically
+// ordered.
+func (u *UnitFacts) Encode(pkgPath string) ([]byte, error) {
+	var facts []encodedFact
+	for key, fact := range u.store.m {
+		if key.pkg != pkgPath {
+			continue
+		}
+		data, err := json.Marshal(fact)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: encoding fact: %v", err)
+		}
+		facts = append(facts, encodedFact{
+			Analyzer: key.analyzer,
+			Type:     key.typ.Elem().Name(),
+			Data:     data,
+		})
+	}
+	sort.Slice(facts, func(i, j int) bool {
+		if facts[i].Analyzer != facts[j].Analyzer {
+			return facts[i].Analyzer < facts[j].Analyzer
+		}
+		return facts[i].Type < facts[j].Type
+	})
+	return json.Marshal(facts)
+}
+
+// RunWithFacts analyzes one package against an externally-managed fact
+// set: facts decoded for its dependencies are importable, and facts the
+// analyzers export land in the set for later Encode calls.
+func RunWithFacts(pkg *Package, analyzers []*Analyzer, facts *UnitFacts) ([]Finding, error) {
+	return runPackage(pkg, analyzers, facts.store)
+}

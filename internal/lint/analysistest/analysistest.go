@@ -1,0 +1,152 @@
+// Package analysistest runs one analyzer over fixture packages under a
+// testdata/src tree and compares its diagnostics against `// want "re"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest (see
+// the note on internal/lint/analysis about why the upstream module is not
+// used directly).
+//
+// A want comment annotates the line it appears on:
+//
+//	time.Now() // want `wall-clock read`
+//
+// Multiple expectations may follow one want: // want "re1" "re2". Both
+// interpreted and raw Go string literals are accepted. Lines with no want
+// comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nuconsensus/internal/lint/analysis"
+)
+
+// TestData returns the testdata directory of the calling test's package.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each fixture package at <testdata>/src/<pkg>, runs the
+// analyzer, and reports every mismatch between the diagnostics produced
+// and the fixture's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	resolveDir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkgPath := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+		pkg, err := analysis.CheckDir(dir, pkgPath, resolveDir)
+		if err != nil {
+			t.Errorf("loading %s: %v", pkgPath, err)
+			continue
+		}
+		findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		checkWants(t, dir, findings)
+	}
+}
+
+// wantRx matches a want comment and captures the sequence of expectation
+// literals that follows it.
+var wantRx = regexp.MustCompile("//\\s*want\\s+((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+// literalRx splits the captured sequence into individual string literals.
+var literalRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// checkWants compares findings against the want comments of every fixture
+// file in dir.
+func checkWants(t *testing.T, dir string, findings []analysis.Finding) {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation) // file -> line -> expectations
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byLine := make(map[int][]*expectation)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRx.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, lit := range literalRx.FindAllString(m[1], -1) {
+				pattern, err := unquote(lit)
+				if err != nil {
+					t.Errorf("%s:%d: bad want literal %s: %v", path, i+1, lit, err)
+					continue
+				}
+				rx, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Errorf("%s:%d: bad want regexp %q: %v", path, i+1, pattern, err)
+					continue
+				}
+				byLine[i+1] = append(byLine[i+1], &expectation{rx: rx})
+			}
+		}
+		if len(byLine) > 0 {
+			wants[path] = byLine
+		}
+	}
+
+	for _, f := range findings {
+		exps := wants[f.Posn.Filename][f.Posn.Line]
+		ok := false
+		for _, exp := range exps {
+			if !exp.matched && exp.rx.MatchString(f.Message) {
+				exp.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Posn, f.Message)
+		}
+	}
+	for file, byLine := range wants {
+		for line, exps := range byLine {
+			for _, exp := range exps {
+				if !exp.matched {
+					t.Errorf("%s:%d: no diagnostic matching %q", file, line, exp.rx)
+				}
+			}
+		}
+	}
+}
+
+func unquote(lit string) (string, error) {
+	if strings.HasPrefix(lit, "`") {
+		return strings.Trim(lit, "`"), nil
+	}
+	s, err := strconv.Unquote(lit)
+	if err != nil {
+		return "", fmt.Errorf("%v", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,346 @@
+// Package maporder implements the `maporder` analyzer: a `range` over a
+// Go map visits its entries in deliberately randomized order, so any map
+// iteration whose body lets that order escape — appending to a slice that
+// is never sorted, writing to an io.Writer or strings.Builder, growing a
+// string, returning a witness drawn from the iteration, or sending on a
+// channel — produces output that differs from run to run. In this repo
+// such an escape silently corrupts the regenerated experiment tables that
+// CI diffs on every push.
+//
+// Order-independent bodies (counting, summing, min/max folding, writing
+// through the iteration key into another map, deleting entries) are fine
+// and not flagged. Collect-then-sort is the sanctioned idiom:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys) // or sort.Slice/slices.Sort… — recognized
+//
+// A `//lint:allow maporder <why>` annotation on the range statement (or
+// the line above it) suppresses the whole loop.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"nuconsensus/internal/lint/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iterations whose order escapes into slices, writers, strings, returns or channels",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	seen := make(map[token.Pos]bool)
+	for i, file := range pass.Files {
+		if strings.HasSuffix(pass.Filenames[i], "_test.go") {
+			continue
+		}
+		// Walk function by function so a loop's post-statements (the
+		// sort that legitimizes a collect loop) are in scope.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				checkRange(pass, body, rng, seen)
+				return true
+			})
+			return false // inner Inspect already descended
+		})
+	}
+	return nil, nil
+}
+
+// checkRange analyzes one range statement inside enclosing function body
+// fnBody.
+func checkRange(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, seen map[token.Pos]bool) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if analysis.AllowedAt(pass, "maporder", rng.Pos()) {
+		return
+	}
+
+	iterVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				iterVars[obj] = true
+			}
+		}
+	}
+
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	mapStr := types.ExprString(rng.X)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, fnBody, rng, n, mapStr, report)
+		case *ast.CallExpr:
+			checkWriterCall(pass, rng, n, mapStr, report)
+		case *ast.ReturnStmt:
+			if usesAny(pass, n, iterVars) {
+				report(n.Pos(),
+					"return inside range over map %s escapes the iteration-order-dependent witness; pick it deterministically (e.g. iterate sorted keys)",
+					mapStr)
+			}
+		case *ast.SendStmt:
+			if usesAny(pass, n.Value, iterVars) {
+				report(n.Pos(),
+					"channel send inside range over map %s publishes values in iteration order; sort keys first", mapStr)
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags `s = append(s, …)` collecting into an outer slice
+// that is never sorted afterwards, and `str += …` growing an outer
+// string.
+func checkAssign(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt, mapStr string, report func(token.Pos, string, ...interface{})) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		lt := pass.TypesInfo.TypeOf(as.Lhs[0])
+		if lt != nil && isString(lt) && declaredOutside(pass, as.Lhs[0], rng) {
+			report(as.Pos(),
+				"string concatenation into %s inside range over map %s bakes iteration order into output; sort keys first",
+				types.ExprString(as.Lhs[0]), mapStr)
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		target := types.ExprString(as.Lhs[i])
+		if target != types.ExprString(call.Args[0]) {
+			continue // appending one slice onto another; the target decides
+		}
+		if !declaredOutside(pass, as.Lhs[i], rng) {
+			continue
+		}
+		if sortedAfter(fnBody, rng, target) {
+			continue
+		}
+		report(as.Pos(),
+			"append to %s inside range over map %s accumulates keys/values in iteration order and is never sorted; sort the slice (or the keys) before use",
+			target, mapStr)
+	}
+}
+
+// writerMethods are the output methods of strings.Builder, bytes.Buffer
+// and io.Writer implementations.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// checkWriterCall flags writes to outer writers inside the loop:
+// fmt.Fprint*(w, …), io.WriteString(w, …), and w.Write*(…) method calls.
+func checkWriterCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr, mapStr string, report func(token.Pos, string, ...interface{})) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			full := fn.Pkg().Path() + "." + fn.Name()
+			switch full {
+			case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln", "io.WriteString":
+				if len(call.Args) > 0 && declaredOutside(pass, call.Args[0], rng) {
+					report(call.Pos(),
+						"%s to %s inside range over map %s writes in iteration order; sort keys first",
+						full, types.ExprString(call.Args[0]), mapStr)
+				}
+			}
+			return
+		}
+	}
+	// Method call: writer receivers declared outside the loop.
+	if !writerMethods[sel.Sel.Name] {
+		return
+	}
+	rt := pass.TypesInfo.TypeOf(sel.X)
+	if rt == nil || !isWriterType(rt) || !declaredOutside(pass, sel.X, rng) {
+		return
+	}
+	report(call.Pos(),
+		"%s.%s inside range over map %s writes in iteration order; sort keys first",
+		types.ExprString(sel.X), sel.Sel.Name, mapStr)
+}
+
+// isWriterType reports whether t is strings.Builder, bytes.Buffer, or an
+// implementation of io.Writer (pointers included).
+func isWriterType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			full := obj.Pkg().Path() + "." + obj.Name()
+			if full == "strings.Builder" || full == "bytes.Buffer" {
+				return true
+			}
+		}
+	}
+	return types.Implements(t, ioWriter) || types.Implements(types.NewPointer(t), ioWriter)
+}
+
+// ioWriter is a structurally-built io.Writer interface, so the check
+// works without requiring the analyzed package to import io.
+var ioWriter = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	m := types.NewFunc(token.NoPos, nil, "Write", sig)
+	iface := types.NewInterfaceType([]*types.Func{m}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// declaredOutside reports whether the root object of expr was declared
+// outside the range statement (package-level, receiver, field, or a local
+// preceding the loop). Unresolvable roots count as outside.
+func declaredOutside(pass *analysis.Pass, expr ast.Expr, rng *ast.RangeStmt) bool {
+	root := rootIdent(expr)
+	if root == nil {
+		return true
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[root]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+}
+
+// rootIdent unwraps selectors, indexes, stars and parens to the leftmost
+// identifier.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortFuncs are the canonical "sort it afterwards" calls that legitimize
+// a collect loop.
+var sortFuncs = map[string]bool{
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true, "sort.Strings": true, "sort.Ints": true,
+	"sort.Float64s": true, "slices.Sort": true, "slices.SortFunc": true,
+	"slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether, somewhere after the range loop in the same
+// function body, the named target is passed to a recognized sort call
+// (directly or through a conversion such as sort.Sort(byLen(target))).
+func sortedAfter(fnBody *ast.BlockStmt, rng *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || !sortFuncs[pkg.Name+"."+sel.Sel.Name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+				return false
+			}
+			if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 &&
+				types.ExprString(conv.Args[0]) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// usesAny reports whether the subtree references any of the given
+// objects (the loop's key/value variables).
+func usesAny(pass *analysis.Pass, n ast.Node, objs map[types.Object]bool) bool {
+	if n == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[pass.TypesInfo.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,103 @@
+// Fixture for maporder: map-range loops whose bodies let iteration
+// order escape must be flagged; collect-then-sort and order-independent
+// bodies must not.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map`
+	}
+	return out
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func goodCollectThenSortSlice(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func badWriteString(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `WriteString`
+	}
+}
+
+func badFprintf(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want `fmt.Fprintf`
+	}
+}
+
+func badReturn(m map[string]int) (string, bool) {
+	for k, v := range m {
+		if v > 0 {
+			return k, true // want `return inside range over map`
+		}
+	}
+	return "", false
+}
+
+func goodExistenceReturn(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true // order-independent early exit: fine
+		}
+	}
+	return false
+}
+
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation`
+	}
+	return s
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send`
+	}
+}
+
+func goodMapToMap(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v // commutative writes: fine
+	}
+}
+
+func goodSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // commutative accumulation: fine
+	}
+	return n
+}
+
+func allowedLoop(m map[string]int) []string {
+	var out []string
+	//lint:allow maporder callers sort this before rendering
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package nodeterm_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nuconsensus/internal/lint/analysistest"
+	"nuconsensus/internal/lint/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nodeterm.Analyzer,
+		"internal/model", "internal/trace")
+}
+
+// TestClassificationMatchesLayout is the meta-test: every package under
+// internal/ must be classified as determinism-critical or explicitly
+// exempt (with a reason), and both lists must only name packages that
+// exist — so adding a package without deciding its determinism story
+// fails the build.
+func TestClassificationMatchesLayout(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	internalDir := filepath.Dir(filepath.Dir(wd)) // …/internal/lint/nodeterm -> …/internal
+	if filepath.Base(internalDir) != "internal" {
+		t.Fatalf("expected to run from internal/lint/nodeterm, got %s", wd)
+	}
+
+	critical := make(map[string]bool, len(nodeterm.CriticalPackages))
+	for _, p := range nodeterm.CriticalPackages {
+		critical[p] = true
+	}
+	if len(critical) != len(nodeterm.CriticalPackages) {
+		t.Errorf("CriticalPackages contains duplicates: %v", nodeterm.CriticalPackages)
+	}
+
+	entries, err := os.ReadDir(internalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := make(map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkg := "internal/" + e.Name()
+		onDisk[pkg] = true
+		reason, exempt := nodeterm.ExemptPackages[pkg]
+		switch {
+		case critical[pkg] && exempt:
+			t.Errorf("%s is listed both as critical and as exempt (%q)", pkg, reason)
+		case !critical[pkg] && !exempt:
+			t.Errorf("%s is not classified: add it to nodeterm.CriticalPackages or, with a reason, to nodeterm.ExemptPackages", pkg)
+		}
+	}
+	for _, pkg := range nodeterm.CriticalPackages {
+		if !onDisk[pkg] {
+			t.Errorf("CriticalPackages names %s, which does not exist under %s", pkg, internalDir)
+		}
+	}
+	for pkg := range nodeterm.ExemptPackages {
+		if !onDisk[pkg] {
+			t.Errorf("ExemptPackages names %s, which does not exist under %s", pkg, internalDir)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Fixture: internal/model is determinism-critical, so every banned
+// construct below must be flagged.
+package model
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want `wall-clock read`
+	_ = time.Since(time.Time{})        // want `wall-clock read`
+	_ = time.After(1)                  // want `wall-clock timer`
+	time.Sleep(1)                      // want `wall-clock dependency`
+	_ = rand.Intn(3)                   // want `global math/rand source`
+	rand.Shuffle(1, func(i, j int) {}) // want `global math/rand source`
+	_ = os.Getenv("X")                 // want `environment-dependent logic`
+	go func() {}()                     // want `goroutine spawn`
+}
+
+func good() {
+	r := rand.New(rand.NewSource(7)) // explicitly-seeded constructor: fine
+	_ = r.Intn(3)                    // drawing from a private stream: fine
+	var t time.Time
+	_ = t.Add(time.Second) // time arithmetic on values: fine
+}
+
+func allowed() {
+	//lint:allow nodeterm sanctioned worker pool fixture
+	go func() {}()
+}

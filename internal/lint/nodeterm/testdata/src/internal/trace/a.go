@@ -1,0 +1,16 @@
+// Fixture: internal/trace is exempt from nodeterm, so nothing here may
+// be flagged even though it uses every banned construct.
+package trace
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func unflagged() {
+	_ = time.Now()
+	_ = rand.Intn(3)
+	_ = os.Getenv("X")
+	go func() {}()
+}

@@ -1,0 +1,196 @@
+// Package seedhash implements the `seedhash` analyzer: the parallel
+// experiment engine guarantees byte-identical tables at any worker count
+// only because every unit's RNG stream is derived purely from the
+// (experiment, config, seed) tuple via the engine's hash-seeding helper
+// DeriveSeed. An RNG constructed ad hoc — rand.New(rand.NewSource(42)),
+// or seeding from cfg.Seed directly inside a Spec body — couples the
+// random stream to whatever convention that one site picked, and silently
+// diverges from the sequential order the tables were recorded under.
+//
+// The analyzer therefore requires, (a) in the package that declares the
+// engine's Spec type, and (b) inside any function literal stored in a
+// Spec composite literal (Unit, Configs, Row, Finalize bodies anywhere in
+// the module), that every math/rand constructor call carries a
+// DeriveSeed(…) call somewhere in its argument tree:
+//
+//	rand.New(rand.NewSource(DeriveSeed(sp.ID, cfg))) // ok
+//	rand.New(rand.NewSource(cfg.Seed))               // flagged
+//
+// Code that genuinely needs a raw source (the engine's own helper) can
+// annotate with //lint:allow seedhash <why>.
+package seedhash
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"nuconsensus/internal/lint/analysis"
+)
+
+// Analyzer is the seedhash pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedhash",
+	Doc:  "require per-unit RNGs in experiment Specs to be seeded through the engine's DeriveSeed helper",
+	Run:  run,
+}
+
+// SeedHelper is the required seeding function's name.
+const SeedHelper = "DeriveSeed"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	declaresSpec := packageDeclaresSpec(pass.Pkg)
+	seen := make(map[token.Pos]bool)
+	var flagged []struct{ lo, hi token.Pos }
+
+	check := func(call *ast.CallExpr) {
+		if !isRandConstructor(pass, call) || seen[call.Pos()] {
+			return
+		}
+		for _, iv := range flagged {
+			if call.Pos() >= iv.lo && call.Pos() < iv.hi {
+				return // part of an already-flagged construction
+			}
+		}
+		if containsSeedHelper(call) {
+			return
+		}
+		seen[call.Pos()] = true
+		flagged = append(flagged, struct{ lo, hi token.Pos }{call.Pos(), call.End()})
+		pass.Reportf(call.Pos(),
+			"ad-hoc RNG in experiment code: seed through the engine helper, e.g. rand.New(rand.NewSource(%s(id, cfg)))",
+			SeedHelper)
+	}
+
+	for i, file := range pass.Files {
+		if strings.HasSuffix(pass.Filenames[i], "_test.go") {
+			continue
+		}
+		if declaresSpec {
+			// The whole engine package is in scope.
+			ast.Inspect(file, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					check(call)
+				}
+				return true
+			})
+			continue
+		}
+		// Otherwise only function literals inside Spec composite
+		// literals are in scope.
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isSpecType(pass.TypesInfo.TypeOf(lit)) {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				ast.Inspect(kv.Value, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						check(call)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isRandConstructor reports whether the call constructs a math/rand or
+// math/rand/v2 generator or source.
+func isRandConstructor(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}
+
+// containsSeedHelper reports whether some argument subtree calls the
+// DeriveSeed helper.
+func containsSeedHelper(call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			switch fun := inner.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == SeedHelper {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == SeedHelper {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// packageDeclaresSpec reports whether the package declares the engine's
+// Spec type.
+func packageDeclaresSpec(pkg *types.Package) bool {
+	if obj := pkg.Scope().Lookup("Spec"); obj != nil {
+		if tn, ok := obj.(*types.TypeName); ok {
+			return isSpecType(tn.Type())
+		}
+	}
+	return false
+}
+
+// isSpecType mirrors specregistry's recognition of an experiment Spec: a
+// named struct called "Spec" with a string ID field and at least one
+// function-typed field.
+func isSpecType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Spec" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasID, hasFunc := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "ID" {
+			if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				hasID = true
+			}
+		}
+		if _, ok := f.Type().Underlying().(*types.Signature); ok {
+			hasFunc = true
+		}
+	}
+	return hasID && hasFunc
+}

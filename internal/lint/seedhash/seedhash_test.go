@@ -1,0 +1,12 @@
+package seedhash_test
+
+import (
+	"testing"
+
+	"nuconsensus/internal/lint/analysistest"
+	"nuconsensus/internal/lint/seedhash"
+)
+
+func TestSeedhash(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), seedhash.Analyzer, "experiments")
+}

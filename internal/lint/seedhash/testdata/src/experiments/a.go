@@ -1,0 +1,54 @@
+// Fixture for seedhash: this package declares the engine's Spec type,
+// so every math/rand constructor in it must route its seed through
+// DeriveSeed.
+package experiments
+
+import "math/rand"
+
+type Config struct{ Seed int64 }
+
+type Scale struct{}
+
+type UnitResult struct{}
+
+type Spec struct {
+	ID   string
+	Unit func(sc Scale, cfg Config, rng *rand.Rand) UnitResult
+}
+
+func DeriveSeed(id string, cfg Config) int64 { return int64(len(id)) + cfg.Seed }
+
+func engineOK(sp *Spec, cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(sp.ID, cfg))) // sanctioned path
+}
+
+func engineBad(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed)) // want `ad-hoc RNG`
+}
+
+var badSpec = &Spec{
+	ID: "E1",
+	Unit: func(sc Scale, cfg Config, rng *rand.Rand) UnitResult {
+		r := rand.New(rand.NewSource(42)) // want `ad-hoc RNG`
+		_ = r
+		return UnitResult{}
+	},
+}
+
+var goodSpec = &Spec{
+	ID: "E2",
+	Unit: func(sc Scale, cfg Config, rng *rand.Rand) UnitResult {
+		r := rand.New(rand.NewSource(DeriveSeed("E2", cfg)))
+		_ = r
+		return UnitResult{}
+	},
+}
+
+var allowedSpec = &Spec{
+	ID: "E3",
+	Unit: func(sc Scale, cfg Config, rng *rand.Rand) UnitResult {
+		r := rand.New(rand.NewSource(3)) //lint:allow seedhash raw stream needed for the control arm
+		_ = r
+		return UnitResult{}
+	},
+}

@@ -1,0 +1,334 @@
+// Package specregistry implements the `specregistry` analyzer: every
+// experiment the paper reproduction claims to regenerate must actually be
+// runnable, and every runnable experiment must be documented. Concretely,
+// the analyzer cross-checks three sources of truth:
+//
+//   - experiment Spec composite literals (Spec{ID: "E1", …}) — collected
+//     per package and exported as a package fact, so specs may live in any
+//     package that the registry package imports;
+//   - the Registry map (map[string]*Spec) — each key must have a declared
+//     Spec whose ID field matches the key, and every declared Spec must be
+//     registered;
+//   - EXPERIMENTS.md — every registered ID must have an "## <ID> — …"
+//     section, and every such section must correspond to a registered ID.
+//
+// The document is located by walking up from the registry package's
+// directory, so the analyzer works both on the real tree (EXPERIMENTS.md
+// at the module root) and on analysistest fixtures.
+package specregistry
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"nuconsensus/internal/lint/analysis"
+)
+
+// DocName is the experiments document checked against the registry.
+const DocName = "EXPERIMENTS.md"
+
+// DeclaredIDs is the package fact listing the experiment IDs whose Specs
+// a package declares.
+type DeclaredIDs struct {
+	IDs []string
+}
+
+// AFact marks DeclaredIDs as an analysis fact.
+func (*DeclaredIDs) AFact() {}
+
+// Analyzer is the specregistry pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "specregistry",
+	Doc:       "cross-check experiment Spec declarations, the Registry map, and EXPERIMENTS.md",
+	FactTypes: []analysis.Fact{(*DeclaredIDs)(nil)},
+	Run:       run,
+}
+
+// headingRx matches an experiment section heading: "## E1 — title".
+var headingRx = regexp.MustCompile(`(?m)^##\s+([A-Z]+[0-9]+)\b`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	declared := make(map[string]bool)         // IDs declared by Spec literals in this package
+	specVars := make(map[types.Object]string) // package-level var -> declared Spec ID
+
+	for i, file := range pass.Files {
+		if strings.HasSuffix(pass.Filenames[i], "_test.go") {
+			continue
+		}
+		collectSpecs(pass, file, declared, specVars)
+	}
+	if len(declared) > 0 {
+		ids := make([]string, 0, len(declared))
+		for id := range declared {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		pass.ExportPackageFact(&DeclaredIDs{IDs: ids})
+	}
+
+	for i, file := range pass.Files {
+		if strings.HasSuffix(pass.Filenames[i], "_test.go") {
+			continue
+		}
+		checkRegistry(pass, file, declared, specVars)
+	}
+	return nil, nil
+}
+
+// collectSpecs records every Spec{ID: …} literal in the file: the ID set,
+// and the mapping from the enclosing package-level var to its ID (used to
+// verify Registry keys against the Specs they point at).
+func collectSpecs(pass *analysis.Pass, file *ast.File, declared map[string]bool, specVars map[types.Object]string) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					break
+				}
+				if id, ok := specLitID(pass, vs.Values[i]); ok {
+					declared[id] = true
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						specVars[obj] = id
+					}
+				}
+			}
+		}
+	}
+	// Specs declared in other positions (slices, function bodies) still
+	// count as declared IDs.
+	ast.Inspect(file, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.CompositeLit); ok {
+			if id, ok := specLitIDFromLit(pass, lit); ok {
+				declared[id] = true
+			}
+		}
+		return true
+	})
+}
+
+// specLitID unwraps &Spec{…} / Spec{…} and returns its constant ID.
+func specLitID(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	if u, ok := expr.(*ast.UnaryExpr); ok {
+		expr = u.X
+	}
+	lit, ok := expr.(*ast.CompositeLit)
+	if !ok {
+		return "", false
+	}
+	return specLitIDFromLit(pass, lit)
+}
+
+func specLitIDFromLit(pass *analysis.Pass, lit *ast.CompositeLit) (string, bool) {
+	if !isSpecType(pass.TypesInfo.TypeOf(lit)) {
+		return "", false
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "ID" {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value), true
+		}
+	}
+	return "", false
+}
+
+// isSpecType recognizes an experiment Spec: a named struct called "Spec"
+// with a string ID field and at least one function-typed field (the Unit
+// body).
+func isSpecType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Spec" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasID, hasFunc := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "ID" {
+			if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				hasID = true
+			}
+		}
+		if _, ok := f.Type().Underlying().(*types.Signature); ok {
+			hasFunc = true
+		}
+	}
+	return hasID && hasFunc
+}
+
+// checkRegistry verifies the package's Registry literal (if any) against
+// declared Specs (local + imported facts) and against EXPERIMENTS.md.
+func checkRegistry(pass *analysis.Pass, file *ast.File, declared map[string]bool, specVars map[types.Object]string) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name != "Registry" || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				if _, ok := pass.TypesInfo.TypeOf(lit).Underlying().(*types.Map); !ok {
+					continue
+				}
+				verify(pass, name, lit, declared, specVars)
+			}
+		}
+	}
+}
+
+func verify(pass *analysis.Pass, name *ast.Ident, lit *ast.CompositeLit, declared map[string]bool, specVars map[types.Object]string) {
+	allDeclared := make(map[string]bool, len(declared))
+	for id := range declared {
+		allDeclared[id] = true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		var fact DeclaredIDs
+		if pass.ImportPackageFact(imp, &fact) {
+			for _, id := range fact.IDs {
+				allDeclared[id] = true
+			}
+		}
+	}
+
+	registered := make(map[string]bool)
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[kv.Key]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			continue
+		}
+		key := constant.StringVal(tv.Value)
+		registered[key] = true
+		if !allDeclared[key] {
+			pass.Reportf(kv.Key.Pos(), "Registry key %q has no Spec literal declaring that ID", key)
+		}
+		if id, ok := valueSpecID(pass, kv.Value, specVars); ok && id != key {
+			pass.Reportf(kv.Value.Pos(), "Registry key %q maps to a Spec whose ID is %q", key, id)
+		}
+	}
+	for _, id := range sortedKeys(allDeclared) {
+		if !registered[id] {
+			pass.Reportf(name.Pos(), "experiment %q has a declared Spec but is missing from Registry", id)
+		}
+	}
+
+	docPath := findDoc(pass.Dir)
+	if docPath == "" {
+		pass.Reportf(name.Pos(), "cannot locate %s above %s to cross-check the registry", DocName, pass.Dir)
+		return
+	}
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		pass.Reportf(name.Pos(), "reading %s: %v", docPath, err)
+		return
+	}
+	documented := make(map[string]bool)
+	for _, m := range headingRx.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]] = true
+	}
+	for _, id := range sortedKeys(registered) {
+		if !documented[id] {
+			pass.Reportf(name.Pos(), "experiment %q is registered but has no \"## %s —\" section in %s", id, id, relDoc(pass, docPath))
+		}
+	}
+	for _, id := range sortedKeys(documented) {
+		if !registered[id] {
+			pass.Reportf(name.Pos(), "%s documents experiment %q but Registry does not contain it", relDoc(pass, docPath), id)
+		}
+	}
+}
+
+// valueSpecID resolves a Registry value expression (usually a var like
+// e1Spec) to the ID of the Spec literal it was initialized with.
+func valueSpecID(pass *analysis.Pass, expr ast.Expr, specVars map[types.Object]string) (string, bool) {
+	if id, ok := specLitID(pass, expr); ok {
+		return id, true
+	}
+	if ident, ok := expr.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[ident]; obj != nil {
+			if id, ok := specVars[obj]; ok {
+				return id, true
+			}
+		}
+	}
+	return "", false
+}
+
+// findDoc walks up from dir looking for DocName.
+func findDoc(dir string) string {
+	for d := dir; ; {
+		p := filepath.Join(d, DocName)
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+// relDoc renders the doc path relative to the module (or package) for
+// stable diagnostics.
+func relDoc(pass *analysis.Pass, docPath string) string {
+	base := pass.ModuleDir
+	if base == "" {
+		base = pass.Dir
+	}
+	if rel, err := filepath.Rel(base, docPath); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return DocName
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

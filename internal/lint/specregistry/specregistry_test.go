@@ -1,0 +1,13 @@
+package specregistry_test
+
+import (
+	"testing"
+
+	"nuconsensus/internal/lint/analysistest"
+	"nuconsensus/internal/lint/specregistry"
+)
+
+func TestSpecregistry(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), specregistry.Analyzer,
+		"experiments", "clean")
+}

@@ -1,0 +1,14 @@
+// Fixture for specregistry: a fully consistent package must produce no
+// diagnostics.
+package clean
+
+type Spec struct {
+	ID   string
+	Unit func() int
+}
+
+var e1Spec = &Spec{ID: "E1", Unit: func() int { return 1 }}
+
+var Registry = map[string]*Spec{
+	"E1": e1Spec,
+}

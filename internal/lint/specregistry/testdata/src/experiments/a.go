@@ -1,0 +1,24 @@
+// Fixture for specregistry: declared-vs-registered-vs-documented drift.
+// The sibling EXPERIMENTS.md documents E1, E4 and E9.
+package experiments
+
+type Spec struct {
+	ID   string
+	Unit func() int
+}
+
+var e1Spec = &Spec{ID: "E1", Unit: func() int { return 1 }}
+
+var e2Spec = &Spec{ID: "E2", Unit: func() int { return 2 }}
+
+// e3Spec is declared but never registered.
+var e3Spec = &Spec{ID: "E3", Unit: func() int { return 3 }}
+
+// mismatchSpec carries ID E5 but is registered under key E4.
+var mismatchSpec = &Spec{ID: "E5", Unit: func() int { return 5 }}
+
+var Registry = map[string]*Spec{ // want `"E3" has a declared Spec but is missing from Registry` `"E5" has a declared Spec but is missing from Registry` `"E2" is registered but has no` `documents experiment "E9" but Registry does not contain it`
+	"E1": e1Spec,
+	"E2": e2Spec,
+	"E4": mismatchSpec, // want `Registry key "E4" has no Spec literal` `maps to a Spec whose ID is "E5"`
+}

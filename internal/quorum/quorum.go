@@ -48,16 +48,36 @@ func (s Set) Clone() Set {
 }
 
 // AnyDisjointFrom reports whether some quorum in s is disjoint from some
-// quorum in t, returning a witness pair if so.
+// quorum in t, returning the canonical (smallest) witness pair if so.
 func (s Set) AnyDisjointFrom(t Set) (model.ProcessSet, model.ProcessSet, bool) {
-	for a := range s {
-		for b := range t {
+	if !s.hasDisjointWith(t) {
+		return 0, 0, false
+	}
+	// A witness exists. Rescan in sorted order so the reported pair does
+	// not depend on map iteration order; the existence fast path above
+	// keeps the common (no-witness) case allocation-free.
+	for _, a := range s.Slice() {
+		for _, b := range t.Slice() {
 			if !a.Intersects(b) {
 				return a, b, true
 			}
 		}
 	}
 	return 0, 0, false
+}
+
+// hasDisjointWith reports whether some quorum of s is disjoint from some
+// quorum of t. The predicate is order-independent, so scanning the maps
+// directly is safe.
+func (s Set) hasDisjointWith(t Set) bool {
+	for a := range s {
+		for b := range t {
+			if !a.Intersects(b) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Slice returns the quorums in a deterministic order (for rendering).

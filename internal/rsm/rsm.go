@@ -29,6 +29,7 @@ package rsm
 
 import (
 	"fmt"
+	"sort"
 
 	"nuconsensus/internal/consensus"
 	"nuconsensus/internal/fd"
@@ -336,7 +337,7 @@ func (s *logState) retire() {
 }
 
 // olderSlots lists live instances strictly below the current slot, in
-// increasing order.
+// increasing order (the set is tiny, bounded by retirement).
 func (s *logState) olderSlots() []int {
 	var out []int
 	for slot := range s.instances {
@@ -344,12 +345,7 @@ func (s *logState) olderSlots() []int {
 			out = append(out, slot)
 		}
 	}
-	// Insertion sort: the set is tiny (bounded by retirement).
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out)
 	return out
 }
 
@@ -396,6 +392,7 @@ func DebugState(s model.State) string {
 	for k := range st.instances {
 		live = append(live, k)
 	}
+	sort.Ints(live)
 	cur := "nil"
 	if inst, ok := st.instances[st.slot]; ok {
 		if r, has := model.RoundOf(inst); has {
