@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments experiments-full fuzz fmt vet lint ci clean
+.PHONY: all build test test-short race bench experiments experiments-full substrate-smoke fuzz fmt vet lint ci clean
 
 all: build test
 
@@ -26,6 +26,11 @@ experiments:
 
 experiments-full:
 	$(GO) run ./cmd/experiments -full -parallel 0 -json EXPERIMENTS.tables.json -o EXPERIMENTS.tables.md
+
+# substrate-smoke runs a small portable slice on the concurrent goroutine
+# substrate under the race detector — the CI cross-substrate check.
+substrate-smoke:
+	$(GO) run -race ./cmd/experiments -e E1,Q1,Q2 -substrate async
 
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecodePayload -fuzztime 30s
@@ -51,6 +56,7 @@ ci: vet lint
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(GO) run ./cmd/experiments -parallel 4 -json experiments.json
+	$(GO) run -race ./cmd/experiments -e E1,Q1,Q2 -substrate async
 
 clean:
 	$(GO) clean ./...

@@ -5,15 +5,18 @@
 //
 // Usage:
 //
-//	experiments [-e E1,Q4] [-full] [-seeds N] [-parallel N] [-json out.json] [-timeout 5m]
+//	experiments [-e E1,Q4] [-substrate sim|async|tcp] [-full] [-seeds N] [-parallel N] [-json out.json] [-timeout 5m]
 //
-// With no -e flag, every experiment runs in canonical order. -parallel sets
-// the worker-pool size (default: all CPUs); the rendered tables on stdout
-// are byte-identical for every worker count. -json additionally writes a
-// machine-readable report (tables, per-row timing, pass verdicts) for CI to
-// archive. -timeout aborts the whole run via context cancellation. The
-// process exits 1 if any selected experiment fails its claim, 2 on usage or
-// runtime errors.
+// With no -e flag, every experiment runs in canonical order. -substrate
+// selects the execution backend of internal/substrate (default sim, the
+// deterministic step simulator); on a non-sim substrate only the
+// substrate-portable experiments run (and with no -e flag, only those are
+// selected). -parallel sets the worker-pool size (default: all CPUs); on
+// the sim substrate the rendered tables on stdout are byte-identical for
+// every worker count. -json additionally writes a machine-readable report
+// (tables, per-row timing, pass verdicts) for CI to archive. -timeout
+// aborts the whole run via context cancellation. The process exits 1 if
+// any selected experiment fails its claim, 2 on usage or runtime errors.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"nuconsensus/internal/experiments"
+	"nuconsensus/internal/substrate"
 )
 
 func main() {
@@ -46,8 +50,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", runtime.NumCPU(), "worker-pool size (1 = sequential; output is identical either way)")
 		jsonOut  = fs.String("json", "", "write a machine-readable JSON report to this file")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		subName  = fs.String("substrate", "sim", "execution backend: "+strings.Join(substrate.Names(), "|"))
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, err := substrate.Get(*subName); err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -69,8 +78,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *seeds > 0 {
 		sc.Seeds = *seeds
 	}
+	sc.Substrate = *subName
 
 	ids := experiments.IDs()
+	if sc.SubstrateName() != "sim" {
+		// Without an explicit selection, a concurrent substrate runs the
+		// portable slice; an explicit -e naming a non-portable experiment
+		// still fails fast in RunIDs.
+		ids = experiments.PortableIDs()
+	}
 	if *sel != "" {
 		ids = nil
 		for _, id := range strings.Split(*sel, ",") {

@@ -9,20 +9,21 @@ import (
 	"nuconsensus/internal/fd"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 )
 
 // drive runs one consensus execution and returns the result plus recorder.
-func drive(t *testing.T, aut model.Automaton, pattern *model.FailurePattern, hist model.History, seed int64, maxSteps int) (*sim.Result, *trace.Recorder) {
+func drive(t *testing.T, aut model.Automaton, pattern *model.FailurePattern, hist model.History, seed int64, maxSteps int) (*substrate.Result, *trace.Recorder) {
 	t.Helper()
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,
 		Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
 		MaxSteps:  maxSteps,
-		StopWhen:  sim.AllCorrectDecided(pattern),
+		StopWhen:  substrate.AllCorrectDecided(pattern),
 		Recorder:  rec,
 	})
 	if err != nil {
@@ -70,7 +71,7 @@ func TestANucAllFailureCounts(t *testing.T) {
 func TestANucUnanimousProposal(t *testing.T) {
 	pattern := model.PatternFromCrashes(4, map[model.ProcessID]model.Time{0: 20})
 	res, _ := drive(t, consensus.NewANuc([]int{6, 6, 6, 6}), pattern, pairNuPlus(pattern, 60, 2), 2, 30000)
-	for p, v := range sim.Decisions(res.Config) {
+	for p, v := range substrate.Decisions(res.Config) {
 		if v != 6 {
 			t.Errorf("%v decided %d, want 6", p, v)
 		}
@@ -83,7 +84,7 @@ func TestANucDeterministic(t *testing.T) {
 	run := func() (map[model.ProcessID]int, int) {
 		pattern := model.PatternFromCrashes(4, map[model.ProcessID]model.Time{3: 40})
 		res, _ := drive(t, consensus.NewANuc([]int{0, 1, 0, 1}), pattern, pairNuPlus(pattern, 60, 5), 5, 30000)
-		return sim.Decisions(res.Config), res.Steps
+		return substrate.Decisions(res.Config), res.Steps
 	}
 	d1, s1 := run()
 	d2, s2 := run()
@@ -114,7 +115,7 @@ func TestANucDecisionIrrevocable(t *testing.T) {
 
 	first := make(map[model.ProcessID]int)
 	rec := &trace.Recorder{}
-	_, err := sim.Run(sim.Options{
+	_, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,
@@ -192,8 +193,8 @@ func TestMRMajorityBlocksWithoutMajority(t *testing.T) {
 	if res.Stopped {
 		t.Fatal("majority MR decided with half the processes crashed")
 	}
-	if len(sim.Decisions(res.Config)) != 0 {
-		t.Fatalf("unexpected decisions %v", sim.Decisions(res.Config))
+	if len(substrate.Decisions(res.Config)) != 0 {
+		t.Fatalf("unexpected decisions %v", substrate.Decisions(res.Config))
 	}
 }
 
@@ -221,7 +222,7 @@ func TestRoundsAreMonotone(t *testing.T) {
 	aut := consensus.NewANuc([]int{0, 1, 0})
 	hist := pairNuPlus(pattern, 40, 1)
 	last := make(map[model.ProcessID]int)
-	_, err := sim.Run(sim.Options{
+	_, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,

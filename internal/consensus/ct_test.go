@@ -9,6 +9,7 @@ import (
 	"nuconsensus/internal/hb"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/transform"
 )
 
@@ -28,13 +29,13 @@ func TestCTUniformConsensus(t *testing.T) {
 				for i := range props {
 					props[i] = i % 2
 				}
-				res, err := sim.Run(sim.Options{
+				res, err := sim.Run(sim.Exec{
 					Automaton: consensus.NewCT(props),
 					Pattern:   pattern,
 					History:   fd.NewSuspicion(pattern, 90, seed),
 					Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
 					MaxSteps:  30000,
-					StopWhen:  sim.AllCorrectDecided(pattern),
+					StopWhen:  substrate.AllCorrectDecided(pattern),
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -63,7 +64,7 @@ func TestCTWithHeartbeatSuspector(t *testing.T) {
 			consensus.NewCT([]int{0, 1, 0, 1, 0}),
 			func(pl model.Payload) bool { _, ok := pl.(hb.HeartbeatPayload); return ok },
 		)
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: aut,
 			Pattern:   pattern,
 			History:   fd.Null,
@@ -73,7 +74,7 @@ func TestCTWithHeartbeatSuspector(t *testing.T) {
 				After:  sim.NewFairScheduler(seed+50, 0.9, 2),
 			},
 			MaxSteps: 60000,
-			StopWhen: sim.AllCorrectDecided(pattern),
+			StopWhen: substrate.AllCorrectDecided(pattern),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -91,19 +92,19 @@ func TestCTWithHeartbeatSuspector(t *testing.T) {
 // majorities and must not decide.
 func TestCTBlocksWithoutMajority(t *testing.T) {
 	pattern := model.PatternFromCrashes(4, map[model.ProcessID]model.Time{2: 1, 3: 1})
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: consensus.NewCT([]int{0, 1, 0, 1}),
 		Pattern:   pattern,
 		History:   fd.NewSuspicion(pattern, 30, 1),
 		Scheduler: sim.NewFairScheduler(1, 0.8, 3),
 		MaxSteps:  4000,
-		StopWhen:  sim.AllCorrectDecided(pattern),
+		StopWhen:  substrate.AllCorrectDecided(pattern),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stopped || len(sim.Decisions(res.Config)) != 0 {
-		t.Fatalf("CT decided without a correct majority: %v", sim.Decisions(res.Config))
+	if res.Stopped || len(substrate.Decisions(res.Config)) != 0 {
+		t.Fatalf("CT decided without a correct majority: %v", substrate.Decisions(res.Config))
 	}
 }
 
@@ -114,7 +115,7 @@ func TestCTSafetyFuzz(t *testing.T) {
 		pattern := model.PatternFromCrashes(5, map[model.ProcessID]model.Time{
 			model.ProcessID(seed % 5): model.Time(5 + seed%40),
 		})
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: consensus.NewCT([]int{1, 2, 3, 4, 5}),
 			Pattern:   pattern,
 			History:   fd.NewSuspicion(pattern, 60, seed),

@@ -22,7 +22,7 @@ func TestLemma620And621Invariants(t *testing.T) {
 		pattern := model.PatternFromCrashes(4, map[model.ProcessID]model.Time{3: 60})
 		correct := pattern.Correct()
 		aut := consensus.NewANuc([]int{0, 1, 0, 1})
-		_, err := sim.Run(sim.Options{
+		_, err := sim.Run(sim.Exec{
 			Automaton: aut,
 			Pattern:   pattern,
 			History:   pairNuPlus(pattern, 90, seed),
@@ -72,7 +72,7 @@ func TestANucSafetyFuzz(t *testing.T) {
 		for i := range props {
 			props[i] = int(propBits >> uint(i) & 1)
 		}
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: consensus.NewANuc(props),
 			Pattern:   pattern,
 			History:   pairNuPlus(pattern, 70, seed),
@@ -115,7 +115,7 @@ func TestMRSigmaSafetyFuzz(t *testing.T) {
 		for i := range props {
 			props[i] = i % 2
 		}
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: consensus.NewMRSigma(props),
 			Pattern:   pattern,
 			History:   pairSigma(pattern, 70, seed),

@@ -8,6 +8,7 @@ import (
 	"nuconsensus/internal/fd"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 )
 
@@ -22,13 +23,13 @@ func TestANucSmoke(t *testing.T) {
 	}
 	aut := consensus.NewANuc([]int{0, 1, 1, 0})
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,
 		Scheduler: sim.NewFairScheduler(1, 0.8, 3),
 		MaxSteps:  20000,
-		StopWhen:  sim.AllCorrectDecided(pattern),
+		StopWhen:  substrate.AllCorrectDecided(pattern),
 		Recorder:  rec,
 	})
 	if err != nil {

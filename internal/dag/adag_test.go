@@ -12,7 +12,7 @@ import (
 func TestADagBuildsSharedDAG(t *testing.T) {
 	n := 3
 	pattern := model.NewFailurePattern(n)
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: dag.NewADag(n),
 		Pattern:   pattern,
 		History:   fd.NewOmega(pattern, 0, 1),

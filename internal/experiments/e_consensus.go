@@ -18,8 +18,11 @@ func itoa(v int) string { return strconv.Itoa(v) }
 // failures f (including f ≥ n/2, where majority-based algorithms are
 // stuck), randomized crash times and detector noise.
 var e1Spec = &Spec{
-	ID:    "E1",
-	Title: "A_nuc solves nonuniform consensus with (Ω, Σν+)",
+	ID: "E1",
+	// Portable: every execution goes through runConsensus, and the claim
+	// is about outcomes, not step order.
+	Portable: true,
+	Title:    "A_nuc solves nonuniform consensus with (Ω, Σν+)",
 	Claim: "Theorem 6.27: in any environment, every admissible run of A_nuc " +
 		"using (Ω, Σν+) satisfies termination, validity and nonuniform agreement.",
 	Columns: []string{"n", "f", "runs", "ok", "avg steps", "avg rounds", "avg msgs"},
@@ -39,7 +42,7 @@ var e1Spec = &Spec{
 			First:  fd.NewOmega(pattern, 120, cfg.Seed),
 			Second: fd.NewSigmaNuPlus(pattern, 120, cfg.Seed),
 		}
-		r, err := runConsensus(consensus.NewANuc(mixedProposals(cfg.N, rng)), pattern, hist, cfg.Seed, sc.MaxSteps)
+		r, err := runConsensus(sc, consensus.NewANuc(mixedProposals(cfg.N, rng)), pattern, hist, cfg.Seed, sc.MaxSteps)
 		if err == nil && r.Decided && r.Outcome.NonuniformConsensus(pattern) == nil {
 			u.OK = true
 		} else {
@@ -61,8 +64,11 @@ var e1Spec = &Spec{
 // composed with T_{Σν→Σν+}, driven by adversarial Σν histories whose
 // faulty modules emit junk quorums.
 var e2Spec = &Spec{
-	ID:    "E2",
-	Title: "(Ω, Σν) solves nonuniform consensus via T_{Σν→Σν+} ∘ A_nuc",
+	ID: "E2",
+	// Portable: every execution goes through runConsensus, and the claim
+	// is about outcomes, not step order.
+	Portable: true,
+	Title:    "(Ω, Σν) solves nonuniform consensus via T_{Σν→Σν+} ∘ A_nuc",
 	Claim: "Theorem 6.28: running T_{Σν→Σν+} concurrently with A_nuc solves " +
 		"nonuniform consensus with (Ω, Σν) in any environment.",
 	Columns: []string{"n", "f", "runs", "ok", "avg steps", "avg rounds"},
@@ -87,7 +93,7 @@ var e2Spec = &Spec{
 			transform.NewSigmaNuPlusTransformer(cfg.N),
 			consensus.NewANuc(mixedProposals(cfg.N, rng)),
 		)
-		r, err := runConsensus(aut, pattern, hist, cfg.Seed, min(sc.MaxSteps, 6000))
+		r, err := runConsensus(sc, aut, pattern, hist, cfg.Seed, min(sc.MaxSteps, 6000))
 		if err == nil && r.Decided && r.Outcome.NonuniformConsensus(pattern) == nil {
 			u.OK = true
 		} else {
@@ -110,8 +116,11 @@ var e2Spec = &Spec{
 // quorum-failure-detector algorithms terminate; MR-majority blocks, which
 // is the separation the paper's "any environment" claim is about).
 var q1Spec = &Spec{
-	ID:    "Q1",
-	Title: "Decision latency vs n and f: A_nuc vs MR-majority vs MR-Σ",
+	ID: "Q1",
+	// Portable: every execution goes through runConsensus, and the claim
+	// is about outcomes, not step order.
+	Portable: true,
+	Title:    "Decision latency vs n and f: A_nuc vs MR-majority vs MR-Σ",
 	Claim: "§6.3: A_nuc pays extra rounds/messages over MR for nonuniformity " +
 		"defenses; MR-majority cannot terminate once f ≥ n/2 while A_nuc and MR-Σ can.",
 	Columns: []string{"n", "f", "A_nuc steps", "A_nuc rounds", "MR-maj steps", "MR-Σ steps"},
@@ -133,7 +142,7 @@ var q1Spec = &Spec{
 		pairNuPlus := fd.PairHistory{First: fd.NewOmega(pattern, 100, cfg.Seed), Second: fd.NewSigmaNuPlus(pattern, 100, cfg.Seed)}
 		pairSigma := fd.PairHistory{First: fd.NewOmega(pattern, 100, cfg.Seed), Second: fd.NewSigma(pattern, 100, cfg.Seed)}
 
-		if r, err := runConsensus(consensus.NewANuc(props), pattern, pairNuPlus, cfg.Seed, sc.MaxSteps); err == nil && r.Decided {
+		if r, err := runConsensus(sc, consensus.NewANuc(props), pattern, pairNuPlus, cfg.Seed, sc.MaxSteps); err == nil && r.Decided {
 			u.Add("aSteps", r.Steps)
 			u.Add("aRounds", r.MaxRound)
 			u.Add("aN", 1)
@@ -141,14 +150,14 @@ var q1Spec = &Spec{
 			u.Fail = true
 		}
 		if majorityWorks {
-			if r, err := runConsensus(consensus.NewMRMajority(props), pattern, pairSigma, cfg.Seed, sc.MaxSteps); err == nil && r.Decided {
+			if r, err := runConsensus(sc, consensus.NewMRMajority(props), pattern, pairSigma, cfg.Seed, sc.MaxSteps); err == nil && r.Decided {
 				u.Add("mSteps", r.Steps)
 				u.Add("mN", 1)
 			} else {
 				u.Fail = true
 			}
 		}
-		if r, err := runConsensus(consensus.NewMRSigma(props), pattern, pairSigma, cfg.Seed, sc.MaxSteps); err == nil && r.Decided {
+		if r, err := runConsensus(sc, consensus.NewMRSigma(props), pattern, pairSigma, cfg.Seed, sc.MaxSteps); err == nil && r.Decided {
 			u.Add("sSteps", r.Steps)
 			u.Add("sN", 1)
 		} else {
@@ -170,8 +179,11 @@ var q1Spec = &Spec{
 // q2Spec measures message complexity per decision by payload kind, showing
 // the SAW/ACK overhead A_nuc pays for the quorum-awareness property.
 var q2Spec = &Spec{
-	ID:    "Q2",
-	Title: "Messages per decided run, by kind (A_nuc vs MR-Σ)",
+	ID: "Q2",
+	// Portable: every execution goes through runConsensus, and the claim
+	// is about outcomes, not step order.
+	Portable: true,
+	Title:    "Messages per decided run, by kind (A_nuc vs MR-Σ)",
 	Claim: "§6.3: A_nuc adds the SAW/ACK quorum-awareness traffic and history " +
 		"piggybacking on top of MR's LEAD/REP/PROP pattern.",
 	Columns: []string{"algorithm", "n", "LEAD", "REP", "PROP", "SAW", "ACK", "total"},
@@ -198,7 +210,7 @@ var q2Spec = &Spec{
 			aut = consensus.NewMRSigma(props)
 			hist = fd.PairHistory{First: fd.NewOmega(pattern, 100, cfg.Seed), Second: fd.NewSigma(pattern, 100, cfg.Seed)}
 		}
-		r, err := runConsensus(aut, pattern, hist, cfg.Seed, sc.MaxSteps)
+		r, err := runConsensus(sc, aut, pattern, hist, cfg.Seed, sc.MaxSteps)
 		if err != nil || !r.Decided {
 			u.Fail = true
 			return u

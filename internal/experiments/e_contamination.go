@@ -59,11 +59,11 @@ func (a contaminationAdversary) sigmaNuPlusHistory(pattern *model.FailurePattern
 // the outcome on u as the counters "runs", "viol" and "undec". Runs that
 // error out are not counted — exactly the accounting of the old sequential
 // hunt loop, just one seed at a time so the engine can fan seeds out.
-func huntSeed(u *UnitResult, adv contaminationAdversary, build func(props []int) model.Automaton, history func(*model.FailurePattern, int64) model.History, seed int64, maxSteps int) {
+func huntSeed(u *UnitResult, sc Scale, adv contaminationAdversary, build func(props []int) model.Automaton, history func(*model.FailurePattern, int64) model.History, seed int64, maxSteps int) {
 	pattern := adv.pattern()
 	props := make([]int, adv.n)
 	props[adv.misleader] = 1 // the faulty process's divergent estimate
-	r, err := runConsensus(build(props), pattern, history(pattern, seed), seed, maxSteps)
+	r, err := runConsensus(sc, build(props), pattern, history(pattern, seed), seed, maxSteps)
 	if err != nil {
 		return
 	}
@@ -107,13 +107,13 @@ var e6Spec = &Spec{
 		cfgs = append(cfgs, seedRange(Config{Label: "T_{Σν→Σν+}∘A_nuc"}, seeds)...)
 		return cfgs
 	},
-	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+	Unit: func(sc Scale, cfg Config, _ *rand.Rand) UnitResult {
 		var u UnitResult
 		adv := e6Adversary
 		if cfg.Label == "MR-naiveΣν" {
-			huntSeed(&u, adv, buildNaive, adv.sigmaNuHistory, cfg.Seed, 20000)
+			huntSeed(&u, sc, adv, buildNaive, adv.sigmaNuHistory, cfg.Seed, 20000)
 		} else {
-			huntSeed(&u, adv, buildBoostedANuc(adv.n), adv.sigmaNuHistory, cfg.Seed, 8000)
+			huntSeed(&u, sc, adv, buildBoostedANuc(adv.n), adv.sigmaNuHistory, cfg.Seed, 8000)
 		}
 		return u
 	},
@@ -148,13 +148,13 @@ var q4Spec = &Spec{
 		}
 		return cfgs
 	},
-	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+	Unit: func(sc Scale, cfg Config, _ *rand.Rand) UnitResult {
 		var u UnitResult
 		adv := contaminationAdversary{n: 3, misleader: 2, period: model.Time(cfg.Arg), stabilize: 280}
 		if cfg.Label == "naive" {
-			huntSeed(&u, adv, buildNaive, adv.sigmaNuHistory, cfg.Seed, 20000)
+			huntSeed(&u, sc, adv, buildNaive, adv.sigmaNuHistory, cfg.Seed, 20000)
 		} else {
-			huntSeed(&u, adv, buildBoostedANuc(adv.n), adv.sigmaNuHistory, cfg.Seed, 8000)
+			huntSeed(&u, sc, adv, buildBoostedANuc(adv.n), adv.sigmaNuHistory, cfg.Seed, 8000)
 			if u.Metrics["viol"] > 0 {
 				u.Fail = true
 			}
@@ -202,11 +202,11 @@ var q5Spec = &Spec{
 		}
 		return cfgs
 	},
-	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+	Unit: func(sc Scale, cfg Config, _ *rand.Rand) UnitResult {
 		var u UnitResult
 		adv := e6Adversary
 		ab := q5Variants[cfg.Arg].ab
-		huntSeed(&u, adv, func(props []int) model.Automaton {
+		huntSeed(&u, sc, adv, func(props []int) model.Automaton {
 			return consensus.NewANucAblated(props, ab)
 		}, adv.sigmaNuPlusHistory, cfg.Seed, 20000)
 		return u

@@ -14,8 +14,11 @@ import (
 // baseline picture: majority algorithms (MR-Ω, CT-◇S) stop at f < n/2,
 // quorum-detector algorithms (MR-Σ, A_nuc) cover every f < n.
 var e15Spec = &Spec{
-	ID:    "E15",
-	Title: "Chandra–Toueg (◇S + majority) baseline",
+	ID: "E15",
+	// Portable: every execution goes through runConsensus, and the claim
+	// is about outcomes, not step order.
+	Portable: true,
+	Title:    "Chandra–Toueg (◇S + majority) baseline",
 	Claim: "[2]: the rotating-coordinator algorithm solves uniform consensus " +
 		"with ◇S when a majority is correct — and cannot terminate otherwise.",
 	Columns: []string{"n", "f", "runs", "ok", "avg steps", "avg rounds"},
@@ -49,9 +52,9 @@ var e15Spec = &Spec{
 		}
 		budget := sc.MaxSteps
 		if !majorityOK {
-			budget = 4000 // expecting a block, keep it cheap
+			budget = blockBudget(4000) // expecting a block, keep it cheap
 		}
-		r, err := runConsensus(consensus.NewCT(props), pattern,
+		r, err := runConsensus(sc, consensus.NewCT(props), pattern,
 			fd.NewSuspicion(pattern, 90, seed), seed, budget)
 		if err != nil {
 			u.Fail = true

@@ -44,7 +44,7 @@ var e13Spec = &Spec{
 			pattern.SetCrash(model.ProcessID(n-1-i), model.Time(40+30*i))
 		}
 		rec := &trace.Recorder{}
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: hb.NewSuspector(n, 0, 0),
 			Pattern:   pattern,
 			History:   fd.Null,
@@ -61,8 +61,8 @@ var e13Spec = &Spec{
 			return u
 		}
 		stab := suspicionHorizon(rec.Outputs, pattern)
-		if stab > res.Time*4/5 {
-			u.failf("n=%d f=%d seed=%d: suspicion unstable until %d of %d", n, f, seed, stab, res.Time)
+		if stab > res.Ticks*4/5 {
+			u.failf("n=%d f=%d seed=%d: suspicion unstable until %d of %d", n, f, seed, stab, res.Ticks)
 			return u
 		}
 		if err := check.EventuallyPerfect(rec.Outputs, pattern, stab); err != nil {
@@ -141,14 +141,14 @@ var e14Spec = &Spec{
 		}
 		return cfgs
 	},
-	Unit: func(_ Scale, cfg Config, _ *rand.Rand) UnitResult {
+	Unit: func(sc Scale, cfg Config, _ *rand.Rand) UnitResult {
 		var u UnitResult
 		c := e14Contestants[cfg.Arg]
 		// The faulty process proposes the odd value out and crashes late
 		// enough to decide on its own junk quorum.
 		n := 3
 		pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{2: 150})
-		r, err := runConsensus(c.build([]int{0, 0, 1}), pattern, c.hist(pattern, cfg.Seed), cfg.Seed, 30000)
+		r, err := runConsensus(sc, c.build([]int{0, 0, 1}), pattern, c.hist(pattern, cfg.Seed), cfg.Seed, 30000)
 		if err != nil || !r.Decided {
 			return u
 		}

@@ -49,7 +49,7 @@ var e9Spec = &Spec{
 		pattern := model.NewFailurePattern(n)
 		hist := fd.PairHistory{First: fd.NewOmega(pattern, 0, seed), Second: fd.NewSigma(pattern, 0, seed)}
 		run := func(aut model.Automaton, side model.ProcessSet, s int64) (*model.Run, error) {
-			res, err := sim.Run(sim.Options{
+			res, err := sim.Run(sim.Exec{
 				Automaton:    aut,
 				Pattern:      pattern,
 				History:      hist,
@@ -140,7 +140,7 @@ var e10Spec = &Spec{
 		n := 4
 		pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 40})
 		rec := &trace.Recorder{}
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: dag.NewADag(n),
 			Pattern:   pattern,
 			History:   fd.NewOmega(pattern, 60, seed),

@@ -9,6 +9,7 @@ import (
 	"nuconsensus/internal/hb"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 	"nuconsensus/internal/transform"
 )
@@ -44,7 +45,7 @@ var e11Spec = &Spec{
 			pattern.SetCrash(model.ProcessID(i), model.Time(30+20*i))
 		}
 		rec := &trace.Recorder{}
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: hb.NewOmega(n, 0, 0),
 			Pattern:   pattern,
 			History:   fd.Null,
@@ -61,8 +62,8 @@ var e11Spec = &Spec{
 			return u
 		}
 		stab := leaderHorizon(rec.Outputs, pattern)
-		if stab > res.Time*4/5 {
-			u.failf("n=%d f=%d seed=%d: leader unstable until %d of %d", n, f, seed, stab, res.Time)
+		if stab > res.Ticks*4/5 {
+			u.failf("n=%d f=%d seed=%d: leader unstable until %d of %d", n, f, seed, stab, res.Ticks)
 			return u
 		}
 		if err := check.OmegaOutputs(rec.Outputs, pattern, stab); err != nil {
@@ -135,7 +136,7 @@ var e12Spec = &Spec{
 			transform.NewScratchSigmaNuPlus(n, tf),
 			consensus.NewANuc(props),
 		)
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: aut,
 			Pattern:   pattern,
 			History:   fd.Null,
@@ -145,7 +146,7 @@ var e12Spec = &Spec{
 				After:  sim.NewFairScheduler(seed+99, 0.9, 2),
 			},
 			MaxSteps: sc.MaxSteps,
-			StopWhen: sim.AllCorrectDecided(pattern),
+			StopWhen: substrate.AllCorrectDecided(pattern),
 		})
 		if err != nil || !res.Stopped {
 			u.failf("n=%d f=%d seed=%d: err=%v stopped=%v", n, f, seed, err, res != nil && res.Stopped)

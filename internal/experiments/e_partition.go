@@ -76,7 +76,7 @@ func RunPartition(name string, candidate model.Automaton, n, tFaults int) Partit
 			return ok && q.SubsetOf(side)
 		}
 	}
-	resR, err := sim.Run(sim.Options{
+	resR, err := sim.Run(sim.Exec{
 		Automaton:    candidate,
 		Pattern:      patternR,
 		History:      hist,
@@ -95,7 +95,7 @@ func RunPartition(name string, candidate model.Automaton, n, tFaults int) Partit
 	}
 	qa, _ := fd.QuorumOf(resR.Config.States[a].(model.FDOutput).EmulatedOutput())
 	out.AQuorum = qa
-	out.Tau = resR.Time
+	out.Tau = resR.Ticks
 
 	// Run R′: replay R's schedule (A-only steps; B silent), then crash A at
 	// τ+1 and let B run alone.
@@ -105,7 +105,7 @@ func RunPartition(name string, candidate model.Automaton, n, tFaults int) Partit
 	}
 	patternRp := model.NewFailurePattern(n)
 	sideA.ForEach(func(p model.ProcessID) { patternRp.SetCrash(p, out.Tau+1) })
-	resRp, err := sim.Run(sim.Options{
+	resRp, err := sim.Run(sim.Exec{
 		Automaton: candidate,
 		Pattern:   patternRp,
 		History:   hist,
@@ -204,7 +204,7 @@ var e8Spec = &Spec{
 		tf := (n - 1) / 2
 		pattern := randomPattern(n, f, 50, rng)
 		rec := &trace.Recorder{}
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: transform.NewScratchSigma(n, tf),
 			Pattern:   pattern,
 			History:   fd.Null,
@@ -217,7 +217,7 @@ var e8Spec = &Spec{
 			return u
 		}
 		stab, herr := check.LastCompletenessViolation(rec.Outputs, pattern)
-		if herr == nil && stab <= res.Time*4/5 && check.Sigma(rec.Outputs, pattern, stab) == nil {
+		if herr == nil && stab <= res.Ticks*4/5 && check.Sigma(rec.Outputs, pattern, stab) == nil {
 			u.OK = true
 		} else {
 			u.failf("n=%d f=%d seed=%d: horizon=%d %v %v", n, f, cfg.Seed, stab, herr, check.Sigma(rec.Outputs, pattern, stab))

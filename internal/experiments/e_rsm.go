@@ -44,7 +44,7 @@ var q7Spec = &Spec{
 			cmds[p] = []int{100*p + 1}
 		}
 		rec := &trace.Recorder{}
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: rsm.NewLog(cmds, q7Slots),
 			Pattern:   pattern,
 			History:   rsm.PairForLog(pattern, 80, seed),

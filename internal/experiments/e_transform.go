@@ -17,7 +17,7 @@ import (
 // output samples plus their stabilization time.
 func runTransformer(aut model.Automaton, pattern *model.FailurePattern, hist model.History, seed int64, maxSteps int) ([]trace.Sample, model.Time, model.Time, error) {
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,
@@ -32,7 +32,7 @@ func runTransformer(aut model.Automaton, pattern *model.FailurePattern, hist mod
 	if herr != nil {
 		return nil, 0, 0, herr
 	}
-	return rec.Outputs, horizon, res.Time, nil
+	return rec.Outputs, horizon, res.Ticks, nil
 }
 
 // extractionBudget scales the step budget of DAG-extraction runs with n:

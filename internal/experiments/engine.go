@@ -128,6 +128,14 @@ type Spec struct {
 	ID, Title, Claim string
 	Columns          []string
 
+	// Portable marks the experiment as substrate-portable: every execution
+	// its Unit performs goes through runConsensus, so it runs unchanged
+	// with Scale.Substrate set to a concurrent backend. Non-portable specs
+	// depend on sim-only machinery (scripted and partially synchronous
+	// schedulers, kept schedules, step-exact replay) and refuse to run on a
+	// non-sim substrate.
+	Portable bool
+
 	// Configs enumerates the units at a given scale, in canonical row
 	// order. Consecutive configs with equal key() form one row group.
 	Configs func(sc Scale) []Config
@@ -150,6 +158,9 @@ type Spec struct {
 // Run executes the spec synchronously on the calling goroutine, unit by
 // unit in canonical order. It is the Workers=1 path of the engine.
 func (sp *Spec) Run(sc Scale) Table {
+	if err := sp.checkSubstrate(sc); err != nil {
+		return Table{ID: sp.ID, Title: sp.Title, Claim: sp.Claim, Columns: sp.Columns, Pass: false, Notes: []string{err.Error()}}
+	}
 	configs := sp.Configs(sc)
 	units := make([]UnitResult, len(configs))
 	for i, cfg := range configs {
@@ -169,6 +180,14 @@ func (sp *Spec) runUnit(sc Scale, cfg Config) UnitResult {
 	u.Cfg = cfg
 	u.elapsed = time.Since(start) //lint:allow nodeterm timing is diagnostic-only, never rendered
 	return u
+}
+
+// checkSubstrate rejects non-portable specs on non-sim substrates.
+func (sp *Spec) checkSubstrate(sc Scale) error {
+	if !sp.Portable && sc.SubstrateName() != "sim" {
+		return fmt.Errorf("experiments: %s is not substrate-portable; run it with -substrate sim", sp.ID)
+	}
+	return nil
 }
 
 // reduce assembles the final table from per-unit results in config order,
@@ -238,6 +257,9 @@ func RunIDs(ctx context.Context, ids []string, sc Scale, opts Options) ([]Table,
 		sp, ok := Registry[id]
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+		if err := sp.checkSubstrate(sc); err != nil {
+			return nil, err
 		}
 		specs[i] = sp
 	}

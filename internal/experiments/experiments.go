@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,8 +19,14 @@ import (
 
 	"nuconsensus/internal/check"
 	"nuconsensus/internal/model"
-	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
+
+	// The substrate backends register themselves on import, so every
+	// consumer of this package can resolve -substrate sim|async|tcp.
+	_ "nuconsensus/internal/netrun"
+	_ "nuconsensus/internal/runtime"
+	_ "nuconsensus/internal/sim"
 )
 
 // Table is one regenerated experiment table.
@@ -98,6 +105,24 @@ func (r Report) WriteJSON(w io.Writer) error {
 type Scale struct {
 	Seeds    int `json:"seeds"`
 	MaxSteps int `json:"max_steps"`
+
+	// Substrate names the execution backend the portable experiments run
+	// on ("sim", "async", "tcp"); empty means "sim". Experiments not marked
+	// Portable refuse to run on a non-sim substrate.
+	Substrate string `json:"substrate,omitempty"`
+}
+
+// SubstrateName resolves the scale's backend name, defaulting to "sim".
+func (sc Scale) SubstrateName() string {
+	if sc.Substrate == "" {
+		return "sim"
+	}
+	return sc.Substrate
+}
+
+// substrate resolves the scale's execution backend from the registry.
+func (sc Scale) substrate() (substrate.Substrate, error) {
+	return substrate.Get(sc.SubstrateName())
 }
 
 // Quick is the default scale for tests and benchmarks.
@@ -137,36 +162,63 @@ type consensusRun struct {
 	Outcome  check.ConsensusOutcome
 }
 
-// runConsensus drives a consensus automaton under the simulator until every
-// correct process decides (or maxSteps).
-func runConsensus(aut model.Automaton, pattern *model.FailurePattern, hist model.History, seed int64, maxSteps int) (consensusRun, error) {
+// concurrentBudgetFloor and concurrentBudgetPerProc set the minimum
+// logical-clock budget granted on the concurrent substrates: their shared
+// clock ticks once per step of *any* process (including idle spins while
+// messages are in flight), so a per-step budget tuned for the simulator
+// starves them, and the starvation grows with n. StopWhenDecided keeps the
+// real cost of a deciding run far below the floor.
+const (
+	concurrentBudgetFloor   = 200000
+	concurrentBudgetPerProc = 100000
+)
+
+// blockBudget marks a deliberately bounded budget: runConsensus will not
+// raise it to the concurrent-substrate floor. Units use it when they expect
+// the algorithm to block — the budget only bounds how long they wait before
+// declaring "it blocked", so raising it would just burn time.
+func blockBudget(ticks int) int { return -ticks }
+
+// runConsensus drives a consensus automaton on the scale's substrate until
+// every correct process decides (or maxSteps). On "sim" (the default) it
+// reproduces the historical fair-scheduled execution exactly, so the sim
+// tables stay byte-identical. A negative maxSteps (see blockBudget) means
+// "exactly that many ticks, even on a concurrent substrate".
+func runConsensus(sc Scale, aut model.Automaton, pattern *model.FailurePattern, hist model.History, seed int64, maxSteps int) (consensusRun, error) {
+	sub, err := sc.substrate()
+	if err != nil {
+		return consensusRun{}, err
+	}
+	exact := maxSteps < 0
+	if exact {
+		maxSteps = -maxSteps
+	}
+	if !sub.Deterministic() && !exact {
+		floor := concurrentBudgetFloor
+		if perN := aut.N() * concurrentBudgetPerProc; perN > floor {
+			floor = perN
+		}
+		if maxSteps < floor {
+			maxSteps = floor
+		}
+	}
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
-		Automaton: aut,
-		Pattern:   pattern,
-		History:   hist,
-		Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
-		MaxSteps:  maxSteps,
-		StopWhen:  sim.AllCorrectDecided(pattern),
-		Recorder:  rec,
+	res, err := sub.Run(context.Background(), aut, hist, pattern, substrate.Options{
+		Seed:            seed,
+		MaxSteps:        maxSteps,
+		StopWhenDecided: true,
+		Recorder:        rec,
 	})
 	if err != nil {
 		return consensusRun{}, err
 	}
-	out := check.OutcomeFromConfig(res.Config)
-	maxRound := 0
-	for _, s := range res.Config.States {
-		if r, ok := model.RoundOf(s); ok && r > maxRound {
-			maxRound = r
-		}
-	}
 	return consensusRun{
-		Decided:  res.Stopped,
+		Decided:  res.Decided,
 		Steps:    res.Steps,
-		MaxRound: maxRound,
+		MaxRound: res.MaxRound,
 		Sent:     rec.MessagesSent,
 		Kinds:    rec.SentKinds,
-		Outcome:  out,
+		Outcome:  check.OutcomeFromConfig(res.Config),
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"nuconsensus/internal/consensus"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 )
 
@@ -20,19 +21,19 @@ func TestProbeContamination(t *testing.T) {
 		hist := adv.sigmaNuHistory(pattern, seed)
 		aut := consensus.NewMRNaiveNu(props)
 		rec := &trace.Recorder{}
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: aut,
 			Pattern:   pattern,
 			History:   hist,
 			Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
 			MaxSteps:  20000,
-			StopWhen:  sim.AllCorrectDecided(pattern),
+			StopWhen:  substrate.AllCorrectDecided(pattern),
 			Recorder:  rec,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		line := fmt.Sprintf("seed=%d stopped=%v t=%d:", seed, res.Stopped, res.Time)
+		line := fmt.Sprintf("seed=%d stopped=%v t=%d:", seed, res.Stopped, res.Ticks)
 		for _, d := range rec.Decisions {
 			line += fmt.Sprintf(" %s→%d@t=%d", d.P, d.Val, d.T)
 		}

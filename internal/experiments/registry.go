@@ -48,6 +48,19 @@ func IDs() []string {
 	return ids
 }
 
+// PortableIDs returns the identifiers of the substrate-portable
+// experiments — the slice that may run with Scale.Substrate set to a
+// concurrent backend — in canonical order.
+func PortableIDs() []string {
+	var ids []string
+	for _, id := range IDs() {
+		if Registry[id].Portable {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
 // All runs every experiment sequentially at the given scale; RunAll is the
 // parallel equivalent and produces identical tables.
 func All(sc Scale) []Table {

@@ -15,7 +15,7 @@ import (
 func runHB(t *testing.T, pattern *model.FailurePattern, sched sim.Scheduler, steps int) ([]trace.Sample, model.Time) {
 	t.Helper()
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: hb.NewOmega(pattern.N(), 0, 0),
 		Pattern:   pattern,
 		History:   fd.Null,
@@ -26,7 +26,7 @@ func runHB(t *testing.T, pattern *model.FailurePattern, sched sim.Scheduler, ste
 	if err != nil {
 		t.Fatal(err)
 	}
-	return rec.Outputs, res.Time
+	return rec.Outputs, res.Ticks
 }
 
 // omegaHorizon finds the last time a correct process's emitted leader was
@@ -85,7 +85,7 @@ func TestHeartbeatOmegaPartialSynchrony(t *testing.T) {
 
 func TestHeartbeatSuspectsExposed(t *testing.T) {
 	pattern := model.PatternFromCrashes(3, map[model.ProcessID]model.Time{2: 30})
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: hb.NewOmega(3, 0, 0),
 		Pattern:   pattern,
 		History:   fd.Null,

@@ -67,3 +67,20 @@ func TestClassificationMatchesLayout(t *testing.T) {
 		}
 	}
 }
+
+// TestSubstrateStaysExempt pins the classification of the substrate layer:
+// internal/substrate hosts the shared concurrent cluster driver, whose
+// timing sites (yield sleeps, delay timers, goroutine spawns) are
+// sanctioned — while internal/sim, the deterministic backend, must stay on
+// the critical list so the regenerated tables remain byte-identical.
+func TestSubstrateStaysExempt(t *testing.T) {
+	if reason := nodeterm.ExemptPackages["internal/substrate"]; reason == "" {
+		t.Error("internal/substrate must be exempt (it is the home of the sanctioned concurrent cluster driver)")
+	}
+	if !nodeterm.Critical("nuconsensus/internal/sim") {
+		t.Error("internal/sim must stay determinism-critical: it is the deterministic substrate backend")
+	}
+	if nodeterm.Critical("nuconsensus/internal/substrate") {
+		t.Error("internal/substrate must not be determinism-critical")
+	}
+}

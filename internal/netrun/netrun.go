@@ -1,18 +1,21 @@
 // Package netrun executes algorithm automata over a real TCP mesh on the
 // loopback interface: one goroutine per process, one TCP connection per
 // process pair, every message serialized with internal/wire and framed with
-// a varint length prefix. It is the third substrate (after the
-// deterministic simulator and the in-memory goroutine runtime) and the most
-// system-like: the algorithms' payloads — including whole DAG snapshots and
-// quorum histories — actually cross a socket.
+// a varint length prefix. It is the "tcp" backend of internal/substrate —
+// the most system-like of the three: the algorithms' payloads, including
+// whole DAG snapshots and quorum histories, actually cross a socket.
 //
-// As in internal/runtime, processes share a logical clock (one tick per
+// As on the async substrate, processes share a logical clock (one tick per
 // step taken by any process) used for crash injection and failure-detector
 // queries; asynchrony comes from goroutine scheduling and TCP buffering.
+// The goroutine loop, crash injection and decision collection live in the
+// shared cluster driver (substrate.RunCluster); this package contributes
+// only the socket transport.
 package netrun
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,71 +24,17 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"nuconsensus/internal/model"
-	"nuconsensus/internal/trace"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/wire"
 )
 
-// Config configures one TCP-mesh execution.
-type Config struct {
-	Automaton model.Automaton
-	Pattern   *model.FailurePattern
-	History   model.History
-	Seed      int64
-	// MaxTicks bounds the cluster's logical time (required, > 0).
-	MaxTicks model.Time
-	// StopWhenDecided stops the cluster once every correct process decided.
-	StopWhenDecided bool
-}
+func init() { substrate.Register(S{}) }
 
-// Result is the outcome of a TCP-mesh execution.
-type Result struct {
-	States    []model.State
-	Ticks     model.Time
-	Decided   bool
-	Rec       *trace.Recorder
-	BytesSent int64 // wire bytes written to sockets
-}
-
-// FinalConfiguration adapts the result for the consensus checkers.
-func (r *Result) FinalConfiguration() *model.Configuration {
-	return &model.Configuration{States: r.States, Buffer: model.NewMessageBuffer()}
-}
-
-// inbox is an unbounded mailbox with SupersededPayload collapsing.
-type inbox struct {
-	mu   sync.Mutex
-	msgs []*model.Message
-}
-
-func (b *inbox) put(m *model.Message) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := m.Payload.(model.SupersededPayload); ok {
-		kept := b.msgs[:0]
-		for _, x := range b.msgs {
-			if x.From == m.From && x.Payload.Kind() == m.Payload.Kind() {
-				continue
-			}
-			kept = append(kept, x)
-		}
-		b.msgs = kept
-	}
-	b.msgs = append(b.msgs, m)
-}
-
-func (b *inbox) take() *model.Message {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if len(b.msgs) == 0 {
-		return nil
-	}
-	m := b.msgs[0]
-	b.msgs = b.msgs[1:]
-	return m
-}
+// seedStride separates the per-process RNG streams (kept from the
+// pre-substrate netrun so historical runs remain reproducible).
+const seedStride = 104729
 
 // link is one direction of a TCP connection with a write lock.
 type link struct {
@@ -204,7 +153,8 @@ func dialMesh(n int) (*mesh, error) {
 	return m, nil
 }
 
-// closeAll closes every link of process p.
+// closeAll closes every link of process p (both directions of each pair,
+// so a crashed process's peers see EOF instead of a wedged mesh).
 func (m *mesh) closeAll(p int) {
 	for q := range m.links[p] {
 		if l := m.links[p][q]; l != nil {
@@ -216,18 +166,52 @@ func (m *mesh) closeAll(p int) {
 	}
 }
 
-// Run executes the cluster over TCP and blocks until it stops.
-func Run(cfg Config) (*Result, error) {
-	if cfg.Automaton == nil || cfg.Pattern == nil || cfg.History == nil {
-		return nil, errors.New("netrun: Automaton, Pattern and History are required")
+// rawPayload is a received frame whose payload body has not been decoded
+// yet: the reader peeks only the envelope (wire.PeekMessage) and defers the
+// body decode to the moment the message is actually taken by the automaton
+// (ClusterHooks.Resolve). Kind reports the encoded payload's kind so inbox
+// supersession collapsing works on raw frames — superseded DAG-snapshot
+// floods are discarded without ever paying their O(|G|²) decode.
+type rawPayload struct {
+	kind  string
+	frame []byte
+}
+
+// Kind implements model.Payload.
+func (p rawPayload) Kind() string { return p.kind }
+
+// String implements model.Payload.
+func (p rawPayload) String() string { return fmt.Sprintf("raw %s frame (%dB)", p.kind, len(p.frame)) }
+
+// rawSupersedingPayload marks frames whose encoded payload supersedes
+// older pending ones of its kind, so the inbox collapses them like the
+// decoded payload would be.
+type rawSupersedingPayload struct{ rawPayload }
+
+// SupersedesOlder implements model.SupersededPayload.
+func (rawSupersedingPayload) SupersedesOlder() {}
+
+// S is the TCP-mesh backend: substrate name "tcp".
+type S struct{}
+
+// New returns the tcp substrate handle.
+func New() substrate.Substrate { return S{} }
+
+// Name implements substrate.Substrate.
+func (S) Name() string { return "tcp" }
+
+// Deterministic implements substrate.Substrate: socket timing makes every
+// run different.
+func (S) Deterministic() bool { return false }
+
+// Run implements substrate.Substrate: it dials the loopback mesh, wires
+// the socket transport into the shared concurrent cluster driver, and
+// blocks until the cluster stops and every reader drains.
+func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, pattern *model.FailurePattern, opts substrate.Options) (*substrate.Result, error) {
+	if err := substrate.Validate("netrun", aut, hist, pattern, opts); err != nil {
+		return nil, err
 	}
-	if cfg.MaxTicks <= 0 {
-		return nil, errors.New("netrun: MaxTicks must be positive")
-	}
-	n := cfg.Automaton.N()
-	if n != cfg.Pattern.N() {
-		return nil, fmt.Errorf("netrun: automaton n=%d but pattern n=%d", n, cfg.Pattern.N())
-	}
+	n := aut.N()
 	if n > 255 {
 		return nil, errors.New("netrun: hello byte limits the mesh to 255 processes")
 	}
@@ -236,51 +220,26 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-
+	inboxes := substrate.NewInboxes(n)
 	var (
-		clock     atomic.Int64
 		bytesSent atomic.Int64
-		stop      = make(chan struct{})
-		stopOnce  sync.Once
-		wg        sync.WaitGroup
-		inboxes   = make([]*inbox, n)
-
-		mu      sync.Mutex
-		states  = make([]model.State, n)
-		decided = make(map[model.ProcessID]bool)
-		rec     = &trace.Recorder{}
+		seq       atomic.Uint64
+		readers   sync.WaitGroup
 	)
-	for i := range inboxes {
-		inboxes[i] = &inbox{}
-	}
-	for p := 0; p < n; p++ {
-		states[p] = cfg.Automaton.InitState(model.ProcessID(p))
-	}
-	correct := cfg.Pattern.Correct()
 
-	// Readers: one goroutine per incoming link direction.
+	// Readers: one goroutine per distinct connection endpoint, feeding raw
+	// frames into the destination inbox until the link closes. Only the
+	// envelope is parsed here; the body decode is deferred to Resolve so
+	// frames superseded while pending are dropped undecoded.
 	for p := 0; p < n; p++ {
-		for q := 0; q < n; q++ {
-			l := m.links[p][q]
-			if l == nil {
-				continue
-			}
-			// The connection between p and q carries frames both ways; we
-			// spawn one reader per endpoint. links[p][q].conn == links[q][p]
-			// only on the dialer side, so read from each distinct conn once.
-			if q < p {
-				continue // the (q,p) iteration handled this pair's conns
-			}
-			for _, end := range []struct {
-				l  *link
-				at int
-			}{{m.links[p][q], p}, {m.links[q][p], q}} {
-				if end.l == nil {
+		for q := p + 1; q < n; q++ {
+			for _, l := range []*link{m.links[p][q], m.links[q][p]} {
+				if l == nil {
 					continue
 				}
-				wg.Add(1)
-				go func(l *link, self int) {
-					defer wg.Done()
+				readers.Add(1)
+				go func(l *link) {
+					defer readers.Done()
 					l.mu.Lock()
 					conn := l.conn
 					l.mu.Unlock()
@@ -297,124 +256,76 @@ func Run(cfg Config) (*Result, error) {
 						if _, err := io.ReadFull(r, frame); err != nil {
 							return
 						}
-						msg, err := wire.DecodeMessage(frame)
+						head, err := wire.PeekMessage(frame)
 						if err != nil {
 							return // corrupted stream: drop the link
 						}
-						inboxes[msg.To].put(msg)
-					}
-				}(end.l, end.at)
-			}
-		}
-	}
-
-	// Processes.
-	for i := 0; i < n; i++ {
-		p := model.ProcessID(i)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer m.closeAll(int(p))
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*104729))
-			st := cfg.Automaton.InitState(p)
-			var seq uint64
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				t := model.Time(clock.Add(1))
-				if t > cfg.MaxTicks {
-					stopOnce.Do(func() { close(stop) })
-					return
-				}
-				if cfg.Pattern.Crashed(p, t) {
-					return // crash: links closed by the deferred closeAll
-				}
-				// Always drain: asynchrony already comes from goroutine
-				// scheduling and TCP buffering, and skipping deliveries only
-				// lengthens the backlog-latency tail for laggards.
-				msg := inboxes[p].take()
-				d := cfg.History.Output(p, t)
-				ns, sends := cfg.Automaton.Step(p, st, msg, d)
-				st = ns
-				for _, s := range sends {
-					out := &model.Message{From: p, To: s.To, Seq: seq, Payload: s.Payload}
-					seq++
-					if s.To == p {
-						inboxes[p].put(out) // loopback without the socket
-						continue
-					}
-					frame, err := wire.EncodeMessage(out)
-					if err != nil {
-						panic(fmt.Sprintf("netrun: unencodable payload: %v", err))
-					}
-					if l := m.links[p][s.To]; l != nil {
-						_ = l.writeFrame(frame, &bytesSent) // peer may have crashed
-					}
-				}
-
-				mu.Lock()
-				states[p] = st
-				rec.OnStep(int(t), t, p, msg, d, len(sends))
-				for _, s := range sends {
-					rec.OnSend(s.Payload)
-				}
-				if out, ok := st.(model.FDOutput); ok {
-					rec.OnOutput(t, p, out.EmulatedOutput())
-				}
-				allDecided := false
-				if v, ok := model.DecisionOf(st); ok && !decided[p] {
-					decided[p] = true
-					rec.OnDecision(t, p, v)
-				}
-				if cfg.StopWhenDecided {
-					allDecided = true
-					correct.ForEach(func(q model.ProcessID) {
-						if !decided[q] {
-							allDecided = false
+						raw := rawPayload{kind: head.Kind, frame: frame}
+						msg := &model.Message{From: head.From, To: head.To, Seq: head.Seq, Payload: raw}
+						if head.Supersedes {
+							msg.Payload = rawSupersedingPayload{raw}
 						}
-					})
-				}
-				mu.Unlock()
-				if allDecided {
-					stopOnce.Do(func() { close(stop) })
-					return
-				}
-				if rng.Intn(8) == 0 {
-					time.Sleep(time.Microsecond)
-				}
+						inboxes[head.To].Put(msg)
+					}
+				}(l)
 			}
-		}()
+		}
 	}
 
-	// Close every link once the cluster stops so readers drain out.
-	go func() {
-		<-stop
-		for p := 0; p < n; p++ {
-			m.closeAll(p)
+	// resolve decodes a raw frame at take time; loopback messages (put
+	// directly, never encoded) pass through untouched.
+	resolve := func(m *model.Message) *model.Message {
+		var frame []byte
+		switch p := m.Payload.(type) {
+		case rawPayload:
+			frame = p.frame
+		case rawSupersedingPayload:
+			frame = p.frame
+		default:
+			return m
 		}
-	}()
-	wg.Wait()
-	stopOnce.Do(func() { close(stop) })
+		decoded, err := wire.DecodeMessage(frame)
+		if err != nil {
+			return nil // corrupted frame: skip, as the eager reader dropped it
+		}
+		return decoded
+	}
+
+	deliver := func(from model.ProcessID, sends []model.Send, _ *rand.Rand) {
+		for _, s := range sends {
+			out := &model.Message{From: from, To: s.To, Seq: seq.Add(1), Payload: s.Payload}
+			if s.To == from {
+				inboxes[from].Put(out) // loopback without the socket
+				continue
+			}
+			frame, err := wire.EncodeMessage(out)
+			if err != nil {
+				panic(fmt.Sprintf("netrun: unencodable payload: %v", err))
+			}
+			if l := m.links[from][s.To]; l != nil {
+				_ = l.writeFrame(frame, &bytesSent) // peer may have crashed
+			}
+		}
+	}
+
+	res, err := substrate.RunCluster(ctx, aut, hist, pattern, opts, substrate.ClusterHooks{
+		Inboxes:    inboxes,
+		SeedStride: seedStride,
+		Deliver:    deliver,
+		Resolve:    resolve,
+		// A halting process — crashed or merely done — closes its links so
+		// peers' readers see EOF rather than a silent, wedged socket.
+		OnHalt: func(p model.ProcessID) { m.closeAll(int(p)) },
+	})
+
+	// Shut the whole mesh and drain the readers before returning.
 	for p := 0; p < n; p++ {
 		m.closeAll(p)
 	}
-
-	mu.Lock()
-	defer mu.Unlock()
-	res := &Result{
-		States:    states,
-		Ticks:     model.Time(clock.Load()),
-		Rec:       rec,
-		BytesSent: bytesSent.Load(),
+	readers.Wait()
+	if err != nil {
+		return nil, err
 	}
-	res.Decided = true
-	correct.ForEach(func(q model.ProcessID) {
-		if !decided[q] {
-			res.Decided = false
-		}
-	})
+	res.BytesSent = bytesSent.Load()
 	return res, nil
 }

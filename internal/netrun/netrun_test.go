@@ -1,6 +1,7 @@
 package netrun_test
 
 import (
+	"context"
 	"testing"
 
 	"nuconsensus/internal/check"
@@ -9,6 +10,7 @@ import (
 	"nuconsensus/internal/hb"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/netrun"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/transform"
 )
 
@@ -19,18 +21,15 @@ func TestANucOverTCP(t *testing.T) {
 		First:  fd.NewOmega(pattern, 600, 11),
 		Second: fd.NewSigmaNuPlus(pattern, 600, 11),
 	}
-	res, err := netrun.Run(netrun.Config{
-		Automaton:       consensus.NewANuc([]int{1, 0, 1, 0}),
-		Pattern:         pattern,
-		History:         hist,
+	res, err := netrun.New().Run(context.Background(), consensus.NewANuc([]int{1, 0, 1, 0}), hist, pattern, substrate.Options{
 		Seed:            1,
-		MaxTicks:        200000,
+		MaxSteps:        200000,
 		StopWhenDecided: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := check.OutcomeFromConfig(res.FinalConfiguration())
+	out := check.OutcomeFromConfig(res.Config)
 	if err := out.Validity(); err != nil {
 		t.Fatal(err)
 	}
@@ -55,18 +54,15 @@ func TestOracleFreeOverTCP(t *testing.T) {
 		transform.NewScratchSigmaNuPlus(n, tf),
 		consensus.NewANuc([]int{0, 1, 0}),
 	)
-	res, err := netrun.Run(netrun.Config{
-		Automaton:       aut,
-		Pattern:         pattern,
-		History:         fd.Null,
+	res, err := netrun.New().Run(context.Background(), aut, fd.Null, pattern, substrate.Options{
 		Seed:            3,
-		MaxTicks:        300000,
+		MaxSteps:        300000,
 		StopWhenDecided: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := check.OutcomeFromConfig(res.FinalConfiguration())
+	out := check.OutcomeFromConfig(res.Config)
 	if err := out.Validity(); err != nil {
 		t.Fatal(err)
 	}
@@ -88,15 +84,12 @@ func TestTransformerOverTCP(t *testing.T) {
 	// Progress under TCP backpressure is timing-dependent (snapshot writes
 	// can block on full socket buffers); retry with a larger tick budget
 	// before declaring failure.
-	var res *netrun.Result
+	var res *substrate.Result
 	var err error
-	for attempt, ticks := range []model.Time{900, 1500} {
-		res, err = netrun.Run(netrun.Config{
-			Automaton: transform.NewSigmaNuPlusTransformer(n),
-			Pattern:   pattern,
-			History:   hist,
-			Seed:      5 + int64(attempt),
-			MaxTicks:  ticks,
+	for attempt, ticks := range []int{900, 1500} {
+		res, err = netrun.New().Run(context.Background(), transform.NewSigmaNuPlusTransformer(n), hist, pattern, substrate.Options{
+			Seed:     5 + int64(attempt),
+			MaxSteps: ticks,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -133,7 +126,7 @@ func TestTransformerOverTCP(t *testing.T) {
 
 // tcpConverged reports whether some correct process's final emitted quorum
 // contains only correct processes.
-func tcpConverged(res *netrun.Result, pattern *model.FailurePattern) bool {
+func tcpConverged(res *substrate.Result, pattern *model.FailurePattern) bool {
 	final := map[model.ProcessID]model.ProcessSet{}
 	for _, smp := range res.Rec.Outputs {
 		if q, ok := fd.QuorumOf(smp.Val); ok {
@@ -149,18 +142,66 @@ func tcpConverged(res *netrun.Result, pattern *model.FailurePattern) bool {
 	return ok
 }
 
-func TestNetrunConfigValidation(t *testing.T) {
+func TestNetrunValidation(t *testing.T) {
 	pattern := model.NewFailurePattern(3)
 	aut := consensus.NewMRMajority([]int{0, 1, 1})
-	cases := []netrun.Config{
-		{Pattern: pattern, History: fd.Null, MaxTicks: 10},
-		{Automaton: aut, History: fd.Null, MaxTicks: 10},
-		{Automaton: aut, Pattern: pattern, History: fd.Null},
-		{Automaton: aut, Pattern: model.NewFailurePattern(4), History: fd.Null, MaxTicks: 10},
+	ctx := context.Background()
+	ten := substrate.Options{MaxSteps: 10}
+	cases := []func() error{
+		func() error { _, err := netrun.New().Run(ctx, nil, fd.Null, pattern, ten); return err },
+		func() error { _, err := netrun.New().Run(ctx, aut, fd.Null, nil, ten); return err },
+		func() error { _, err := netrun.New().Run(ctx, aut, fd.Null, pattern, substrate.Options{}); return err },
+		func() error {
+			_, err := netrun.New().Run(ctx, aut, fd.Null, model.NewFailurePattern(4), ten)
+			return err
+		},
 	}
-	for i, cfg := range cases {
-		if _, err := netrun.Run(cfg); err == nil {
+	for i, run := range cases {
+		if run() == nil {
 			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestCrashMidBroadcastDoesNotWedgeMesh injects crashes while the cluster
+// is in full flight — processes crash at staggered times, mid-broadcast
+// from their peers' point of view — and requires (a) the surviving
+// correct processes still decide, (b) no recorded step by a crashed
+// process carries a time at or after its crash, and (c) the run returns
+// at all: the crashed processes' sockets closing must surface as EOF to
+// their peers' readers, not as a wedged mesh.
+func TestCrashMidBroadcastDoesNotWedgeMesh(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		n := 5
+		// Two crashes early and close together, while EST/SAW broadcasts of
+		// the first rounds are still crossing the sockets.
+		pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 40, 3: 90})
+		hist := fd.PairHistory{
+			First:  fd.NewOmega(pattern, 300, seed),
+			Second: fd.NewSigmaNuPlus(pattern, 300, seed),
+		}
+		res, err := netrun.New().Run(context.Background(), consensus.NewANuc([]int{1, 0, 1, 0, 1}), hist, pattern, substrate.Options{
+			Seed:            seed,
+			MaxSteps:        300000,
+			StopWhenDecided: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range res.Rec.Samples {
+			if pattern.Crashed(s.P, s.T) {
+				t.Fatalf("seed=%d: crashed %v took a step at t=%d", seed, s.P, s.T)
+			}
+		}
+		out := check.OutcomeFromConfig(res.Config)
+		if err := out.Validity(); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if err := out.NonuniformAgreement(pattern); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if !res.Decided {
+			t.Fatalf("seed=%d: survivors did not decide within %d ticks — mesh wedged?", seed, res.Ticks)
 		}
 	}
 }

@@ -1,23 +1,22 @@
 package rsm_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/netrun"
 	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/substrate"
 )
 
 func TestDebugTCPRSMStuck(t *testing.T) {
 	for seed := int64(4); seed <= 9; seed++ {
 		pattern := model.PatternFromCrashes(3, nil)
-		res, err := netrun.Run(netrun.Config{
-			Automaton:       rsm.NewLog([][]int{{7}, {8}, {9}}, 3),
-			Pattern:         pattern,
-			History:         rsm.PairForLog(pattern, 100, seed),
+		res, err := netrun.New().Run(context.Background(), rsm.NewLog([][]int{{7}, {8}, {9}}, 3), rsm.PairForLog(pattern, 100, seed), pattern, substrate.Options{
 			Seed:            seed,
-			MaxTicks:        600000,
+			MaxSteps:        600000,
 			StopWhenDecided: true,
 		})
 		if err != nil {
@@ -25,7 +24,7 @@ func TestDebugTCPRSMStuck(t *testing.T) {
 		}
 		fmt.Printf("seed=%d decided=%v ticks=%d\n", seed, res.Decided, res.Ticks)
 		if !res.Decided {
-			for p, s := range res.States {
+			for p, s := range res.Config.States {
 				fmt.Printf("  p%d: %s\n", p, rsm.DebugState(s))
 			}
 		}

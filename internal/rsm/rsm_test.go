@@ -1,12 +1,14 @@
 package rsm_test
 
 import (
+	"context"
 	"testing"
 
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/netrun"
 	"nuconsensus/internal/rsm"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 )
 
 // runLog drives a replicated log to completion and returns each process's
@@ -16,7 +18,7 @@ func runLog(t *testing.T, cmds [][]int, slots int, crashes map[model.ProcessID]m
 	n := len(cmds)
 	pattern := model.PatternFromCrashes(n, crashes)
 	aut := rsm.NewLog(cmds, slots)
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   rsm.PairForLog(pattern, 80, seed),
@@ -120,12 +122,9 @@ func TestReplicatedLogOverTCP(t *testing.T) {
 	pattern := model.PatternFromCrashes(3, nil)
 	// The tick budget is shared across goroutines, so a spinning process
 	// burns it on behalf of a socket-delayed laggard — be generous.
-	res, err := netrun.Run(netrun.Config{
-		Automaton:       rsm.NewLog(cmds, slots),
-		Pattern:         pattern,
-		History:         rsm.PairForLog(pattern, 100, 4),
+	res, err := netrun.New().Run(context.Background(), rsm.NewLog(cmds, slots), rsm.PairForLog(pattern, 100, 4), pattern, substrate.Options{
 		Seed:            4,
-		MaxTicks:        3_000_000,
+		MaxSteps:        3_000_000,
 		StopWhenDecided: true,
 	})
 	if err != nil {
@@ -136,7 +135,7 @@ func TestReplicatedLogOverTCP(t *testing.T) {
 	}
 	var ref []int
 	for p := 0; p < 3; p++ {
-		entries := res.States[p].(rsm.LogHolder).Entries()
+		entries := res.Config.States[p].(rsm.LogHolder).Entries()
 		if ref == nil {
 			ref = entries
 		} else if len(entries) != len(ref) {

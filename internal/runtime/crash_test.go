@@ -1,6 +1,7 @@
 package runtime_test
 
 import (
+	"context"
 	"testing"
 
 	"nuconsensus/internal/check"
@@ -8,6 +9,7 @@ import (
 	"nuconsensus/internal/fd"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/runtime"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/transform"
 )
 
@@ -19,12 +21,9 @@ func TestCrashedProcessesStopStepping(t *testing.T) {
 		First:  fd.NewOmega(pattern, 200, 5),
 		Second: fd.NewSigmaNuPlus(pattern, 200, 5),
 	}
-	res, err := runtime.Run(runtime.Config{
-		Automaton: consensus.NewANuc([]int{0, 1, 0, 1}),
-		Pattern:   pattern,
-		History:   hist,
-		Seed:      5,
-		MaxTicks:  3000,
+	res, err := runtime.New().Run(context.Background(), consensus.NewANuc([]int{0, 1, 0, 1}), hist, pattern, substrate.Options{
+		Seed:     5,
+		MaxSteps: 3000,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -36,19 +35,24 @@ func TestCrashedProcessesStopStepping(t *testing.T) {
 	}
 }
 
-// TestRuntimeConfigValidation covers the error paths.
-func TestRuntimeConfigValidation(t *testing.T) {
+// TestRuntimeValidation covers the error paths.
+func TestRuntimeValidation(t *testing.T) {
 	pattern := model.NewFailurePattern(3)
 	hist := fd.NewOmega(pattern, 0, 1)
 	aut := consensus.NewMRMajority([]int{0, 1, 1})
-	cases := []runtime.Config{
-		{Pattern: pattern, History: hist, MaxTicks: 10},
-		{Automaton: aut, History: hist, MaxTicks: 10},
-		{Automaton: aut, Pattern: pattern, History: hist},
-		{Automaton: aut, Pattern: model.NewFailurePattern(4), History: hist, MaxTicks: 10},
+	ctx := context.Background()
+	ten := substrate.Options{MaxSteps: 10}
+	cases := []func() error{
+		func() error { _, err := runtime.New().Run(ctx, nil, hist, pattern, ten); return err },
+		func() error { _, err := runtime.New().Run(ctx, aut, hist, nil, ten); return err },
+		func() error { _, err := runtime.New().Run(ctx, aut, hist, pattern, substrate.Options{}); return err },
+		func() error {
+			_, err := runtime.New().Run(ctx, aut, hist, model.NewFailurePattern(4), ten)
+			return err
+		},
 	}
-	for i, cfg := range cases {
-		if _, err := runtime.Run(cfg); err == nil {
+	for i, run := range cases {
+		if run() == nil {
 			t.Errorf("case %d: expected error", i)
 		}
 	}
@@ -60,12 +64,9 @@ func TestRuntimeConfigValidation(t *testing.T) {
 func TestRuntimeTransformerEmulation(t *testing.T) {
 	pattern := model.PatternFromCrashes(3, map[model.ProcessID]model.Time{1: 60})
 	hist := fd.NewSigmaNu(pattern, 150, 3)
-	res, err := runtime.Run(runtime.Config{
-		Automaton: transform.NewSigmaNuPlusTransformer(3),
-		Pattern:   pattern,
-		History:   hist,
-		Seed:      3,
-		MaxTicks:  900,
+	res, err := runtime.New().Run(context.Background(), transform.NewSigmaNuPlusTransformer(3), hist, pattern, substrate.Options{
+		Seed:     3,
+		MaxSteps: 900,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -91,18 +92,15 @@ func TestRuntimeSafetyAcrossSeeds(t *testing.T) {
 			First:  fd.NewOmega(pattern, 150, seed),
 			Second: fd.NewSigmaNuPlus(pattern, 150, seed),
 		}
-		res, err := runtime.Run(runtime.Config{
-			Automaton:       consensus.NewANuc([]int{1, 0, 1, 0}),
-			Pattern:         pattern,
-			History:         hist,
+		res, err := runtime.New().Run(context.Background(), consensus.NewANuc([]int{1, 0, 1, 0}), hist, pattern, substrate.Options{
 			Seed:            seed,
-			MaxTicks:        100000,
+			MaxSteps:        100000,
 			StopWhenDecided: true,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		out := check.OutcomeFromConfig(res.FinalConfiguration())
+		out := check.OutcomeFromConfig(res.Config)
 		if err := out.Validity(); err != nil {
 			t.Fatalf("seed=%d: %v", seed, err)
 		}

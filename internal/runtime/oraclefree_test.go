@@ -1,6 +1,7 @@
 package runtime_test
 
 import (
+	"context"
 	"testing"
 
 	"nuconsensus/internal/check"
@@ -9,6 +10,7 @@ import (
 	"nuconsensus/internal/hb"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/runtime"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/transform"
 )
 
@@ -27,18 +29,15 @@ func TestOracleFreeOnGoroutineRuntime(t *testing.T) {
 			transform.NewScratchSigmaNuPlus(n, tf),
 			consensus.NewANuc([]int{0, 1, 0, 1, 0}),
 		)
-		res, err := runtime.Run(runtime.Config{
-			Automaton:       aut,
-			Pattern:         pattern,
-			History:         fd.Null,
+		res, err := runtime.New().Run(context.Background(), aut, fd.Null, pattern, substrate.Options{
 			Seed:            seed,
-			MaxTicks:        300000,
+			MaxSteps:        300000,
 			StopWhenDecided: true,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		out := check.OutcomeFromConfig(res.FinalConfiguration())
+		out := check.OutcomeFromConfig(res.Config)
 		if err := out.Validity(); err != nil {
 			t.Fatalf("seed=%d: %v", seed, err)
 		}

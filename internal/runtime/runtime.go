@@ -1,223 +1,88 @@
 // Package runtime executes algorithm automata as real concurrent processes:
-// one goroutine per process, channels-backed links with randomized delivery
-// order and delay, crash injection driven by a failure pattern, and local
-// failure-detector modules backed by a history queried at a shared logical
-// clock. It is the "systems" substrate complementing the model-faithful
-// deterministic simulator in internal/sim: the same Automaton values run on
-// both, so properties checked under the simulator are exercised under real
-// concurrency here.
+// one goroutine per process, shared in-memory mailboxes with randomized
+// drain order and optional delay/drop injection, crash injection driven by
+// a failure pattern, and local failure-detector modules backed by a history
+// queried at a shared logical clock. It is the "async" backend of
+// internal/substrate — the "systems" substrate complementing the
+// model-faithful deterministic simulator in internal/sim: the same
+// Automaton values run on both, so properties checked under the simulator
+// are exercised under real concurrency here.
+//
+// The goroutine loop, crash injection and decision collection live in the
+// shared cluster driver (substrate.RunCluster); this package contributes
+// only the in-memory transport.
 //
 // Executions are inherently nondeterministic; tests assert safety
 // properties unconditionally and liveness under generous step budgets.
 package runtime
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"nuconsensus/internal/model"
-	"nuconsensus/internal/trace"
+	"nuconsensus/internal/substrate"
 )
 
-// Config configures a cluster execution.
-type Config struct {
-	Automaton model.Automaton
-	Pattern   *model.FailurePattern
-	// History backs each process's failure-detector module; it is queried
-	// at the cluster's logical time (one tick per step taken by any
-	// process) and must be safe for concurrent use (the fd package's
-	// histories are pure functions).
-	History model.History
-	Seed    int64
+func init() { substrate.Register(S{}) }
 
-	// MaxTicks bounds the cluster's logical time (total steps across all
-	// processes). Required, > 0.
-	MaxTicks model.Time
-	// StopWhenDecided, if true, stops the cluster once every correct
-	// process has decided.
-	StopWhenDecided bool
-	// MeanDelay is the average artificial link delay; zero means deliver
-	// as fast as the scheduler allows.
-	MeanDelay time.Duration
-}
+// seedStride separates the per-process RNG streams (kept from the
+// pre-substrate runtime so historical runs remain reproducible).
+const seedStride = 7919
 
-// Result is the outcome of a cluster execution.
-type Result struct {
-	States  []model.State // final state of each process
-	Ticks   model.Time    // logical time when the cluster stopped
-	Decided bool          // every correct process decided
-	Rec     *trace.Recorder
-}
+// takeProb is the per-step probability of draining the inbox when the
+// options don't say otherwise: receiving usually-but-not-always keeps the
+// interleavings adversarial.
+const takeProb = 0.8
 
-// inbox is an unbounded mailbox with SupersededPayload collapsing, so DAG
-// snapshot floods cannot deadlock or exhaust memory.
-type inbox struct {
-	mu   sync.Mutex
-	msgs []*model.Message
-}
+// S is the goroutine-runtime backend: substrate name "async".
+type S struct{}
 
-func (b *inbox) put(m *model.Message) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := m.Payload.(model.SupersededPayload); ok {
-		kept := b.msgs[:0]
-		for _, x := range b.msgs {
-			if x.From == m.From && x.Payload.Kind() == m.Payload.Kind() {
-				continue // superseded by the newcomer
-			}
-			kept = append(kept, x)
-		}
-		b.msgs = kept
+// New returns the async substrate handle.
+func New() substrate.Substrate { return S{} }
+
+// Name implements substrate.Substrate.
+func (S) Name() string { return "async" }
+
+// Deterministic implements substrate.Substrate: goroutine scheduling makes
+// every run different.
+func (S) Deterministic() bool { return false }
+
+// Run implements substrate.Substrate: it wires the in-memory transport
+// (inboxes plus optional delay and drop injection) into the shared
+// concurrent cluster driver and blocks until the cluster stops.
+func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, pattern *model.FailurePattern, opts substrate.Options) (*substrate.Result, error) {
+	if err := substrate.Validate("runtime", aut, hist, pattern, opts); err != nil {
+		return nil, err
 	}
-	b.msgs = append(b.msgs, m)
-}
-
-// take removes and returns the oldest message, or nil.
-func (b *inbox) take() *model.Message {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if len(b.msgs) == 0 {
-		return nil
-	}
-	m := b.msgs[0]
-	b.msgs = b.msgs[1:]
-	return m
-}
-
-// Run executes the cluster and blocks until it stops.
-func Run(cfg Config) (*Result, error) {
-	if cfg.Automaton == nil || cfg.Pattern == nil || cfg.History == nil {
-		return nil, errors.New("runtime: Automaton, Pattern and History are required")
-	}
-	if cfg.MaxTicks <= 0 {
-		return nil, errors.New("runtime: MaxTicks must be positive")
-	}
-	n := cfg.Automaton.N()
-	if n != cfg.Pattern.N() {
-		return nil, fmt.Errorf("runtime: automaton n=%d but pattern n=%d", n, cfg.Pattern.N())
-	}
-
-	var (
-		clock    atomic.Int64
-		seq      atomic.Uint64
-		stop     = make(chan struct{})
-		stopOnce sync.Once
-		wg       sync.WaitGroup
-		inboxes  = make([]*inbox, n)
-
-		mu      sync.Mutex
-		states  = make([]model.State, n)
-		decided = make(map[model.ProcessID]bool)
-		rec     = &trace.Recorder{}
-	)
-	for i := range inboxes {
-		inboxes[i] = &inbox{}
-	}
-	for p := 0; p < n; p++ {
-		states[p] = cfg.Automaton.InitState(model.ProcessID(p))
-	}
-	correct := cfg.Pattern.Correct()
+	inboxes := substrate.NewInboxes(aut.N())
+	var seq atomic.Uint64
 
 	deliver := func(from model.ProcessID, sends []model.Send, rng *rand.Rand) {
 		for _, s := range sends {
+			if opts.DropProb > 0 && s.To != from && rng.Float64() < opts.DropProb {
+				continue // lossy link; loopback sends always arrive
+			}
 			m := &model.Message{From: from, To: s.To, Seq: seq.Add(1), Payload: s.Payload}
-			if cfg.MeanDelay > 0 {
-				d := time.Duration(rng.Int63n(int64(2*cfg.MeanDelay) + 1))
-				time.AfterFunc(d, func() { inboxes[m.To].put(m) })
+			if opts.MeanDelay > 0 {
+				d := time.Duration(rng.Int63n(int64(2*opts.MeanDelay) + 1))
+				time.AfterFunc(d, func() { inboxes[m.To].Put(m) })
 			} else {
-				inboxes[s.To].put(m)
+				inboxes[s.To].Put(m)
 			}
 		}
 	}
 
-	for i := 0; i < n; i++ {
-		p := model.ProcessID(i)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*7919))
-			st := cfg.Automaton.InitState(p)
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				t := model.Time(clock.Add(1))
-				if t > cfg.MaxTicks {
-					stopOnce.Do(func() { close(stop) })
-					return
-				}
-				if cfg.Pattern.Crashed(p, t) {
-					return // crash: silently halt
-				}
-				var m *model.Message
-				if rng.Float64() < 0.8 {
-					m = inboxes[p].take()
-				}
-				d := cfg.History.Output(p, t)
-				ns, sends := cfg.Automaton.Step(p, st, m, d)
-				st = ns
-				deliver(p, sends, rng)
-
-				mu.Lock()
-				states[p] = st
-				rec.OnStep(int(t), t, p, m, d, len(sends))
-				for _, s := range sends {
-					rec.OnSend(s.Payload)
-				}
-				if out, ok := st.(model.FDOutput); ok {
-					rec.OnOutput(t, p, out.EmulatedOutput())
-				}
-				allDecided := false
-				if v, ok := model.DecisionOf(st); ok && !decided[p] {
-					decided[p] = true
-					rec.OnDecision(t, p, v)
-				}
-				if cfg.StopWhenDecided {
-					allDecided = true
-					correct.ForEach(func(q model.ProcessID) {
-						if !decided[q] {
-							allDecided = false
-						}
-					})
-				}
-				mu.Unlock()
-				if allDecided {
-					stopOnce.Do(func() { close(stop) })
-					return
-				}
-				// Yield so other goroutines interleave even on few cores.
-				if rng.Intn(8) == 0 {
-					time.Sleep(time.Microsecond)
-				}
-			}
-		}()
+	take := opts.DeliverProb
+	if take <= 0 {
+		take = takeProb
 	}
-	wg.Wait()
-
-	mu.Lock()
-	defer mu.Unlock()
-	res := &Result{
-		States: states,
-		Ticks:  model.Time(clock.Load()),
-		Rec:    rec,
-	}
-	res.Decided = true
-	correct.ForEach(func(q model.ProcessID) {
-		if !decided[q] {
-			res.Decided = false
-		}
+	return substrate.RunCluster(ctx, aut, hist, pattern, opts, substrate.ClusterHooks{
+		Inboxes:    inboxes,
+		TakeProb:   take,
+		SeedStride: seedStride,
+		Deliver:    deliver,
 	})
-	return res, nil
-}
-
-// FinalConfiguration adapts the result to a model.Configuration so the
-// consensus checkers can consume it.
-func (r *Result) FinalConfiguration() *model.Configuration {
-	return &model.Configuration{States: r.States, Buffer: model.NewMessageBuffer()}
 }

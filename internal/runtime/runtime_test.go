@@ -1,6 +1,7 @@
 package runtime_test
 
 import (
+	"context"
 	"testing"
 
 	"nuconsensus/internal/check"
@@ -8,6 +9,7 @@ import (
 	"nuconsensus/internal/fd"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/runtime"
+	"nuconsensus/internal/substrate"
 )
 
 func TestANucOnGoroutineRuntime(t *testing.T) {
@@ -17,18 +19,15 @@ func TestANucOnGoroutineRuntime(t *testing.T) {
 		First:  fd.NewOmega(pattern, 500, 11),
 		Second: fd.NewSigmaNuPlus(pattern, 500, 11),
 	}
-	res, err := runtime.Run(runtime.Config{
-		Automaton:       consensus.NewANuc([]int{1, 0, 1, 0, 1}),
-		Pattern:         pattern,
-		History:         hist,
+	res, err := runtime.New().Run(context.Background(), consensus.NewANuc([]int{1, 0, 1, 0, 1}), hist, pattern, substrate.Options{
 		Seed:            42,
-		MaxTicks:        200000,
+		MaxSteps:        200000,
 		StopWhenDecided: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := check.OutcomeFromConfig(res.FinalConfiguration())
+	out := check.OutcomeFromConfig(res.Config)
 	// Safety always.
 	if err := out.Validity(); err != nil {
 		t.Fatal(err)
@@ -47,18 +46,15 @@ func TestMRMajorityOnGoroutineRuntime(t *testing.T) {
 	n := 5
 	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{0: 100})
 	hist := fd.NewOmega(pattern, 400, 3)
-	res, err := runtime.Run(runtime.Config{
-		Automaton:       consensus.NewMRMajority([]int{9, 9, 4, 4, 4}),
-		Pattern:         pattern,
-		History:         hist,
+	res, err := runtime.New().Run(context.Background(), consensus.NewMRMajority([]int{9, 9, 4, 4, 4}), hist, pattern, substrate.Options{
 		Seed:            7,
-		MaxTicks:        200000,
+		MaxSteps:        200000,
 		StopWhenDecided: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := check.OutcomeFromConfig(res.FinalConfiguration())
+	out := check.OutcomeFromConfig(res.Config)
 	if err := out.Validity(); err != nil {
 		t.Fatal(err)
 	}

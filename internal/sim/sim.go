@@ -4,18 +4,32 @@
 // read from the history, and one atomic step (§2.4) is applied. The
 // resulting execution is, by construction, a run in the sense of §2.6; with
 // a fair scheduler and enough steps it approximates an admissible run.
+//
+// The package exposes two layers. Run is the step-level engine with an
+// injected Scheduler — the full generality the adversarial experiments
+// need (scripted schedulers, partial synchrony, kept schedules). S is the
+// deterministic "sim" backend of internal/substrate built on top of it: it
+// derives a fair (or partially synchronous) scheduler from the shared
+// Options, so the same experiments run unchanged on the concurrent
+// substrates.
 package sim
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"nuconsensus/internal/model"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 )
 
-// Options configures one simulated execution.
-type Options struct {
+func init() { substrate.Register(S{}) }
+
+// Exec configures one step-level execution: the run's inputs plus the
+// scheduler embodying the model's nondeterminism. (The shared, substrate-
+// portable knobs — seed, fairness budget, GST — live in
+// substrate.Options; Exec is the lower layer they compile down to.)
+type Exec struct {
 	Automaton model.Automaton
 	Pattern   *model.FailurePattern
 	History   model.History
@@ -33,116 +47,136 @@ type Options struct {
 	KeepSchedule bool
 }
 
-// Result is the outcome of a simulated execution.
-type Result struct {
-	Config  *model.Configuration
-	Steps   int
-	Time    model.Time // time after the last step
-	Stopped bool       // StopWhen fired (vs. MaxSteps exhausted)
-
-	Schedule model.Schedule // non-nil iff Options.KeepSchedule
-	Times    []model.Time
-}
-
-// Run executes the automaton under the given pattern, history and scheduler.
-func Run(opts Options) (*Result, error) {
-	if opts.Automaton == nil || opts.Pattern == nil || opts.History == nil || opts.Scheduler == nil {
-		return nil, errors.New("sim: Automaton, Pattern, History and Scheduler are required")
+// Run executes the automaton under the given pattern, history and
+// scheduler, and returns the shared substrate result.
+func Run(x Exec) (*substrate.Result, error) {
+	if err := substrate.Validate("sim", x.Automaton, x.History, x.Pattern, substrate.Options{MaxSteps: x.MaxSteps}); err != nil {
+		return nil, err
 	}
-	if opts.MaxSteps <= 0 {
-		return nil, errors.New("sim: MaxSteps must be positive")
-	}
-	if opts.Automaton.N() != opts.Pattern.N() {
-		return nil, fmt.Errorf("sim: automaton n=%d but pattern n=%d", opts.Automaton.N(), opts.Pattern.N())
+	if x.Scheduler == nil {
+		return nil, fmt.Errorf("sim: Scheduler is required")
 	}
 
-	c := model.InitialConfiguration(opts.Automaton)
-	res := &Result{Config: c}
+	c := model.InitialConfiguration(x.Automaton)
+	res := &substrate.Result{Config: c, Rec: x.Recorder}
 	decided := make(map[model.ProcessID]bool)
 
 	// Record any processes that decide in their initial state (possible for
 	// trivial automata) and initial emulated outputs.
-	snapshotOutputs(opts, c, 0, decided, res)
+	snapshotOutputs(x, c, 0, decided)
 
-	for step := 0; step < opts.MaxSteps; step++ {
+	for step := 0; step < x.MaxSteps; step++ {
 		t := model.Time(step + 1)
-		alive := opts.Pattern.Alive(t)
+		alive := x.Pattern.Alive(t)
 		if alive.IsEmpty() {
 			break // everyone has crashed; the run is over
 		}
-		p, m := opts.Scheduler.Next(t, alive, c)
+		p, m := x.Scheduler.Next(t, alive, c)
 		if !alive.Has(p) {
 			return nil, fmt.Errorf("sim: scheduler chose crashed process %s at t=%d", p, t)
 		}
-		d := opts.History.Output(p, t)
+		d := x.History.Output(p, t)
 		e := model.Step{P: p, M: m, D: d}
 		if !e.Applicable(c) {
 			return nil, fmt.Errorf("sim: scheduler produced inapplicable step %v", e)
 		}
-		sent := c.Apply(opts.Automaton, e)
+		sent := c.Apply(x.Automaton, e)
 		res.Steps++
-		res.Time = t
-		opts.Recorder.OnStep(step, t, p, m, d, len(sent))
-		if opts.Recorder != nil {
+		res.Ticks = t
+		x.Recorder.OnStep(step, t, p, m, d, len(sent))
+		if x.Recorder != nil {
 			for _, sm := range sent {
-				opts.Recorder.OnSend(sm.Payload)
+				x.Recorder.OnSend(sm.Payload)
 			}
 		}
-		if opts.KeepSchedule {
+		if x.KeepSchedule {
 			res.Schedule = append(res.Schedule, e)
 			res.Times = append(res.Times, t)
 		}
-		snapshotOutputs(opts, c, t, decided, res)
-		if opts.StopWhen != nil && opts.StopWhen(c, t) {
+		snapshotOutputs(x, c, t, decided)
+		if x.StopWhen != nil && x.StopWhen(c, t) {
 			res.Stopped = true
 			break
 		}
 	}
-	return res, nil
+	return substrate.Finish(res, x.Pattern), nil
 }
 
 // snapshotOutputs records new decisions and emulated-FD outputs.
-func snapshotOutputs(opts Options, c *model.Configuration, t model.Time, decided map[model.ProcessID]bool, _ *Result) {
-	if opts.Recorder == nil {
+func snapshotOutputs(x Exec, c *model.Configuration, t model.Time, decided map[model.ProcessID]bool) {
+	if x.Recorder == nil {
 		return
 	}
 	for i, s := range c.States {
-		p := model.ProcessID(i)
-		if !decided[p] {
-			if v, ok := model.DecisionOf(s); ok {
-				decided[p] = true
-				opts.Recorder.OnDecision(t, p, v)
-			}
-		}
-		if out, ok := s.(model.FDOutput); ok {
-			opts.Recorder.OnOutput(t, p, out.EmulatedOutput())
-		}
+		substrate.ObserveState(x.Recorder, t, model.ProcessID(i), s, decided)
 	}
 }
 
-// AllCorrectDecided returns a StopWhen predicate that fires once every
-// correct process (per pattern) has decided.
-func AllCorrectDecided(pattern *model.FailurePattern) func(*model.Configuration, model.Time) bool {
-	correct := pattern.Correct()
-	return func(c *model.Configuration, _ model.Time) bool {
-		done := true
-		correct.ForEach(func(p model.ProcessID) {
-			if _, ok := model.DecisionOf(c.States[p]); !ok {
-				done = false
-			}
-		})
-		return done
+// S is the deterministic step-simulator backend: substrate name "sim".
+type S struct{}
+
+// New returns the sim substrate handle.
+func New() substrate.Substrate { return S{} }
+
+// Name implements substrate.Substrate.
+func (S) Name() string { return "sim" }
+
+// Deterministic implements substrate.Substrate: equal inputs give
+// byte-identical results.
+func (S) Deterministic() bool { return true }
+
+// Run implements substrate.Substrate by compiling the shared options down
+// to a scheduled step-level execution.
+func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, pattern *model.FailurePattern, opts substrate.Options) (*substrate.Result, error) {
+	if err := substrate.Validate("sim", aut, hist, pattern, opts); err != nil {
+		return nil, err
 	}
+	var stop func(*model.Configuration, model.Time) bool
+	if opts.StopWhenDecided {
+		stop = substrate.AllCorrectDecided(pattern)
+	}
+	cancelled := false
+	stopOrCancel := func(c *model.Configuration, t model.Time) bool {
+		if ctx.Err() != nil {
+			cancelled = true
+			return true
+		}
+		return stop != nil && stop(c, t)
+	}
+	res, err := Run(Exec{
+		Automaton: aut,
+		Pattern:   pattern,
+		History:   hist,
+		Scheduler: SchedulerFor(opts),
+		MaxSteps:  opts.MaxSteps,
+		StopWhen:  stopOrCancel,
+		Recorder:  opts.Recorder,
+	})
+	if cancelled {
+		return nil, ctx.Err()
+	}
+	return res, err
 }
 
-// Decisions extracts the current decision of each process from a
-// configuration (NoDecision for processes that have not decided).
-func Decisions(c *model.Configuration) map[model.ProcessID]int {
-	out := make(map[model.ProcessID]int)
-	for i, s := range c.States {
-		if v, ok := model.DecisionOf(s); ok {
-			out[model.ProcessID(i)] = v
+// SchedulerFor builds the scheduler the shared options describe: a fair
+// scheduler with the options' fairness budget (defaults 0.8 / 3), or — when
+// GST is set — a partially synchronous one that is hostile before GST and
+// timely after.
+func SchedulerFor(opts substrate.Options) Scheduler {
+	if opts.GST > 0 {
+		return &PartialSyncScheduler{
+			GST:    opts.GST,
+			Before: NewFairScheduler(opts.Seed, 0.3, 10),
+			After:  NewFairScheduler(opts.Seed+1, 0.9, 2),
 		}
 	}
-	return out
+	deliverProb := opts.DeliverProb
+	if deliverProb <= 0 {
+		deliverProb = 0.8
+	}
+	maxSkip := opts.MaxSkip
+	if maxSkip <= 0 {
+		maxSkip = 3
+	}
+	return NewFairScheduler(opts.Seed, deliverProb, maxSkip)
 }

@@ -8,6 +8,7 @@ import (
 	"nuconsensus/internal/fd"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 )
 
@@ -32,11 +33,11 @@ func TestRunValidatesOptions(t *testing.T) {
 	aut, pattern, hist := anucSetup(3, nil, 1)
 	cases := []struct {
 		name string
-		opts sim.Options
+		opts sim.Exec
 	}{
-		{"missing automaton", sim.Options{Pattern: pattern, History: hist, Scheduler: sim.NewFairScheduler(1, 0, 0), MaxSteps: 10}},
-		{"missing steps", sim.Options{Automaton: aut, Pattern: pattern, History: hist, Scheduler: sim.NewFairScheduler(1, 0, 0)}},
-		{"size mismatch", sim.Options{Automaton: aut, Pattern: model.NewFailurePattern(4), History: hist, Scheduler: sim.NewFairScheduler(1, 0, 0), MaxSteps: 10}},
+		{"missing automaton", sim.Exec{Pattern: pattern, History: hist, Scheduler: sim.NewFairScheduler(1, 0, 0), MaxSteps: 10}},
+		{"missing steps", sim.Exec{Automaton: aut, Pattern: pattern, History: hist, Scheduler: sim.NewFairScheduler(1, 0, 0)}},
+		{"size mismatch", sim.Exec{Automaton: aut, Pattern: model.NewFailurePattern(4), History: hist, Scheduler: sim.NewFairScheduler(1, 0, 0), MaxSteps: 10}},
 	}
 	for _, tc := range cases {
 		if _, err := sim.Run(tc.opts); err == nil {
@@ -51,7 +52,7 @@ func TestRunValidatesOptions(t *testing.T) {
 func TestSimulatedExecutionIsARun(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		aut, pattern, hist := anucSetup(4, map[model.ProcessID]model.Time{2: 30}, seed)
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton:    aut,
 			Pattern:      pattern,
 			History:      hist,
@@ -82,7 +83,7 @@ func TestSimulatedExecutionIsARun(t *testing.T) {
 func TestFairSchedulerAdmissibility(t *testing.T) {
 	aut, pattern, hist := anucSetup(4, map[model.ProcessID]model.Time{1: 25}, 3)
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,
@@ -112,13 +113,13 @@ func TestFairSchedulerAdmissibility(t *testing.T) {
 
 func TestStopWhenFires(t *testing.T) {
 	aut, pattern, hist := anucSetup(3, nil, 9)
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,
 		Scheduler: sim.NewFairScheduler(9, 0.8, 3),
 		MaxSteps:  50000,
-		StopWhen:  sim.AllCorrectDecided(pattern),
+		StopWhen:  substrate.AllCorrectDecided(pattern),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -126,26 +127,26 @@ func TestStopWhenFires(t *testing.T) {
 	if !res.Stopped {
 		t.Fatal("expected early stop on decisions")
 	}
-	if len(sim.Decisions(res.Config)) != 3 {
-		t.Errorf("decisions = %v", sim.Decisions(res.Config))
+	if len(substrate.Decisions(res.Config)) != 3 {
+		t.Errorf("decisions = %v", substrate.Decisions(res.Config))
 	}
 }
 
 func TestRoundRobinDeterminism(t *testing.T) {
 	run := func() map[model.ProcessID]int {
 		aut, pattern, hist := anucSetup(3, nil, 1)
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: aut,
 			Pattern:   pattern,
 			History:   hist,
 			Scheduler: &sim.RoundRobinScheduler{},
 			MaxSteps:  5000,
-			StopWhen:  sim.AllCorrectDecided(pattern),
+			StopWhen:  substrate.AllCorrectDecided(pattern),
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sim.Decisions(res.Config)
+		return substrate.Decisions(res.Config)
 	}
 	a, b := run(), run()
 	if len(a) != len(b) {
@@ -161,13 +162,13 @@ func TestRoundRobinDeterminism(t *testing.T) {
 func TestScriptedSchedulerReplay(t *testing.T) {
 	// Record a fair run, replay its choices, require identical decisions.
 	aut, pattern, hist := anucSetup(3, map[model.ProcessID]model.Time{2: 40}, 4)
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton:    aut,
 		Pattern:      pattern,
 		History:      hist,
 		Scheduler:    sim.NewFairScheduler(4, 0.8, 3),
 		MaxSteps:     2000,
-		StopWhen:     sim.AllCorrectDecided(pattern),
+		StopWhen:     substrate.AllCorrectDecided(pattern),
 		KeepSchedule: true,
 	})
 	if err != nil {
@@ -180,7 +181,7 @@ func TestScriptedSchedulerReplay(t *testing.T) {
 	for i, e := range res.Schedule {
 		script[i] = sim.Choice{P: e.P, Deliver: e.M != nil}
 	}
-	res2, err := sim.Run(sim.Options{
+	res2, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,
@@ -190,7 +191,7 @@ func TestScriptedSchedulerReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d1, d2 := sim.Decisions(res.Config), sim.Decisions(res2.Config)
+	d1, d2 := substrate.Decisions(res.Config), substrate.Decisions(res2.Config)
 	if len(d1) != len(d2) {
 		t.Fatalf("replay diverged: %v vs %v", d1, d2)
 	}
@@ -209,7 +210,7 @@ func TestSchedulerSkipsCrashedScriptEntries(t *testing.T) {
 		Script:   []sim.Choice{{P: 0, Deliver: false}, {P: 0, Deliver: true}},
 		Fallback: sim.NewFairScheduler(5, 0.8, 3),
 	}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,
@@ -232,7 +233,7 @@ func TestPartialSyncScheduler(t *testing.T) {
 		After:  &sim.RoundRobinScheduler{},
 	}
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,
@@ -270,7 +271,7 @@ func TestPartialSyncScheduler(t *testing.T) {
 func TestAllProcessesCrash(t *testing.T) {
 	aut, _, hist := anucSetup(3, nil, 1)
 	pattern := model.PatternFromCrashes(3, map[model.ProcessID]model.Time{0: 5, 1: 9, 2: 13})
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,

@@ -1,0 +1,203 @@
+package substrate
+
+// This file is the shared concurrent driver: the goroutine-per-process
+// loop, crash injection, logical clock and decision collection that the
+// async and TCP substrates used to copy from each other. A backend
+// provides only its transport (how sends reach inboxes) via ClusterHooks.
+//
+// The wall-clock and goroutine use in here is sanctioned: this package is
+// the home of the intentionally nondeterministic substrates, exempt from
+// the nodeterm analyzer (see internal/lint/nodeterm). Executions are
+// inherently nondeterministic; callers assert safety unconditionally and
+// liveness under generous budgets.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/trace"
+)
+
+// ClusterHooks adapts the shared concurrent driver to one transport.
+type ClusterHooks struct {
+	// Inboxes are the per-process mailboxes the driver drains; the
+	// transport's Deliver (and any reader goroutines) put into them.
+	Inboxes []*Inbox
+
+	// TakeProb is the per-step probability of draining the inbox; <= 0 or
+	// >= 1 means every step receives the oldest pending message.
+	TakeProb float64
+
+	// SeedStride separates the per-process RNG streams derived from
+	// Options.Seed (a distinct prime per backend keeps historical runs
+	// reproducible).
+	SeedStride int64
+
+	// Deliver transmits one step's sends. rng is the stepping process's
+	// private stream (for delay/drop decisions).
+	Deliver func(from model.ProcessID, sends []model.Send, rng *rand.Rand)
+
+	// OnHalt, if non-nil, runs exactly once when process p stops — by
+	// crashing, by budget exhaustion or by early termination — e.g. to
+	// close its sockets.
+	OnHalt func(p model.ProcessID)
+
+	// Resolve, if non-nil, finalizes a taken message before it reaches the
+	// automaton — e.g. decoding a raw wire frame that the transport put in
+	// the inbox undecoded. Messages collapsed in the inbox are never
+	// resolved, which is the point: supersession makes their decode cost
+	// vanish. A nil result (resolution failure) skips the message.
+	Resolve func(m *model.Message) *model.Message
+}
+
+// idleBackoffAfter and idleBackoffSleep throttle a process whose inbox has
+// been empty for that many consecutive attempted takes: it keeps stepping
+// (so the shared clock, crash injection and detector histories progress)
+// but no longer at CPU speed, which keeps tick budgets meaningful when the
+// transport has real latency.
+const (
+	idleBackoffAfter = 32
+	idleBackoffSleep = 50 * time.Microsecond
+)
+
+// RunCluster executes the shared concurrent loop: one goroutine per
+// process, a shared logical clock (one tick per step taken by any
+// process), crash injection from the pattern, failure-detector queries at
+// the shared clock, and decision collection under one lock. It blocks
+// until the cluster stops and returns the finished Result.
+func RunCluster(ctx context.Context, aut model.Automaton, hist model.History, pattern *model.FailurePattern, opts Options, h ClusterHooks) (*Result, error) {
+	n := aut.N()
+	var (
+		clock    atomic.Int64
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+		wg       sync.WaitGroup
+
+		mu      sync.Mutex
+		states  = make([]model.State, n)
+		decided = make(map[model.ProcessID]bool)
+		rec     = opts.Recorder
+	)
+	if rec == nil {
+		rec = &trace.Recorder{}
+	}
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	for p := 0; p < n; p++ {
+		states[p] = aut.InitState(model.ProcessID(p))
+	}
+	correct := pattern.Correct()
+	maxTicks := model.Time(opts.MaxSteps)
+
+	// Propagate ctx cancellation into the cluster's stop channel.
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				halt()
+			case <-stop:
+			case <-watcherDone:
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		p := model.ProcessID(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if h.OnHalt != nil {
+				defer h.OnHalt(p)
+			}
+			rng := rand.New(rand.NewSource(opts.Seed + int64(p)*h.SeedStride))
+			st := aut.InitState(p)
+			idle := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t := model.Time(clock.Add(1))
+				if t > maxTicks {
+					halt()
+					return
+				}
+				if pattern.Crashed(p, t) {
+					return // crash: silently halt (OnHalt closes resources)
+				}
+				var m *model.Message
+				if h.TakeProb <= 0 || h.TakeProb >= 1 || rng.Float64() < h.TakeProb {
+					m = h.Inboxes[p].Take()
+					if m == nil {
+						idle++
+					} else {
+						idle = 0
+						if h.Resolve != nil {
+							m = h.Resolve(m)
+						}
+					}
+				}
+				d := hist.Output(p, t)
+				ns, sends := aut.Step(p, st, m, d)
+				st = ns
+				h.Deliver(p, sends, rng)
+
+				mu.Lock()
+				states[p] = st
+				rec.OnStep(int(t), t, p, m, d, len(sends))
+				for _, s := range sends {
+					rec.OnSend(s.Payload)
+				}
+				ObserveState(rec, t, p, st, decided)
+				allDecided := false
+				if opts.StopWhenDecided {
+					allDecided = true
+					correct.ForEach(func(q model.ProcessID) {
+						if !decided[q] {
+							allDecided = false
+						}
+					})
+				}
+				mu.Unlock()
+				if allDecided {
+					halt()
+					return
+				}
+				// Yield so other goroutines interleave even on few cores; once
+				// the inbox has stayed empty for a while, back off harder so a
+				// process waiting on in-flight messages (a real possibility on
+				// the TCP transport) burns wall-clock instead of shared-clock
+				// budget. The logical clock still advances on every step, so
+				// crash times and detector histories are unaffected.
+				if idle >= idleBackoffAfter {
+					time.Sleep(idleBackoffSleep)
+				} else if rng.Intn(8) == 0 {
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	halt()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	ticks := model.Time(clock.Load())
+	res := &Result{
+		Config:  &model.Configuration{States: states, Buffer: model.NewMessageBuffer()},
+		Steps:   int(ticks),
+		Ticks:   ticks,
+		Stopped: ticks <= maxTicks, // a stop condition fired before the budget ran out
+		Rec:     rec,
+	}
+	return Finish(res, pattern), nil
+}

@@ -1,0 +1,64 @@
+package substrate
+
+import (
+	"sync"
+
+	"nuconsensus/internal/model"
+)
+
+// Inbox is the unbounded per-process mailbox shared by the concurrent
+// substrates. Delivery is FIFO per put order (the transports put in send
+// order per link, so per-link FIFO follows), with SupersededPayload
+// collapsing so DAG snapshot floods cannot deadlock or exhaust memory:
+// putting a superseding payload removes the older pending payloads of the
+// same kind from the same sender.
+type Inbox struct {
+	mu   sync.Mutex
+	msgs []*model.Message
+}
+
+// NewInboxes allocates one empty inbox per process.
+func NewInboxes(n int) []*Inbox {
+	inboxes := make([]*Inbox, n)
+	for i := range inboxes {
+		inboxes[i] = &Inbox{}
+	}
+	return inboxes
+}
+
+// Put enqueues a message, collapsing older superseded payloads from the
+// same sender.
+func (b *Inbox) Put(m *model.Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := m.Payload.(model.SupersededPayload); ok {
+		kept := b.msgs[:0]
+		for _, x := range b.msgs {
+			if x.From == m.From && x.Payload.Kind() == m.Payload.Kind() {
+				continue // superseded by the newcomer
+			}
+			kept = append(kept, x)
+		}
+		b.msgs = kept
+	}
+	b.msgs = append(b.msgs, m)
+}
+
+// Take removes and returns the oldest message, or nil.
+func (b *Inbox) Take() *model.Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.msgs) == 0 {
+		return nil
+	}
+	m := b.msgs[0]
+	b.msgs = b.msgs[1:]
+	return m
+}
+
+// Len reports the number of pending messages.
+func (b *Inbox) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.msgs)
+}

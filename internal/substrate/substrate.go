@@ -1,0 +1,238 @@
+// Package substrate is the pluggable execution layer beneath every
+// experiment and driver in this repository. The paper's claims are
+// statements about the abstract model of §2; the reproduction's credibility
+// rests on showing the same Automaton values behave identically on three
+// very different realizations of that model:
+//
+//   - "sim"   — the deterministic step simulator (internal/sim, DESIGN.md S6)
+//   - "async" — one goroutine per process over in-memory links (internal/runtime, S7)
+//   - "tcp"   — a real TCP loopback mesh with wire-serialized payloads
+//     (internal/netrun, S24)
+//
+// Each backend implements the one Substrate interface below against the one
+// shared Options/Result pair, so experiments, the CLI and the public facade
+// are written once and run anywhere. Future backends (a sharded in-process
+// mesh, a real network) drop in by implementing Substrate and calling
+// Register.
+//
+// The package also hosts the code the three backends used to duplicate:
+// the per-link FIFO Inbox (inbox.go), the shared concurrent cluster driver
+// with crash injection (cluster.go), and the decision-collection helpers
+// below.
+package substrate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/trace"
+)
+
+// Options is the one execution configuration shared by every substrate.
+// The zero value of any knob means "use the substrate's default"; knobs a
+// backend cannot honor (e.g. MeanDelay on the deterministic simulator,
+// DropProb on reliable TCP streams) are documented per field and ignored.
+type Options struct {
+	// Seed derives all randomness of the run: the simulator's fair
+	// scheduler and the concurrent substrates' per-process RNG streams.
+	Seed int64
+
+	// MaxSteps bounds the execution length (required, > 0). On the
+	// simulator it is the number of atomic steps; on the concurrent
+	// substrates it is the shared logical-clock budget (total steps across
+	// all processes).
+	MaxSteps int
+
+	// StopWhenDecided ends the run early once every correct process (per
+	// the failure pattern) has decided.
+	StopWhenDecided bool
+
+	// DeliverProb and MaxSkip are the fairness budget of the simulator's
+	// fair scheduler: the per-step probability of receiving the oldest
+	// pending message, and the bound on consecutive λ-receives while
+	// messages are pending (defaults 0.8 and 3). On the async substrate
+	// DeliverProb is the per-step probability of draining the inbox.
+	DeliverProb float64
+	MaxSkip     int
+
+	// GST, if positive, makes the simulated execution partially
+	// synchronous: hostile scheduling before GST, timely after. Honored by
+	// the sim substrate; the concurrent substrates are inherently
+	// partially synchronous. (Used by the from-scratch detector stacks.)
+	GST model.Time
+
+	// MeanDelay adds an average artificial link delay on the async
+	// substrate; zero delivers as fast as the scheduler allows. The sim
+	// substrate models delay through its scheduler; TCP has real delays.
+	MeanDelay time.Duration
+
+	// DropProb drops each non-loopback message with the given probability
+	// on the async substrate (a lossy-link knob; dropping may cost
+	// liveness, safety must survive it). Ignored by sim (the model's
+	// buffer is reliable) and tcp (streams are reliable by construction).
+	DropProb float64
+
+	// Recorder, if non-nil, receives step/sample/decision events. The
+	// concurrent substrates allocate one when nil so Result.Rec is always
+	// populated; the simulator's low-level engine treats nil as "don't
+	// trace" (cheaper long runs).
+	Recorder *trace.Recorder
+}
+
+// Result is the one outcome type shared by every substrate.
+type Result struct {
+	// Config is the final configuration: every process's last state, plus
+	// (on the simulator) the in-flight message buffer.
+	Config *model.Configuration
+
+	// Steps is the number of atomic steps executed; Ticks is the logical
+	// time when the run stopped. On the simulator both advance together;
+	// on the concurrent substrates Ticks is the shared clock (which every
+	// process's steps advance).
+	Steps int
+	Ticks model.Time
+
+	// Stopped reports that the run ended through its stop predicate
+	// rather than by exhausting MaxSteps.
+	Stopped bool
+
+	// Decided reports that every correct process decided; Decisions maps
+	// each decided process (correct or not) to its value; MaxRound is the
+	// highest round any process reached (0 for round-less automata).
+	Decided   bool
+	Decisions map[model.ProcessID]int
+	MaxRound  int
+
+	// Rec is the run's trace (message counts by kind, FD samples, decision
+	// times, optionally per-step records). Nil only when the simulator's
+	// low-level engine ran without a recorder.
+	Rec *trace.Recorder
+
+	// BytesSent counts wire bytes written to sockets (tcp substrate only).
+	BytesSent int64
+
+	// Schedule and Times retain the executed schedule (sim substrate with
+	// Exec.KeepSchedule only) so it can be validated or merged.
+	Schedule model.Schedule
+	Times    []model.Time
+}
+
+// Substrate is one execution backend. Run executes the automaton under the
+// given failure pattern and failure-detector history until the options'
+// budget or stop condition is met. Implementations must honor ctx
+// cancellation (returning ctx.Err()) and must be safe for concurrent use
+// by independent runs.
+type Substrate interface {
+	// Name is the backend's registry key and CLI name ("sim", "async", "tcp").
+	Name() string
+	// Deterministic reports whether two runs with equal inputs produce
+	// identical results (true only for the step simulator).
+	Deterministic() bool
+	Run(ctx context.Context, aut model.Automaton, hist model.History, pattern *model.FailurePattern, opts Options) (*Result, error)
+}
+
+// registry holds the substrates by name. Backends self-register from their
+// init functions; importing a backend package is what makes it available.
+var registry = map[string]Substrate{}
+
+// Register adds a substrate under its Name. Registering two substrates
+// with the same name is a programming error and panics.
+func Register(s Substrate) {
+	if _, dup := registry[s.Name()]; dup {
+		panic(fmt.Sprintf("substrate: duplicate registration of %q", s.Name()))
+	}
+	registry[s.Name()] = s
+}
+
+// Get returns the named substrate.
+func Get(name string) (Substrate, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("substrate: unknown substrate %q (known: %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists the registered substrates in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks the arguments every substrate requires. name prefixes
+// the error messages.
+func Validate(name string, aut model.Automaton, hist model.History, pattern *model.FailurePattern, opts Options) error {
+	if aut == nil || pattern == nil || hist == nil {
+		return errors.New(name + ": Automaton, Pattern and History are required")
+	}
+	if opts.MaxSteps <= 0 {
+		return errors.New(name + ": MaxSteps must be positive")
+	}
+	if aut.N() != pattern.N() {
+		return fmt.Errorf("%s: automaton n=%d but pattern n=%d", name, aut.N(), pattern.N())
+	}
+	return nil
+}
+
+// Finish derives the shared outcome fields (Decisions, Decided, MaxRound)
+// from the result's final configuration and returns the result.
+func Finish(res *Result, pattern *model.FailurePattern) *Result {
+	res.Decisions = Decisions(res.Config)
+	res.Decided = AllCorrectDecided(pattern)(res.Config, res.Ticks)
+	for _, s := range res.Config.States {
+		if r, ok := model.RoundOf(s); ok && r > res.MaxRound {
+			res.MaxRound = r
+		}
+	}
+	return res
+}
+
+// AllCorrectDecided returns a stop predicate that fires once every correct
+// process (per pattern) has decided.
+func AllCorrectDecided(pattern *model.FailurePattern) func(*model.Configuration, model.Time) bool {
+	correct := pattern.Correct()
+	return func(c *model.Configuration, _ model.Time) bool {
+		done := true
+		correct.ForEach(func(p model.ProcessID) {
+			if _, ok := model.DecisionOf(c.States[p]); !ok {
+				done = false
+			}
+		})
+		return done
+	}
+}
+
+// Decisions extracts the current decision of each process from a
+// configuration (processes that have not decided are absent).
+func Decisions(c *model.Configuration) map[model.ProcessID]int {
+	out := make(map[model.ProcessID]int)
+	for i, s := range c.States {
+		if v, ok := model.DecisionOf(s); ok {
+			out[model.ProcessID(i)] = v
+		}
+	}
+	return out
+}
+
+// ObserveState records p's decision (first time only) and emulated-FD
+// output after a step, updating decided. Shared by the simulator's
+// per-step snapshots and the cluster driver's step bookkeeping.
+func ObserveState(rec *trace.Recorder, t model.Time, p model.ProcessID, st model.State, decided map[model.ProcessID]bool) {
+	if !decided[p] {
+		if v, ok := model.DecisionOf(st); ok {
+			decided[p] = true
+			rec.OnDecision(t, p, v)
+		}
+	}
+	if out, ok := st.(model.FDOutput); ok {
+		rec.OnOutput(t, p, out.EmulatedOutput())
+	}
+}

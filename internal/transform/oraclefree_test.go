@@ -9,6 +9,7 @@ import (
 	"nuconsensus/internal/hb"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 	"nuconsensus/internal/transform"
 )
@@ -36,13 +37,13 @@ func TestOracleFreeConsensus(t *testing.T) {
 			After:  sim.NewFairScheduler(seed+100, 0.9, 2),
 		}
 		rec := &trace.Recorder{}
-		res, err := sim.Run(sim.Options{
+		res, err := sim.Run(sim.Exec{
 			Automaton: oracleFreeANuc([]int{0, 1, 0, 1, 0}, tf),
 			Pattern:   pattern,
 			History:   fd.Null,
 			Scheduler: sched,
 			MaxSteps:  60000,
-			StopWhen:  sim.AllCorrectDecided(pattern),
+			StopWhen:  substrate.AllCorrectDecided(pattern),
 			Recorder:  rec,
 		})
 		if err != nil {
@@ -70,7 +71,7 @@ func TestScratchSigmaNuPlusSpec(t *testing.T) {
 	n, tf := 5, 2
 	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{0: 20, 4: 40})
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: transform.NewScratchSigmaNuPlus(n, tf),
 		Pattern:   pattern,
 		History:   fd.Null,
@@ -82,8 +83,8 @@ func TestScratchSigmaNuPlusSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	horizon, herr := check.LastCompletenessViolation(rec.Outputs, pattern)
-	if herr != nil || horizon > res.Time*4/5 {
-		t.Fatalf("no stabilization: %d of %d (%v)", horizon, res.Time, herr)
+	if herr != nil || horizon > res.Ticks*4/5 {
+		t.Fatalf("no stabilization: %d of %d (%v)", horizon, res.Ticks, herr)
 	}
 	if err := check.SigmaNuPlus(rec.Outputs, pattern, horizon); err != nil {
 		t.Fatalf("from-scratch Σν+ violates spec: %v", err)

@@ -8,6 +8,7 @@ import (
 	"nuconsensus/internal/fd"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 	"nuconsensus/internal/transform"
 )
@@ -17,7 +18,7 @@ func TestSigmaNuPlusTransformerSmoke(t *testing.T) {
 	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 30})
 	hist := fd.NewSigmaNu(pattern, 80, 3)
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: transform.NewSigmaNuPlusTransformer(n),
 		Pattern:   pattern,
 		History:   hist,
@@ -29,8 +30,8 @@ func TestSigmaNuPlusTransformerSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	horizon, herr := check.LastCompletenessViolation(rec.Outputs, pattern)
-	if herr != nil || horizon > res.Time*4/5 {
-		t.Fatalf("emulated Σν+ never stabilized (last completeness violation at %d of %d, %v)", horizon, res.Time, herr)
+	if herr != nil || horizon > res.Ticks*4/5 {
+		t.Fatalf("emulated Σν+ never stabilized (last completeness violation at %d of %d, %v)", horizon, res.Ticks, herr)
 	}
 	if err := check.SigmaNuPlus(rec.Outputs, pattern, horizon); err != nil {
 		t.Fatalf("emulated Σν+ violates spec: %v", err)
@@ -47,7 +48,7 @@ func TestSigmaNuExtractorSmoke(t *testing.T) {
 	}
 	target := func(proposals []int) model.Automaton { return consensus.NewANuc(proposals) }
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: transform.NewSigmaNuExtractor(n, target, 1),
 		Pattern:   pattern,
 		History:   hist,
@@ -59,8 +60,8 @@ func TestSigmaNuExtractorSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	horizon, herr := check.LastCompletenessViolation(rec.Outputs, pattern)
-	if herr != nil || horizon > res.Time*4/5 {
-		t.Fatalf("emulated Σν never stabilized (last completeness violation at %d of %d, %v)", horizon, res.Time, herr)
+	if herr != nil || horizon > res.Ticks*4/5 {
+		t.Fatalf("emulated Σν never stabilized (last completeness violation at %d of %d, %v)", horizon, res.Ticks, herr)
 	}
 	if err := check.SigmaNu(rec.Outputs, pattern, horizon); err != nil {
 		t.Fatalf("emulated Σν violates spec: %v", err)
@@ -91,13 +92,13 @@ func TestComposedANucOverSigmaNuSmoke(t *testing.T) {
 		consensus.NewANuc([]int{3, 7, 7, 3}),
 	)
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
 		History:   hist,
 		Scheduler: sim.NewFairScheduler(6, 0.8, 3),
 		MaxSteps:  3000,
-		StopWhen:  sim.AllCorrectDecided(pattern),
+		StopWhen:  substrate.AllCorrectDecided(pattern),
 		Recorder:  rec,
 	})
 	if err != nil {
@@ -117,7 +118,7 @@ func TestScratchSigmaSmoke(t *testing.T) {
 	n, tFaults := 5, 2
 	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 20, 4: 35})
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: transform.NewScratchSigma(n, tFaults),
 		Pattern:   pattern,
 		History:   fd.Null,
@@ -128,7 +129,7 @@ func TestScratchSigmaSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := check.Sigma(rec.Outputs, pattern, res.Time*3/4); err != nil {
+	if err := check.Sigma(rec.Outputs, pattern, res.Ticks*3/4); err != nil {
 		t.Fatalf("from-scratch Σ violates spec: %v", err)
 	}
 	t.Logf("ok after %d steps", res.Steps)

@@ -40,6 +40,10 @@ const (
 	tagSlot
 	tagProgress
 	tagCommand
+	tagEstimate
+	tagCoord
+	tagReply
+	tagDecide
 )
 
 // Failure-detector value tags.
@@ -147,6 +151,26 @@ func encodePayload(w *buf, pl model.Payload) error {
 	case rsm.CommandPayload:
 		w.putByte(tagCommand)
 		w.putInt(p.Cmd)
+	case consensus.EstimatePayload:
+		w.putByte(tagEstimate)
+		w.putInt(p.R)
+		w.putInt(p.V)
+		w.putInt(p.TS)
+	case consensus.CoordPayload:
+		w.putByte(tagCoord)
+		w.putInt(p.R)
+		w.putInt(p.V)
+	case consensus.ReplyPayload:
+		w.putByte(tagReply)
+		w.putInt(p.R)
+		if p.Ok {
+			w.putByte(1)
+		} else {
+			w.putByte(0)
+		}
+	case consensus.DecidePayload:
+		w.putByte(tagDecide)
+		w.putInt(p.V)
 	default:
 		return fmt.Errorf("wire: unknown payload type %T", pl)
 	}
@@ -266,6 +290,46 @@ func decodePayload(r *buf) (model.Payload, error) {
 			return nil, err
 		}
 		return rsm.CommandPayload{Cmd: cmd}, nil
+	case tagEstimate:
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		ts, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		return consensus.EstimatePayload{R: k, V: v, TS: ts}, nil
+	case tagCoord:
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		return consensus.CoordPayload{R: k, V: v}, nil
+	case tagReply:
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		ok, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		return consensus.ReplyPayload{R: k, Ok: ok == 1}, nil
+	case tagDecide:
+		v, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		return consensus.DecidePayload{V: v}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown payload tag %d", tag)
 	}
@@ -496,6 +560,87 @@ func EncodeMessage(m *model.Message) ([]byte, error) {
 		return nil, err
 	}
 	return w.b, nil
+}
+
+// payloadPrototypes maps each kind tag to a zero value of its payload
+// type, letting PeekMessage report a frame's kind and supersession
+// behavior without decoding the body. Every Kind method is a value-receiver
+// constant, so calling it on the zero value is safe (SlotPayload, whose
+// Kind delegates to the wrapped payload, is handled structurally).
+var payloadPrototypes = map[byte]model.Payload{
+	tagLead:      consensus.LeadPayload{},
+	tagReport:    consensus.ReportPayload{},
+	tagProposal:  consensus.ProposalPayload{},
+	tagSaw:       consensus.SawPayload{},
+	tagAck:       consensus.AckPayload{},
+	tagRound:     transform.RoundPayload{},
+	tagHeartbeat: hb.HeartbeatPayload{},
+	tagGraph:     dag.GraphPayload{},
+	tagProgress:  rsm.ProgressPayload{},
+	tagCommand:   rsm.CommandPayload{},
+	tagEstimate:  consensus.EstimatePayload{},
+	tagCoord:     consensus.CoordPayload{},
+	tagReply:     consensus.ReplyPayload{},
+	tagDecide:    consensus.DecidePayload{},
+}
+
+// MessageHead is the envelope of an encoded message: everything a
+// transport needs for inbox bookkeeping (routing, per-sender supersession
+// collapsing) without paying for a payload decode. Deferring the decode is
+// what keeps receivers ahead of DAG-snapshot floods: superseded frames are
+// collapsed undecoded.
+type MessageHead struct {
+	From, To   model.ProcessID
+	Seq        uint64
+	Kind       string
+	Supersedes bool
+}
+
+// PeekMessage parses only the envelope of a frame produced by
+// EncodeMessage, leaving the payload body untouched.
+func PeekMessage(b []byte) (MessageHead, error) {
+	r := &buf{b: b}
+	var h MessageHead
+	from, err := r.int()
+	if err != nil {
+		return h, err
+	}
+	to, err := r.int()
+	if err != nil {
+		return h, err
+	}
+	seq, err := r.uvarint()
+	if err != nil {
+		return h, err
+	}
+	h = MessageHead{From: model.ProcessID(from), To: model.ProcessID(to), Seq: seq}
+	tag, err := r.byte()
+	if err != nil {
+		return h, err
+	}
+	if tag == tagSlot {
+		// SlotPayload reports its wrapped payload's kind and never
+		// supersedes; skip the slot number and peek the inner tag.
+		if _, err := r.int(); err != nil {
+			return h, err
+		}
+		if tag, err = r.byte(); err != nil {
+			return h, err
+		}
+		proto, ok := payloadPrototypes[tag]
+		if !ok {
+			return h, fmt.Errorf("wire: unknown payload tag %d inside slot", tag)
+		}
+		h.Kind = proto.Kind()
+		return h, nil
+	}
+	proto, ok := payloadPrototypes[tag]
+	if !ok {
+		return h, fmt.Errorf("wire: unknown payload tag %d", tag)
+	}
+	h.Kind = proto.Kind()
+	_, h.Supersedes = proto.(model.SupersededPayload)
+	return h, nil
 }
 
 // DecodeMessage parses a framed message.

@@ -34,6 +34,11 @@ func TestRoundTripPayloads(t *testing.T) {
 		consensus.AckPayload{Q: model.SetOf(1), K: 8},
 		transform.RoundPayload{K: 12},
 		hb.HeartbeatPayload{},
+		consensus.EstimatePayload{R: 4, V: -3, TS: 2},
+		consensus.CoordPayload{R: 6, V: 1},
+		consensus.ReplyPayload{R: 7, Ok: true},
+		consensus.ReplyPayload{R: 8},
+		consensus.DecidePayload{V: -1},
 	}
 	for _, pl := range payloads {
 		b, err := wire.EncodePayload(pl)

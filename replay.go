@@ -7,6 +7,7 @@ import (
 
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 )
 
@@ -37,10 +38,10 @@ func SimulateRecorded(opts SimOptions) (*SimResult, *RecordedRun, error) {
 	}
 	var stop func(*model.Configuration, model.Time) bool
 	if opts.StopWhenDecided {
-		stop = sim.AllCorrectDecided(opts.Pattern)
+		stop = substrate.AllCorrectDecided(opts.Pattern)
 	}
 	tr := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton:    opts.Automaton,
 		Pattern:      opts.Pattern,
 		History:      historyOrNull(opts.History),
@@ -57,16 +58,7 @@ func SimulateRecorded(opts SimOptions) (*SimResult, *RecordedRun, error) {
 	for _, e := range res.Schedule {
 		rec.Choices = append(rec.Choices, SchedulingChoice{P: e.P, Deliver: e.M != nil})
 	}
-	return &SimResult{
-		States:          res.Config.States,
-		Config:          res.Config,
-		Steps:           res.Steps,
-		Decided:         res.Stopped || stopAllDecided(res.Config, opts.Pattern),
-		Decisions:       sim.Decisions(res.Config),
-		MessagesSent:    tr.MessagesSent,
-		SentKinds:       tr.SentKinds,
-		EmulatedOutputs: tr.Outputs,
-	}, rec, nil
+	return fromSubstrate(res), rec, nil
 }
 
 // Replay re-executes a recorded run: the same automaton, pattern and
@@ -87,10 +79,10 @@ func Replay(opts SimOptions, rec *RecordedRun) (*SimResult, error) {
 	}
 	var stop func(*model.Configuration, model.Time) bool
 	if opts.StopWhenDecided {
-		stop = sim.AllCorrectDecided(opts.Pattern)
+		stop = substrate.AllCorrectDecided(opts.Pattern)
 	}
 	tr := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(sim.Exec{
 		Automaton: opts.Automaton,
 		Pattern:   opts.Pattern,
 		History:   historyOrNull(opts.History),
@@ -102,16 +94,7 @@ func Replay(opts SimOptions, rec *RecordedRun) (*SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SimResult{
-		States:          res.Config.States,
-		Config:          res.Config,
-		Steps:           res.Steps,
-		Decided:         res.Stopped || stopAllDecided(res.Config, opts.Pattern),
-		Decisions:       sim.Decisions(res.Config),
-		MessagesSent:    tr.MessagesSent,
-		SentKinds:       tr.SentKinds,
-		EmulatedOutputs: tr.Outputs,
-	}, nil
+	return fromSubstrate(res), nil
 }
 
 // SaveRecordedRun writes a record as JSON.

@@ -1,6 +1,7 @@
 package nuconsensus
 
 import (
+	"context"
 	"fmt"
 
 	"nuconsensus/internal/check"
@@ -9,6 +10,7 @@ import (
 	"nuconsensus/internal/netrun"
 	"nuconsensus/internal/runtime"
 	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 )
 
@@ -35,7 +37,7 @@ type SimOptions struct {
 	GST Time
 }
 
-// SimResult is the outcome of a simulated execution.
+// SimResult is the outcome of an execution on any substrate.
 type SimResult struct {
 	// States holds each process's final state.
 	States []model.State
@@ -55,6 +57,19 @@ type SimResult struct {
 	EmulatedOutputs []trace.Sample
 }
 
+func fromSubstrate(res *substrate.Result) *SimResult {
+	return &SimResult{
+		States:          res.Config.States,
+		Config:          res.Config,
+		Steps:           res.Steps,
+		Decided:         res.Decided,
+		Decisions:       res.Decisions,
+		MessagesSent:    res.Rec.MessagesSent,
+		SentKinds:       res.Rec.SentKinds,
+		EmulatedOutputs: res.Rec.Outputs,
+	}
+}
+
 // Simulate runs one execution on the deterministic step simulator: at each
 // logical time a seeded fair scheduler picks an alive process and a pending
 // message (or none), the process's failure-detector module is read from the
@@ -64,51 +79,22 @@ func Simulate(opts SimOptions) (*SimResult, error) {
 	if maxSteps <= 0 {
 		maxSteps = 50000
 	}
-	var stop func(*model.Configuration, model.Time) bool
-	if opts.StopWhenDecided {
-		stop = sim.AllCorrectDecided(opts.Pattern)
-	}
-	var sched sim.Scheduler = sim.NewFairScheduler(opts.Seed, 0.8, 3)
-	if opts.GST > 0 {
-		sched = &sim.PartialSyncScheduler{
-			GST:    opts.GST,
-			Before: sim.NewFairScheduler(opts.Seed, 0.3, 10),
-			After:  sim.NewFairScheduler(opts.Seed+1, 0.9, 2),
-		}
-	}
-	hist := historyOrNull(opts.History)
-	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Options{
-		Automaton: opts.Automaton,
-		Pattern:   opts.Pattern,
-		History:   hist,
-		Scheduler: sched,
-		MaxSteps:  maxSteps,
-		StopWhen:  stop,
-		Recorder:  rec,
+	res, err := sim.New().Run(context.Background(), opts.Automaton, historyOrNull(opts.History), opts.Pattern, substrate.Options{
+		Seed:            opts.Seed,
+		MaxSteps:        maxSteps,
+		StopWhenDecided: opts.StopWhenDecided,
+		GST:             opts.GST,
+		Recorder:        &trace.Recorder{},
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &SimResult{
-		States:          res.Config.States,
-		Config:          res.Config,
-		Steps:           res.Steps,
-		Decided:         res.Stopped || stopAllDecided(res.Config, opts.Pattern),
-		Decisions:       sim.Decisions(res.Config),
-		MessagesSent:    rec.MessagesSent,
-		SentKinds:       rec.SentKinds,
-		EmulatedOutputs: rec.Outputs,
-	}, nil
+	return fromSubstrate(res), nil
 }
 
-func stopAllDecided(c *model.Configuration, f *FailurePattern) bool {
-	return sim.AllCorrectDecided(f)(c, 0)
-}
-
-// ClusterOptions configures a goroutine-based asynchronous execution: one
-// goroutine per process, channel-backed links, crash injection, and local
-// failure-detector modules read at a shared logical clock.
+// ClusterOptions configures a concurrent execution (async goroutine runtime
+// or TCP loopback mesh): one goroutine per process, crash injection, and
+// local failure-detector modules read at a shared logical clock.
 type ClusterOptions struct {
 	Automaton Automaton
 	Pattern   *FailurePattern
@@ -118,36 +104,37 @@ type ClusterOptions struct {
 	MaxTicks Time
 }
 
-// RunCluster executes the automaton on the concurrent runtime and blocks
-// until every correct process decides or the budget runs out.
-func RunCluster(opts ClusterOptions) (*SimResult, error) {
+func runConcurrent(s substrate.Substrate, opts ClusterOptions) (*SimResult, error) {
 	maxTicks := opts.MaxTicks
 	if maxTicks <= 0 {
 		maxTicks = 200000
 	}
-	hist := historyOrNull(opts.History)
-	res, err := runtime.Run(runtime.Config{
-		Automaton:       opts.Automaton,
-		Pattern:         opts.Pattern,
-		History:         hist,
+	res, err := s.Run(context.Background(), opts.Automaton, historyOrNull(opts.History), opts.Pattern, substrate.Options{
 		Seed:            opts.Seed,
-		MaxTicks:        maxTicks,
+		MaxSteps:        int(maxTicks),
 		StopWhenDecided: true,
 	})
 	if err != nil {
 		return nil, err
 	}
-	cfg := res.FinalConfiguration()
-	return &SimResult{
-		States:          res.States,
-		Config:          cfg,
-		Steps:           int(res.Ticks),
-		Decided:         res.Decided,
-		Decisions:       sim.Decisions(cfg),
-		MessagesSent:    res.Rec.MessagesSent,
-		SentKinds:       res.Rec.SentKinds,
-		EmulatedOutputs: res.Rec.Outputs,
-	}, nil
+	return fromSubstrate(res), nil
+}
+
+// RunCluster executes the automaton on the concurrent goroutine runtime
+// (the "async" substrate) and blocks until every correct process decides or
+// the budget runs out.
+func RunCluster(opts ClusterOptions) (*SimResult, error) {
+	return runConcurrent(runtime.New(), opts)
+}
+
+// RunTCP executes the automaton over a real TCP mesh on the loopback
+// interface (the "tcp" substrate): one goroutine per process, one socket
+// per process pair, every payload — including quorum histories and whole
+// DAG snapshots — serialized with the internal/wire binary format. The most
+// system-like substrate; asynchrony comes from goroutine scheduling and TCP
+// buffering.
+func RunTCP(opts ClusterOptions) (*SimResult, error) {
+	return runConcurrent(netrun.New(), opts)
 }
 
 // CheckEmulatedSigmaNu verifies that recorded emulated outputs satisfy the
@@ -197,39 +184,4 @@ type errStabilization struct {
 func (e errStabilization) Error() string {
 	return fmt.Sprintf("nuconsensus: emulated detector had completeness violations too close to the end of the record (horizon %d of %d); run longer to observe stabilization",
 		e.horizon, e.end)
-}
-
-// RunTCP executes the automaton over a real TCP mesh on the loopback
-// interface: one goroutine per process, one socket per process pair, every
-// payload — including quorum histories and whole DAG snapshots — serialized
-// with the internal/wire binary format. The most system-like substrate;
-// asynchrony comes from goroutine scheduling and TCP buffering.
-func RunTCP(opts ClusterOptions) (*SimResult, error) {
-	maxTicks := opts.MaxTicks
-	if maxTicks <= 0 {
-		maxTicks = 200000
-	}
-	hist := historyOrNull(opts.History)
-	res, err := netrun.Run(netrun.Config{
-		Automaton:       opts.Automaton,
-		Pattern:         opts.Pattern,
-		History:         hist,
-		Seed:            opts.Seed,
-		MaxTicks:        maxTicks,
-		StopWhenDecided: true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	cfg := res.FinalConfiguration()
-	return &SimResult{
-		States:          res.States,
-		Config:          cfg,
-		Steps:           int(res.Ticks),
-		Decided:         res.Decided,
-		Decisions:       sim.Decisions(cfg),
-		MessagesSent:    res.Rec.MessagesSent,
-		SentKinds:       res.Rec.SentKinds,
-		EmulatedOutputs: res.Rec.Outputs,
-	}, nil
 }
