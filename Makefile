@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments experiments-full substrate-smoke fuzz fmt vet lint ci clean
+.PHONY: all build test test-short race bench experiments experiments-full substrate-smoke explore-smoke fuzz fmt vet lint ci clean
 
 all: build test
 
@@ -32,6 +32,17 @@ experiments-full:
 substrate-smoke:
 	$(GO) run -race ./cmd/experiments -e E1,Q1,Q2 -substrate async
 
+# explore-smoke exhaustively verifies A_nuc safety at a small bound and
+# checks the model checker's worker-count determinism by diffing stdout
+# between -parallel 1 and -parallel 8 (it must be byte-identical). The
+# full E6 counterexample hunt runs in CI's explore job and in the tests.
+explore-smoke:
+	$(GO) run ./cmd/explore -target anuc -n 3 -f 1 -bound 6 -parallel 1 > explore-smoke.p1.txt
+	$(GO) run ./cmd/explore -target anuc -n 3 -f 1 -bound 6 -parallel 8 > explore-smoke.p8.txt
+	diff explore-smoke.p1.txt explore-smoke.p8.txt
+	@rm -f explore-smoke.p1.txt explore-smoke.p8.txt
+	@echo "explore: verified, byte-identical at -parallel 1 and 8"
+
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecodePayload -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzDecodeValue -fuzztime 30s
@@ -57,6 +68,7 @@ ci: vet lint
 	$(GO) test -race ./...
 	$(GO) run ./cmd/experiments -parallel 4 -json experiments.json
 	$(GO) run -race ./cmd/experiments -e E1,Q1,Q2 -substrate async
+	$(MAKE) explore-smoke
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,7 @@ import (
 	"nuconsensus/internal/consensus"
 	dagpkg "nuconsensus/internal/dag"
 	"nuconsensus/internal/experiments"
+	"nuconsensus/internal/explore"
 	"nuconsensus/internal/fd"
 	"nuconsensus/internal/quorum"
 	"nuconsensus/internal/wire"
@@ -569,4 +570,24 @@ func BenchmarkE15(b *testing.B) {
 	benchConsensus(b, func() nuconsensus.Automaton {
 		return nuconsensus.ChandraToueg(altProposals(5))
 	}, pattern, hist, 30000)
+}
+
+// BenchmarkExploreFrontier — Table E16: one bounded exploration of the
+// failure-free A_nuc verification scenario (the model checker's level-
+// synchronized frontier is the workload: expand, fingerprint, merge,
+// materialize). Reports unique states and executed edges per op.
+func BenchmarkExploreFrontier(b *testing.B) {
+	sc := explore.VerifyANuc(3, 0)[0]
+	o := sc.Opts
+	o.Bound = 5
+	var states, edges int64
+	for i := 0; i < b.N; i++ {
+		res, err := explore.Explore(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states, edges = res.States, res.Edges
+	}
+	b.ReportMetric(float64(states), "states/op")
+	b.ReportMetric(float64(edges), "edges/op")
 }

@@ -112,6 +112,26 @@ func (o ConsensusOutcome) sortedDeciders() []model.ProcessID {
 	return ps
 }
 
+// Safety checks the two safety properties of nonuniform consensus —
+// validity and nonuniform agreement — but not termination. Unlike the full
+// NonuniformConsensus check it is meaningful on *intermediate*
+// configurations: decisions are irrevocable, so once a prefix violates
+// safety every extension does too, which is exactly the property the
+// bounded model checker (internal/explore) needs to prune at the first
+// violating state.
+func (o ConsensusOutcome) Safety(f *model.FailurePattern) error {
+	if err := o.Validity(); err != nil {
+		return err
+	}
+	return o.NonuniformAgreement(f)
+}
+
+// SafetyViolation extracts the outcome of a (possibly unfinished)
+// configuration and returns the first safety violation, or nil.
+func SafetyViolation(c *model.Configuration, f *model.FailurePattern) error {
+	return OutcomeFromConfig(c).Safety(f)
+}
+
 // NonuniformConsensus checks all three properties of nonuniform consensus
 // (§2.8) on the outcome.
 func (o ConsensusOutcome) NonuniformConsensus(f *model.FailurePattern) error {

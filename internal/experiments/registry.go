@@ -20,6 +20,7 @@ var Registry = map[string]*Spec{
 	"E13": e13Spec,
 	"E14": e14Spec,
 	"E15": e15Spec,
+	"E16": e16Spec,
 	"Q1":  q1Spec,
 	"Q2":  q2Spec,
 	"Q3":  q3Spec,

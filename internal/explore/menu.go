@@ -1,0 +1,79 @@
+package explore
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/model"
+)
+
+// Menu is the finite failure-detector adversary of an exploration: at each
+// (process, time) it offers the FD values the enumerator branches over.
+// Values must be a pure function of (p, t), return a nonempty slice in a
+// fixed canonical order, and never return values whose canonical encoding
+// depends on anything but (p, t) — the explorer's determinism and its
+// sleep sets both lean on that.
+type Menu interface {
+	Values(p model.ProcessID, t model.Time) []model.FDValue
+}
+
+// HistoryMenu is the singleton menu of a fixed history: the explorer then
+// enumerates scheduling nondeterminism only, and every counterexample
+// replays directly against the same history.
+type HistoryMenu struct{ H model.History }
+
+// Values implements Menu.
+func (m HistoryMenu) Values(p model.ProcessID, t model.Time) []model.FDValue {
+	return []model.FDValue{m.H.Output(p, t)}
+}
+
+// PairMenu enumerates the cross product of Ω leader choices and Σ-family
+// quorum choices as PairValue outputs — the finite adversary menu for
+// algorithms driven by a pair detector (Ω, Σν+). The order is leaders
+// outer, quorums inner.
+type PairMenu struct {
+	Leaders func(p model.ProcessID, t model.Time) []model.ProcessID
+	Quorums func(p model.ProcessID, t model.Time) []model.ProcessSet
+}
+
+// Values implements Menu.
+func (m PairMenu) Values(p model.ProcessID, t model.Time) []model.FDValue {
+	ls := m.Leaders(p, t)
+	qs := m.Quorums(p, t)
+	out := make([]model.FDValue, 0, len(ls)*len(qs))
+	for _, l := range ls {
+		for _, q := range qs {
+			out = append(out, fd.PairValue{First: fd.LeaderValue{Leader: l}, Second: fd.QuorumValue{Quorum: q}})
+		}
+	}
+	return out
+}
+
+// PinnedHistory converts an explored path's FD choices back into a
+// History: at the (process, time) points the path exercised, it returns
+// exactly the menu value the path chose; everywhere else it falls back.
+// This is how a counterexample found under a multi-valued menu becomes
+// replayable through the ordinary history-driven Replay path. Step i of a
+// path executes at time i+1 (the sim convention), and explored paths never
+// contain crashed-process steps, so replayed times line up one to one.
+func PinnedHistory(menu Menu, path []Choice, fallback model.History) model.History {
+	type pt struct {
+		p model.ProcessID
+		t model.Time
+	}
+	pinned := make(map[pt]model.FDValue, len(path))
+	for i, ch := range path {
+		t := model.Time(i + 1)
+		vs := menu.Values(ch.P, t)
+		if ch.FD < 0 || ch.FD >= len(vs) {
+			panic(fmt.Sprintf("explore: path step %d has FD index %d out of menu range %d", i, ch.FD, len(vs)))
+		}
+		pinned[pt{ch.P, t}] = vs[ch.FD]
+	}
+	return fd.HistoryFunc(func(p model.ProcessID, t model.Time) model.FDValue {
+		if v, ok := pinned[pt{p, t}]; ok {
+			return v
+		}
+		return fallback.Output(p, t)
+	})
+}

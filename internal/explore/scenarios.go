@@ -1,0 +1,153 @@
+package explore
+
+import (
+	"fmt"
+
+	"nuconsensus/internal/check"
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/model"
+)
+
+// Scenario bundles everything one exploration target needs: the Options
+// to explore (property included), a fallback History for pinning
+// counterexample FD choices, and a suggested depth bound.
+type Scenario struct {
+	Label string
+	Opts  Options
+	// History is the fallback for PinnedHistory when converting a
+	// counterexample to a replayable RecordedRun. For HistoryMenu targets
+	// it is the menu's own history.
+	History model.History
+	// Bound is the suggested exploration depth (overridable by callers).
+	Bound int
+}
+
+// VerifyANuc builds the exhaustive-verification targets for A_nuc with n
+// processes and up to f crash failures: one failure-free scenario plus,
+// for f >= 1, one scenario per process crashing at t=2 (early crashes are
+// the adversarial ones for safety — the crash lands before any quorum
+// completes). Process 0 proposes 0, everyone else proposes 1, so both
+// values are live. The FD adversary menu offers, at every (p, t), the
+// cross product of two leader candidates (p0 and p_{n-1}) and two
+// pairwise-intersecting quorums ({p0,p1} and {p1,…,p_{n-1}}) — every
+// selection is a prefix of a legal (Ω, Σν+) history, so a violation found
+// here would be a genuine counterexample to Theorem 6.25's safety half.
+func VerifyANuc(n, f int) []Scenario {
+	if n < 2 {
+		panic("explore: VerifyANuc needs n >= 2")
+	}
+	props := make([]int, n)
+	for p := 1; p < n; p++ {
+		props[p] = 1
+	}
+	leaders := []model.ProcessID{0, model.ProcessID(n - 1)}
+	qa := model.SetOf(0, 1)
+	qb := model.EmptySet
+	for p := 1; p < n; p++ {
+		qb = qb.Add(model.ProcessID(p))
+	}
+	quorums := []model.ProcessSet{qa, qb}
+	menu := PairMenu{
+		Leaders: func(model.ProcessID, model.Time) []model.ProcessID { return leaders },
+		Quorums: func(model.ProcessID, model.Time) []model.ProcessSet { return quorums },
+	}
+	// The fallback history for pinning: first menu entry everywhere.
+	fallback := fd.HistoryFunc(func(p model.ProcessID, t model.Time) model.FDValue {
+		return menu.Values(p, t)[0]
+	})
+
+	scenario := func(label string, pattern *model.FailurePattern) Scenario {
+		return Scenario{
+			Label: label,
+			Opts: Options{
+				Automaton: consensus.NewANuc(props),
+				Pattern:   pattern,
+				Menu:      menu,
+				Property: func(c *model.Configuration) error {
+					return check.SafetyViolation(c, pattern)
+				},
+				StopAtViolation: true,
+			},
+			History: fallback,
+			// Bound 7 verifies ~45k states in seconds; CI's full experiment
+			// runs push it to 8 (see experiments E16), and crash scenarios
+			// stay tractable through 9.
+			Bound: 7,
+		}
+	}
+
+	out := []Scenario{scenario("anuc/failure-free", model.NewFailurePattern(n))}
+	if f >= 1 {
+		for p := 0; p < n; p++ {
+			pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{model.ProcessID(p): 2})
+			out = append(out, scenario(fmt.Sprintf("anuc/crash-p%d@2", p), pattern))
+		}
+	}
+	return out
+}
+
+// Contamination is the exhaustive counterpart of experiment E6: the naive
+// MR adaptation with Σν quorums, against a hand-crafted legal Σν history.
+// Process 2 proposes 1 and crashes at t=5 (so its race — decide 1 alone
+// on quorum {p2} and broadcast its round-2 estimate — must fit in the
+// first four slots, which keeps the post-crash state space two-process); processes 0 and 1 are
+// correct. The quorums are constant — p0 trusts {p0}, p1 trusts {p0,p1},
+// p2 trusts {p2} — which is legal Σν (the correct processes' quorums
+// intersect at p0, and eventually contain only correct processes) but not
+// Σν+. Ω points p0 at itself through t=8 and at p2 afterwards, and points
+// p1 at p2 throughout the window (stabilizing to p0 far beyond the
+// bound). Under this history there is a schedule where p0 decides 0 alone
+// on quorum {p0}, the crashed p2 has decided 1
+// alone on {p2} and broadcast its round-2 estimate, and p1 — whose Ω says p2 — adopts that estimate
+// and decides 1 on quorum {p0,p1}: contamination, two correct processes
+// deciding differently. The menu is the singleton of this history, so the
+// explorer enumerates scheduling nondeterminism only and every
+// counterexample replays directly.
+func Contamination() Scenario {
+	const n = 3
+	props := []int{0, 1, 1}
+	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{2: 5})
+	quorum := map[model.ProcessID]model.ProcessSet{
+		0: model.SetOf(0),
+		1: model.SetOf(0, 1),
+		2: model.SetOf(2),
+	}
+	hist := fd.HistoryFunc(func(p model.ProcessID, t model.Time) model.FDValue {
+		var leader model.ProcessID
+		switch p {
+		case 0:
+			if t <= 8 {
+				leader = 0
+			} else {
+				leader = 2
+			}
+		case 1:
+			if t <= 60 {
+				leader = 2
+			} else {
+				leader = 0
+			}
+		default:
+			leader = 2
+		}
+		return fd.PairValue{
+			First:  fd.LeaderValue{Leader: leader},
+			Second: fd.QuorumValue{Quorum: quorum[p]},
+		}
+	})
+	return Scenario{
+		Label: "naive-mr/contamination",
+		Opts: Options{
+			Automaton: consensus.NewMRNaiveNu(props),
+			Pattern:   pattern,
+			Menu:      HistoryMenu{H: hist},
+			Property: func(c *model.Configuration) error {
+				return check.SafetyViolation(c, pattern)
+			},
+			StopAtViolation: true,
+		},
+		History: hist,
+		Bound:   31,
+	}
+}

@@ -36,6 +36,7 @@ var CriticalPackages = []string{
 	"internal/consensus",
 	"internal/transform",
 	"internal/quorum",
+	"internal/explore",
 }
 
 // ExemptPackages maps the remaining internal/ packages to the reason they

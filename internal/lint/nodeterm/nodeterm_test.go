@@ -68,6 +68,16 @@ func TestClassificationMatchesLayout(t *testing.T) {
 	}
 }
 
+// TestExploreStaysCritical pins the classification of the bounded model
+// checker: internal/explore promises byte-identical results at any
+// -parallel value, which only holds while its code is barred from
+// wall-clock reads, ambient randomness and unsanctioned goroutines.
+func TestExploreStaysCritical(t *testing.T) {
+	if !nodeterm.Critical("nuconsensus/internal/explore") {
+		t.Error("internal/explore must stay determinism-critical: the explorer's results are promised byte-identical at any worker count")
+	}
+}
+
 // TestSubstrateStaysExempt pins the classification of the substrate layer:
 // internal/substrate hosts the shared concurrent cluster driver, whose
 // timing sites (yield sleeps, delay timers, goroutine spawns) are

@@ -18,6 +18,13 @@
 //
 // Code that genuinely needs a raw source (the engine's own helper) can
 // annotate with //lint:allow seedhash <why>.
+//
+// A second rule covers the bounded model checker (ShardedPackages): its
+// worker pool shards frontier states by fingerprint, and the promise of
+// byte-identical results at any -parallel value holds only while the
+// shard salt is derived through the same DeriveSeed discipline. Any
+// function calling the sharding helper shardOf without a DeriveSeed call
+// in the same function is flagged.
 package seedhash
 
 import (
@@ -38,6 +45,31 @@ var Analyzer = &analysis.Analyzer{
 
 // SeedHelper is the required seeding function's name.
 const SeedHelper = "DeriveSeed"
+
+// ShardHelper is the fingerprint-sharding function of the explorer's
+// worker pool (see ShardedPackages).
+const ShardHelper = "shardOf"
+
+// ShardedPackages lists import-path suffixes of packages that promise
+// byte-identical output at any worker count by sharding work over a pool
+// with a fingerprint hash (the bounded model checker's frontier split).
+// In these packages, every function that calls the sharding helper must
+// also call DeriveSeed in the same function: the shard salt has to come
+// from the engine-style label hashing, never from goroutine timing, state
+// addresses or ad-hoc constants — otherwise the split (and with it any
+// accidentally order-dependent output) silently stops being a pure
+// function of the explored states.
+var ShardedPackages = []string{"internal/explore"}
+
+// shardedPackage reports whether path is covered by ShardedPackages.
+func shardedPackage(path string) bool {
+	for _, suffix := range ShardedPackages {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	declaresSpec := packageDeclaresSpec(pass.Pkg)
@@ -63,9 +95,14 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			SeedHelper)
 	}
 
+	sharded := shardedPackage(pass.Pkg.Path())
+
 	for i, file := range pass.Files {
 		if strings.HasSuffix(pass.Filenames[i], "_test.go") {
 			continue
+		}
+		if sharded {
+			checkShardSalts(pass, file)
 		}
 		if declaresSpec {
 			// The whole engine package is in scope.
@@ -100,6 +137,54 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		})
 	}
 	return nil, nil
+}
+
+// checkShardSalts enforces the sharded-pool rule on one file: any
+// function declaration whose body calls ShardHelper must also call
+// SeedHelper somewhere in the same body (closures included — the typical
+// shape computes the salt once outside the worker loop).
+func checkShardSalts(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		var shardCalls []*ast.CallExpr
+		derives := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch name := calleeName(call); name {
+			case ShardHelper:
+				shardCalls = append(shardCalls, call)
+			case SeedHelper:
+				derives = true
+			}
+			return true
+		})
+		if derives {
+			continue
+		}
+		for _, call := range shardCalls {
+			pass.Reportf(call.Pos(),
+				"fingerprint-sharded worker split without a %s-derived salt: %s must be fed a salt from %s in the same function",
+				SeedHelper, ShardHelper, SeedHelper)
+		}
+	}
+}
+
+// calleeName returns the syntactic name of a call's callee ("" if it has
+// no simple name).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
 }
 
 // isRandConstructor reports whether the call constructs a math/rand or

@@ -8,5 +8,6 @@ import (
 )
 
 func TestSeedhash(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), seedhash.Analyzer, "experiments")
+	analysistest.Run(t, analysistest.TestData(t), seedhash.Analyzer,
+		"experiments", "internal/explore")
 }

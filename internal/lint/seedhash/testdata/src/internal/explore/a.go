@@ -1,0 +1,45 @@
+// Fixture for seedhash's sharded-pool rule: this package path ends in
+// internal/explore, so every function that splits work with shardOf must
+// derive the salt via DeriveSeed in the same function.
+package explore
+
+type Key [2]uint64
+
+func DeriveSeed(label string, level int) int64 { return int64(len(label)) + int64(level) }
+
+func shardOf(k Key, salt int64, workers int) int {
+	return int((k[0] ^ uint64(salt)) % uint64(workers))
+}
+
+func expandOK(frontier []Key, workers, level int) []int {
+	salt := DeriveSeed("frontier", level)
+	out := make([]int, len(frontier))
+	for i, k := range frontier {
+		out[i] = shardOf(k, salt, workers)
+	}
+	return out
+}
+
+func expandOKClosure(frontier []Key, workers, level int) []int {
+	salt := DeriveSeed("materialize", level)
+	out := make([]int, len(frontier))
+	run := func(w int) {
+		for i, k := range frontier {
+			if shardOf(k, salt, workers) == w {
+				out[i] = w
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		run(w)
+	}
+	return out
+}
+
+func expandBad(frontier []Key, workers int) []int {
+	out := make([]int, len(frontier))
+	for i, k := range frontier {
+		out[i] = shardOf(k, 42, workers) // want `fingerprint-sharded worker split`
+	}
+	return out
+}

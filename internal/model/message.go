@@ -130,6 +130,21 @@ func (b *MessageBuffer) Oldest(q ProcessID) *Message {
 	return ms[0]
 }
 
+// OldestFrom returns the oldest in-flight message addressed to q that was
+// sent by from, or nil. Together with Oldest it gives schedulers per-link
+// FIFO delivery: the substrates (substrate.Inbox, netrun readers) already
+// deliver each link in send order, and the explorer (internal/explore)
+// enumerates delivery choices per link so that commuted deliveries on
+// distinct links reach identical configurations.
+func (b *MessageBuffer) OldestFrom(q, from ProcessID) *Message {
+	for _, m := range b.byDest[q] {
+		if m.From == from {
+			return m
+		}
+	}
+	return nil
+}
+
 // Contains reports whether a message with m's identity is in the buffer.
 func (b *MessageBuffer) Contains(m *Message) bool {
 	for _, x := range b.byDest[m.To] {

@@ -99,6 +99,11 @@ func (s *FairScheduler) nextProcess(alive model.ProcessSet) model.ProcessID {
 type Choice struct {
 	P       model.ProcessID
 	Deliver bool // receive the oldest pending message (λ if none)
+	// From, when non-nil, restricts the delivery to the oldest pending
+	// message sent by *From (per-link FIFO, the discipline the concurrent
+	// substrates implement). A nil From keeps the original semantics:
+	// oldest over all senders. Ignored unless Deliver is set.
+	From *model.ProcessID
 }
 
 // ScriptedScheduler plays a fixed script of choices, then falls back to a
@@ -121,7 +126,12 @@ func (s *ScriptedScheduler) Next(t model.Time, alive model.ProcessSet, c *model.
 			continue // crashed before its scripted step; drop the choice
 		}
 		if ch.Deliver {
-			m := c.Buffer.Oldest(ch.P)
+			var m *model.Message
+			if ch.From != nil {
+				m = c.Buffer.OldestFrom(ch.P, *ch.From)
+			} else {
+				m = c.Buffer.Oldest(ch.P)
+			}
 			if m != nil {
 				m = collapseSuperseded(c, ch.P, m)
 			}

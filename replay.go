@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"nuconsensus/internal/explore"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/sim"
 	"nuconsensus/internal/substrate"
@@ -19,10 +20,21 @@ import (
 type SchedulingChoice struct {
 	P       ProcessID `json:"p"`
 	Deliver bool      `json:"deliver"`
+	// From, when present, names the sender whose oldest pending message is
+	// received (per-link FIFO). Absent means oldest over all senders, which
+	// is what the fair scheduler records; the explorer's shrunk
+	// counterexamples pin the link explicitly.
+	From *ProcessID `json:"from,omitempty"`
 }
+
+// RecordedRunKind tags the on-disk payload format of a RecordedRun.
+// LoadRecordedRun rejects files carrying any other kind, so a future format
+// change cannot be silently misread as a schedule.
+const RecordedRunKind = "nuconsensus/run/v1"
 
 // RecordedRun is a persistable execution record.
 type RecordedRun struct {
+	Kind    string             `json:"kind,omitempty"`
 	N       int                `json:"n"`
 	Seed    int64              `json:"seed"`
 	Choices []SchedulingChoice `json:"choices"`
@@ -71,7 +83,7 @@ func Replay(opts SimOptions, rec *RecordedRun) (*SimResult, error) {
 	}
 	script := make([]sim.Choice, len(rec.Choices))
 	for i, c := range rec.Choices {
-		script[i] = sim.Choice{P: c.P, Deliver: c.Deliver}
+		script[i] = sim.Choice{P: c.P, Deliver: c.Deliver, From: c.From}
 	}
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
@@ -97,8 +109,33 @@ func Replay(opts SimOptions, rec *RecordedRun) (*SimResult, error) {
 	return fromSubstrate(res), nil
 }
 
-// SaveRecordedRun writes a record as JSON.
+// RecordedFromSchedule converts a schedule found by the bounded model
+// checker (internal/explore) into a replayable record: each explorer
+// choice becomes a scheduling choice that delivers the oldest message on
+// the same link (or takes a λ step). The record carries no FD values —
+// Replay reads those from SimOptions.History, so the caller must replay
+// against the history the schedule was explored under: the scenario's own
+// history for single-history menus, or explore.PinnedHistory(menu, path,
+// fallback) when the menu offered the adversary several values.
+func RecordedFromSchedule(n int, schedule []explore.Choice) *RecordedRun {
+	rec := &RecordedRun{Kind: RecordedRunKind, N: n}
+	for _, ch := range schedule {
+		sc := SchedulingChoice{P: ch.P, Deliver: ch.From != model.NoProcess}
+		if sc.Deliver {
+			from := ch.From
+			sc.From = &from
+		}
+		rec.Choices = append(rec.Choices, sc)
+	}
+	return rec
+}
+
+// SaveRecordedRun writes a record as JSON, stamping RecordedRunKind if the
+// record does not carry a kind yet.
 func SaveRecordedRun(path string, rec *RecordedRun) error {
+	if rec.Kind == "" {
+		rec.Kind = RecordedRunKind
+	}
 	data, err := json.MarshalIndent(rec, "", " ")
 	if err != nil {
 		return err
@@ -115,6 +152,11 @@ func LoadRecordedRun(path string) (*RecordedRun, error) {
 	var rec RecordedRun
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return nil, fmt.Errorf("nuconsensus: parsing %s: %w", path, err)
+	}
+	// A missing kind is accepted for records written before the tag existed;
+	// anything else must match exactly.
+	if rec.Kind != "" && rec.Kind != RecordedRunKind {
+		return nil, fmt.Errorf("nuconsensus: %s: unknown payload kind %q (want %q)", path, rec.Kind, RecordedRunKind)
 	}
 	return &rec, nil
 }

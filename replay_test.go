@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"nuconsensus"
@@ -84,6 +85,64 @@ func TestLoadRecordedRunErrors(t *testing.T) {
 	}
 	if _, err := nuconsensus.LoadRecordedRun(bad); err == nil {
 		t.Error("corrupted file must error")
+	}
+}
+
+func TestLoadRecordedRunTruncated(t *testing.T) {
+	// A record cut off mid-JSON (e.g. a crash while writing, or a partial
+	// artifact download) must be rejected, not read as a shorter schedule.
+	path := filepath.Join(t.TempDir(), "run.json")
+	p0 := nuconsensus.ProcessID(0)
+	rec := &nuconsensus.RecordedRun{
+		N: 3,
+		Choices: []nuconsensus.SchedulingChoice{
+			{P: 0, Deliver: false},
+			{P: 1, Deliver: true, From: &p0},
+			{P: 2, Deliver: true},
+		},
+	}
+	if err := nuconsensus.SaveRecordedRun(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nuconsensus.LoadRecordedRun(path); err == nil {
+		t.Error("truncated file must error")
+	}
+}
+
+func TestLoadRecordedRunUnknownKind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := writeFile(path, `{"kind":"bogus/run/v9","n":3,"seed":1,"choices":[]}`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := nuconsensus.LoadRecordedRun(path)
+	if err == nil {
+		t.Fatal("unknown payload kind must error")
+	}
+	if !strings.Contains(err.Error(), "unknown payload kind") {
+		t.Errorf("error %q should name the unknown payload kind", err)
+	}
+
+	// SaveRecordedRun stamps the current kind, and a stamped record loads.
+	rec := &nuconsensus.RecordedRun{N: 2}
+	if err := nuconsensus.SaveRecordedRun(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != nuconsensus.RecordedRunKind {
+		t.Errorf("SaveRecordedRun stamped kind %q, want %q", rec.Kind, nuconsensus.RecordedRunKind)
+	}
+	loaded, err := nuconsensus.LoadRecordedRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kind != nuconsensus.RecordedRunKind {
+		t.Errorf("loaded kind %q, want %q", loaded.Kind, nuconsensus.RecordedRunKind)
 	}
 }
 
