@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments experiments-full substrate-smoke explore-smoke fuzz fmt vet lint ci clean
+.PHONY: all build test test-short race bench experiments experiments-full substrate-smoke explore-smoke obs-smoke fuzz fmt vet lint ci clean
 
 all: build test
 
@@ -43,6 +43,21 @@ explore-smoke:
 	@rm -f explore-smoke.p1.txt explore-smoke.p8.txt
 	@echo "explore: verified, byte-identical at -parallel 1 and 8"
 
+# obs-smoke exports E1's causal event stream on the sim substrate and
+# checks the observability determinism contract (DESIGN.md §7): the JSONL
+# event log and the metrics dump must be byte-identical at -parallel 1 and
+# -parallel 8, and the Chrome trace must be well-formed JSON.
+obs-smoke:
+	$(GO) run ./cmd/experiments -e E1 -parallel 1 \
+		-events obs-smoke.p1.jsonl -trace obs-smoke.trace.json -metrics obs-smoke.p1.metrics > /dev/null
+	$(GO) run ./cmd/experiments -e E1 -parallel 8 \
+		-events obs-smoke.p8.jsonl -metrics obs-smoke.p8.metrics > /dev/null
+	diff obs-smoke.p1.jsonl obs-smoke.p8.jsonl
+	diff obs-smoke.p1.metrics obs-smoke.p8.metrics
+	python3 -m json.tool obs-smoke.trace.json > /dev/null
+	@rm -f obs-smoke.p1.jsonl obs-smoke.p8.jsonl obs-smoke.p1.metrics obs-smoke.p8.metrics obs-smoke.trace.json
+	@echo "obs: event log and metrics byte-identical at -parallel 1 and 8; trace is valid JSON"
+
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecodePayload -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzDecodeValue -fuzztime 30s
@@ -54,7 +69,7 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own go/analysis suite (nodeterm, maporder,
-# specregistry, seedhash). Also usable as `go vet -vettool`:
+# specregistry, seedhash, obsclock). Also usable as `go vet -vettool`:
 #   go build -o nuclint ./cmd/nuclint && go vet -vettool=./nuclint ./...
 lint:
 	$(GO) run ./cmd/nuclint ./...
@@ -69,6 +84,7 @@ ci: vet lint
 	$(GO) run ./cmd/experiments -parallel 4 -json experiments.json
 	$(GO) run -race ./cmd/experiments -e E1,Q1,Q2 -substrate async
 	$(MAKE) explore-smoke
+	$(MAKE) obs-smoke
 
 clean:
 	$(GO) clean ./...

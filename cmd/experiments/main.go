@@ -6,6 +6,7 @@
 // Usage:
 //
 //	experiments [-e E1,Q4] [-substrate sim|async|tcp] [-full] [-seeds N] [-parallel N] [-json out.json] [-timeout 5m]
+//	            [-events out.jsonl] [-trace out.trace.json] [-metrics out.metrics] [-debug-addr :6060] [-memprofile heap.pb.gz]
 //
 // With no -e flag, every experiment runs in canonical order. -substrate
 // selects the execution backend of internal/substrate (default sim, the
@@ -14,9 +15,18 @@
 // selected). -parallel sets the worker-pool size (default: all CPUs); on
 // the sim substrate the rendered tables on stdout are byte-identical for
 // every worker count. -json additionally writes a machine-readable report
-// (tables, per-row timing, pass verdicts) for CI to archive. -timeout
-// aborts the whole run via context cancellation. The process exits 1 if
-// any selected experiment fails its claim, 2 on usage or runtime errors.
+// (tables, per-row and per-unit timing, pass verdicts, memory summary) for
+// CI to archive. -timeout aborts the whole run via context cancellation.
+//
+// Observability (internal/obs): -events exports every unit's causal event
+// stream as JSONL in canonical order (on the sim substrate the file is
+// byte-identical at any -parallel value — CI asserts this); -trace exports
+// the same stream in Chrome trace_event format, which opens directly in
+// Perfetto or chrome://tracing with Send→Deliver flow arrows; -metrics
+// writes the run's counter/histogram registry as a sorted text dump;
+// -debug-addr serves net/http/pprof and expvar while the run executes;
+// -memprofile writes a heap profile at exit. The process exits 1 if any
+// selected experiment fails its claim, 2 on usage or runtime errors.
 package main
 
 import (
@@ -26,10 +36,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"nuconsensus/internal/experiments"
+	"nuconsensus/internal/obs"
 	"nuconsensus/internal/substrate"
 )
 
@@ -51,6 +63,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.String("json", "", "write a machine-readable JSON report to this file")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		subName  = fs.String("substrate", "sim", "execution backend: "+strings.Join(substrate.Names(), "|"))
+		events   = fs.String("events", "", "export the causal event stream as JSONL to this file")
+		traceOut = fs.String("trace", "", "export the causal event stream as a Chrome trace_event file (Perfetto)")
+		metrics  = fs.String("metrics", "", "write the metrics registry as a sorted text dump to this file ('-' for stderr)")
+		debug    = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address while running")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -106,13 +123,84 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
+	// Observability wiring: a shared registry whenever any consumer wants
+	// it, file-backed event sinks fed in canonical order by the engine.
+	engOpts := experiments.Options{Workers: *parallel}
+	var reg *obs.Registry
+	if *metrics != "" || *events != "" || *traceOut != "" || *debug != "" {
+		reg = obs.NewRegistry()
+		engOpts.Metrics = reg
+	}
+	var sinks []obs.Sink
+	for _, spec := range []struct {
+		path string
+		mk   func(f *os.File) obs.Sink
+	}{
+		{*events, func(f *os.File) obs.Sink { return obs.NewJSONL(f) }},
+		{*traceOut, func(f *os.File) obs.Sink { return obs.NewChromeTrace(f) }},
+	} {
+		if spec.path == "" {
+			continue
+		}
+		f, err := os.Create(spec.path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		sinks = append(sinks, spec.mk(f))
+	}
+	engOpts.EventSinks = sinks
+	if *debug != "" {
+		ds, err := obs.ServeDebug(*debug, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer ds.Close()
+		obs.PublishExpvar("nuconsensus", reg)
+		fmt.Fprintf(stderr, "(debug server on http://%s/debug/pprof/)\n", ds.Addr)
+	}
+
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
 	start := time.Now()
-	tables, err := experiments.RunIDs(ctx, ids, sc, experiments.Options{Workers: *parallel})
+	tables, err := experiments.RunIDs(ctx, ids, sc, engOpts)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	wall := time.Since(start)
+
+	for _, s := range sinks {
+		if err := s.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	if *metrics != "" {
+		w := io.Writer(stderr)
+		var mf *os.File
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			mf = f
+			w = f
+		}
+		if _, err := reg.WriteTo(w); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if mf != nil {
+			if err := mf.Close(); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+		}
+	}
 
 	allPass := true
 	for _, table := range tables {
@@ -131,12 +219,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *jsonOut != "" {
 		rep := experiments.NewReport(tables, sc, *parallel, wall)
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		rep.MemAllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+		rep.NumGC = memAfter.NumGC - memBefore.NumGC
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		runtime.GC() // up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			f.Close()
 			fmt.Fprintln(stderr, err)
 			return 2

@@ -48,6 +48,81 @@ func TestRunFailingClaimExitsOne(t *testing.T) {
 	}
 }
 
+// TestEventsByteIdenticalAcrossParallel is the observability acceptance
+// test: on the sim substrate, the -events JSONL export and the -metrics
+// dump of E1 are byte-identical at -parallel 1 and -parallel 8 (the engine
+// replays per-unit event logs into the sinks in canonical task order), and
+// the -trace export is valid Chrome trace_event JSON with one flow finish
+// per flow start.
+func TestEventsByteIdenticalAcrossParallel(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(par string) (events, metrics []byte) {
+		t.Helper()
+		ev := filepath.Join(dir, "events-"+par+".jsonl")
+		me := filepath.Join(dir, "metrics-"+par+".txt")
+		var out, errb bytes.Buffer
+		if code := run([]string{"-e", "E1", "-parallel", par, "-events", ev, "-metrics", me}, &out, &errb); code != 0 {
+			t.Fatalf("run(-e E1 -parallel %s) = %d (stderr: %s)", par, code, errb.String())
+		}
+		evb, err := os.ReadFile(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meb, err := os.ReadFile(me)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evb, meb
+	}
+	ev1, me1 := runOnce("1")
+	ev8, me8 := runOnce("8")
+	if len(ev1) == 0 {
+		t.Fatal("-events export is empty")
+	}
+	if !bytes.Equal(ev1, ev8) {
+		t.Errorf("-events JSONL differs between -parallel 1 (%d bytes) and -parallel 8 (%d bytes)", len(ev1), len(ev8))
+	}
+	if !bytes.Equal(me1, me8) {
+		t.Errorf("-metrics dump differs between -parallel 1 and -parallel 8:\n%s\nvs\n%s", me1, me8)
+	}
+
+	tr := filepath.Join(dir, "e1.trace.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-e", "E1", "-trace", tr}, &out, &errb); code != 0 {
+		t.Fatalf("run(-e E1 -trace) = %d (stderr: %s)", code, errb.String())
+	}
+	raw, err := os.ReadFile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+			ID uint64 `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-trace output is not valid Chrome trace JSON: %v", err)
+	}
+	starts, finishes := map[uint64]int{}, map[uint64]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			starts[ev.ID]++
+		case "f":
+			finishes[ev.ID]++
+		}
+	}
+	if len(starts) == 0 {
+		t.Fatal("trace has no flow arrows at all")
+	}
+	for id, n := range finishes {
+		if starts[id] < n {
+			t.Errorf("flow id %d: %d finishes but only %d starts", id, n, starts[id])
+		}
+	}
+}
+
 // TestRunJSONOutput: -json writes a parseable report alongside the rendered
 // stdout tables.
 func TestRunJSONOutput(t *testing.T) {

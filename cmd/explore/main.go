@@ -31,6 +31,7 @@ import (
 
 	"nuconsensus"
 	"nuconsensus/internal/explore"
+	"nuconsensus/internal/obs"
 )
 
 func main() {
@@ -67,9 +68,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out      = fs.String("o", "", "write the shrunk counterexample as a replayable RecordedRun JSON file")
 		jsonOut  = fs.String("json", "", "write a machine-readable JSON report to this file")
 		progress = fs.Bool("progress", false, "print per-level progress to stderr")
+		metrics  = fs.String("metrics", "", "write the exploration metrics registry as a sorted text dump to this file ('-' for stderr)")
+		debug    = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address while exploring")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var reg *obs.Registry
+	if *metrics != "" || *debug != "" {
+		reg = obs.NewRegistry()
+	}
+	if *debug != "" {
+		ds, err := obs.ServeDebug(*debug, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer ds.Close()
+		obs.PublishExpvar("nuconsensus", reg)
+		fmt.Fprintf(stderr, "(debug server on http://%s/debug/pprof/)\n", ds.Addr)
 	}
 
 	var scenarios []explore.Scenario
@@ -97,13 +115,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "%s: level %d/%d frontier=%d states=%d\n", sc.Label, depth, o.Bound, frontier, states)
 			}
 		}
+		o.Metrics = reg
 		start := time.Now()
 		res, err := explore.Explore(o)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		fmt.Fprintf(stderr, "%s: explored in %s\n", sc.Label, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		rate := ""
+		if secs := elapsed.Seconds(); secs > 0 {
+			rate = fmt.Sprintf(", %.0f states/s", float64(res.States)/secs)
+		}
+		fmt.Fprintf(stderr, "%s: explored in %s%s\n", sc.Label, elapsed.Round(time.Millisecond), rate)
 
 		rep := report{
 			Target:           *target,
@@ -151,6 +175,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		reports = append(reports, rep)
+	}
+
+	if *metrics != "" {
+		w := io.Writer(stderr)
+		var mf *os.File
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			mf = f
+			w = f
+		}
+		if _, err := reg.WriteTo(w); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if mf != nil {
+			if err := mf.Close(); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+		}
 	}
 
 	if *jsonOut != "" {

@@ -1,11 +1,13 @@
 // Command nuclint is the multichecker for the repo's determinism and
-// model-faithfulness invariants. It bundles four analyzers:
+// model-faithfulness invariants. It bundles five analyzers:
 //
 //	nodeterm     no wall-clock / ambient randomness / env vars / ad-hoc
 //	             goroutines in determinism-critical packages
 //	maporder     no map iteration order escaping into output
 //	specregistry experiments registry ⇔ Spec literals ⇔ EXPERIMENTS.md
 //	seedhash     per-unit RNGs seeded via the engine's DeriveSeed helper
+//	obsclock     no obs.Wall (the wall-clock event-stamp shim) in
+//	             determinism-critical packages
 //
 // Standalone usage (package patterns, default ./...):
 //
@@ -34,6 +36,7 @@ import (
 	"nuconsensus/internal/lint/analysis"
 	"nuconsensus/internal/lint/maporder"
 	"nuconsensus/internal/lint/nodeterm"
+	"nuconsensus/internal/lint/obsclock"
 	"nuconsensus/internal/lint/seedhash"
 	"nuconsensus/internal/lint/specregistry"
 )
@@ -42,6 +45,7 @@ import (
 var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	nodeterm.Analyzer,
+	obsclock.Analyzer,
 	seedhash.Analyzer,
 	specregistry.Analyzer,
 }

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"nuconsensus"
+	"nuconsensus/internal/obs"
 )
 
 func main() {
@@ -38,8 +39,18 @@ func main() {
 		propsFlag = flag.String("proposals", "", "comma-separated proposals (default: alternating 0/1)")
 		record    = flag.String("record", "", "write the scheduling choices of the run to this JSON file")
 		replay    = flag.String("replay", "", "replay the scheduling choices from this JSON file (simulator only)")
+		debug     = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address while running")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		ds, err := obs.ServeDebug(*debug, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ds.Close()
+		log.Printf("debug server on http://%s/debug/pprof/", ds.Addr)
+	}
 
 	if *f >= *n {
 		log.Fatalf("need f < n (got n=%d f=%d)", *n, *f)

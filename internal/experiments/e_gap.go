@@ -43,7 +43,7 @@ var e13Spec = &Spec{
 		for i := 0; i < f; i++ {
 			pattern.SetCrash(model.ProcessID(n-1-i), model.Time(40+30*i))
 		}
-		rec := &trace.Recorder{}
+		rec := &trace.Recorder{RecordSamples: true}
 		res, err := sim.Run(sim.Exec{
 			Automaton: hb.NewSuspector(n, 0, 0),
 			Pattern:   pattern,

@@ -139,7 +139,7 @@ var e10Spec = &Spec{
 		seed := cfg.Seed
 		n := 4
 		pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 40})
-		rec := &trace.Recorder{}
+		rec := &trace.Recorder{RecordSamples: true}
 		res, err := sim.Run(sim.Exec{
 			Automaton: dag.NewADag(n),
 			Pattern:   pattern,

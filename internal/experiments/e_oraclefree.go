@@ -44,7 +44,7 @@ var e11Spec = &Spec{
 		for i := 0; i < f; i++ {
 			pattern.SetCrash(model.ProcessID(i), model.Time(30+20*i))
 		}
-		rec := &trace.Recorder{}
+		rec := &trace.Recorder{RecordSamples: true}
 		res, err := sim.Run(sim.Exec{
 			Automaton: hb.NewOmega(n, 0, 0),
 			Pattern:   pattern,

@@ -203,7 +203,7 @@ var e8Spec = &Spec{
 		n, f := cfg.N, cfg.F
 		tf := (n - 1) / 2
 		pattern := randomPattern(n, f, 50, rng)
-		rec := &trace.Recorder{}
+		rec := &trace.Recorder{RecordSamples: true}
 		res, err := sim.Run(sim.Exec{
 			Automaton: transform.NewScratchSigma(n, tf),
 			Pattern:   pattern,

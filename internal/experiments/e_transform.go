@@ -16,7 +16,7 @@ import (
 // runTransformer drives a transformation automaton and returns the recorded
 // output samples plus their stabilization time.
 func runTransformer(aut model.Automaton, pattern *model.FailurePattern, hist model.History, seed int64, maxSteps int) ([]trace.Sample, model.Time, model.Time, error) {
-	rec := &trace.Recorder{}
+	rec := &trace.Recorder{RecordSamples: true}
 	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"nuconsensus/internal/obs"
 )
 
 // This file is the parallel experiment engine. Every experiment is declared
@@ -56,6 +58,7 @@ type UnitResult struct {
 	Cells   []string       // verbatim row cells (per-unit-row experiments)
 
 	elapsed time.Duration // filled by the engine
+	events  []obs.Event   // the unit's causal event stream (Options.EventSinks)
 }
 
 // Add accumulates a named metric on the unit.
@@ -164,21 +167,36 @@ func (sp *Spec) Run(sc Scale) Table {
 	configs := sp.Configs(sc)
 	units := make([]UnitResult, len(configs))
 	for i, cfg := range configs {
-		units[i] = sp.runUnit(sc, cfg)
+		units[i] = sp.runUnit(sc, cfg, sc.Metrics, false)
 	}
 	return sp.reduce(sc, configs, units)
 }
 
 // runUnit executes one unit with its derived RNG stream and times it.
 // The wall-clock reads are sanctioned: elapsed time feeds the Elapsed /
-// RowTimes diagnostics, which Table.Render deliberately excludes so the
-// rendered tables stay byte-identical across runs.
-func (sp *Spec) runUnit(sc Scale, cfg Config) UnitResult {
+// RowTimes / UnitTimes diagnostics, which Table.Render deliberately
+// excludes so the rendered tables stay byte-identical across runs.
+//
+// With collectEvents on, the unit runs against its own event bus: one bus
+// per unit keeps the Lamport clocks and event ordering independent of
+// which worker ran it, so the streams can later be written in canonical
+// config order byte-identically at any worker count. metrics may be
+// shared across units — it accumulates only commutative quantities.
+func (sp *Spec) runUnit(sc Scale, cfg Config, metrics *obs.Registry, collectEvents bool) UnitResult {
+	var ring *obs.Ring
+	sc.Metrics = metrics
+	if collectEvents {
+		ring = obs.NewRing(0)
+		sc.Bus = obs.NewBus(nil, metrics, ring)
+	}
 	rng := rand.New(rand.NewSource(DeriveSeed(sp.ID, cfg)))
 	start := time.Now() //lint:allow nodeterm timing is diagnostic-only, never rendered
 	u := sp.Unit(sc, cfg, rng)
 	u.Cfg = cfg
 	u.elapsed = time.Since(start) //lint:allow nodeterm timing is diagnostic-only, never rendered
+	if ring != nil {
+		u.events = ring.Events()
+	}
 	return u
 }
 
@@ -206,6 +224,7 @@ func (sp *Spec) reduce(sc Scale, configs []Config, units []UnitResult) Table {
 		}
 		t.Notes = append(t.Notes, u.Notes...)
 		t.Elapsed += u.elapsed
+		t.UnitTimes = append(t.UnitTimes, u.elapsed)
 	}
 	for _, g := range gs {
 		var rowTime time.Duration
@@ -234,6 +253,17 @@ func (sp *Spec) reduce(sc Scale, configs []Config, units []UnitResult) Table {
 type Options struct {
 	// Workers is the worker-pool size; <= 0 means runtime.NumCPU().
 	Workers int
+
+	// EventSinks, when non-empty, receive every unit's causal event
+	// stream. Units collect events on private buses while the pool runs;
+	// the engine replays them into the sinks in canonical (experiment,
+	// config) order after the pool drains, so exported logs are
+	// byte-identical at any worker count. The caller closes the sinks.
+	EventSinks []obs.Sink
+
+	// Metrics, if non-nil, receives the run's counters and histograms
+	// (commutative only, so its dump is also worker-count-independent).
+	Metrics *obs.Registry
 }
 
 // RunAll runs every registered experiment at the given scale on a worker
@@ -276,6 +306,7 @@ func RunIDs(ctx context.Context, ids []string, sc Scale, opts Options) ([]Table,
 		}
 	}
 
+	collectEvents := len(opts.EventSinks) > 0
 	queue := make(chan task)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -284,7 +315,7 @@ func RunIDs(ctx context.Context, ids []string, sc Scale, opts Options) ([]Table,
 		go func() {
 			defer wg.Done()
 			for tk := range queue {
-				units[tk.spec][tk.unit] = specs[tk.spec].runUnit(sc, configs[tk.spec][tk.unit])
+				units[tk.spec][tk.unit] = specs[tk.spec].runUnit(sc, configs[tk.spec][tk.unit], opts.Metrics, collectEvents)
 			}
 		}()
 	}
@@ -302,6 +333,18 @@ feed:
 	wg.Wait()
 	if err != nil {
 		return nil, err
+	}
+
+	// Replay the units' event streams into the sinks in canonical task
+	// order — the same order a single worker would have produced them in.
+	if collectEvents {
+		for _, tk := range tasks {
+			for _, ev := range units[tk.spec][tk.unit].events {
+				for _, s := range opts.EventSinks {
+					s.Emit(ev)
+				}
+			}
+		}
 	}
 
 	tables := make([]Table, len(specs))

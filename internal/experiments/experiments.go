@@ -19,6 +19,7 @@ import (
 
 	"nuconsensus/internal/check"
 	"nuconsensus/internal/model"
+	"nuconsensus/internal/obs"
 	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 
@@ -40,11 +41,14 @@ type Table struct {
 	Notes   []string   `json:"notes,omitempty"`
 
 	// Elapsed is the summed unit work time of the table; RowTimes is the
-	// per-row breakdown (same for any worker count up to scheduler noise,
-	// and deliberately excluded from Render so rendered output stays
-	// byte-identical across runs).
-	Elapsed  time.Duration   `json:"elapsed_ns"`
-	RowTimes []time.Duration `json:"row_times_ns,omitempty"`
+	// per-row breakdown and UnitTimes the per-unit wall-clock durations in
+	// canonical config order. All three are nondeterministic diagnostics:
+	// they vary run to run, are deliberately excluded from Render, and
+	// golden comparisons must strip them (CI compares rendered tables and
+	// event logs, never the *_ns fields).
+	Elapsed   time.Duration   `json:"elapsed_ns"`
+	RowTimes  []time.Duration `json:"row_times_ns,omitempty"`
+	UnitTimes []time.Duration `json:"unit_times_ns,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -80,6 +84,13 @@ type Report struct {
 	Pass    bool          `json:"pass"`
 	Wall    time.Duration `json:"wall_ns"`
 	Tables  []Table       `json:"tables"`
+
+	// MemAllocBytes and NumGC summarize the process's allocation activity
+	// over the run (runtime.MemStats deltas). Like Wall and the tables'
+	// *_ns fields they are nondeterministic diagnostics, excluded from
+	// golden comparisons.
+	MemAllocBytes uint64 `json:"mem_alloc_bytes,omitempty"`
+	NumGC         uint32 `json:"num_gc,omitempty"`
 }
 
 // NewReport assembles a Report from finished tables.
@@ -110,6 +121,15 @@ type Scale struct {
 	// on ("sim", "async", "tcp"); empty means "sim". Experiments not marked
 	// Portable refuse to run on a non-sim substrate.
 	Substrate string `json:"substrate,omitempty"`
+
+	// Bus and Metrics instrument every substrate execution a unit
+	// performs (runConsensus wires them into substrate.Options). The
+	// engine sets Bus per unit when event collection is on — one bus per
+	// unit keeps Lamport clocks and event streams independent, so the
+	// canonical-order export is byte-identical at any worker count.
+	// Runtime wiring, not scale parameters: excluded from JSON.
+	Bus     *obs.Bus      `json:"-"`
+	Metrics *obs.Registry `json:"-"`
 }
 
 // SubstrateName resolves the scale's backend name, defaulting to "sim".
@@ -208,9 +228,15 @@ func runConsensus(sc Scale, aut model.Automaton, pattern *model.FailurePattern, 
 		MaxSteps:        maxSteps,
 		StopWhenDecided: true,
 		Recorder:        rec,
+		Bus:             sc.Bus,
+		Metrics:         sc.Metrics,
 	})
 	if err != nil {
 		return consensusRun{}, err
+	}
+	if sc.Metrics != nil {
+		sc.Metrics.Histogram("consensus.msgs_per_run", obs.DefaultBuckets).Observe(int64(rec.MessagesSent))
+		sc.Metrics.Histogram("consensus.steps_per_run", obs.DefaultBuckets).Observe(int64(res.Steps))
 	}
 	return consensusRun{
 		Decided:  res.Decided,

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"nuconsensus/internal/model"
+	"nuconsensus/internal/obs"
 )
 
 // Choice identifies one transition out of an explored state: process P
@@ -80,6 +81,11 @@ type Options struct {
 	// schedule, so pruning such steps preserves every violation while
 	// keeping idle states from being carried forward level after level.
 	DisableStutterElim bool
+	// Metrics, if non-nil, receives the exploration's engine counters
+	// (states, edges, sleep-set skips, stutter prunes, duplicate-target
+	// merge hits) and per-level frontier width/depth. All updates are
+	// sums and histogram increments, so the dump is deterministic.
+	Metrics *obs.Registry
 }
 
 // Counterexample is a schedule reaching a violating state.
@@ -236,6 +242,9 @@ func Explore(o Options) (*Result, error) {
 		}
 		levels = append(levels, next)
 		edgePairs = append(edgePairs, pairs)
+		if o.Metrics != nil {
+			o.Metrics.Histogram("explore.frontier_width", obs.DefaultBuckets).Observe(int64(len(next)))
+		}
 		if o.Progress != nil {
 			o.Progress(depth+1, len(next), e.states)
 		}
@@ -269,6 +278,15 @@ func Explore(o Options) (*Result, error) {
 	res.SchedulePrefixes = schedulePrefixes(levels, edgePairs)
 	if e.states > 0 {
 		res.Reduction = res.SchedulePrefixes / float64(e.states)
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter("explore.states").Add(res.States)
+		o.Metrics.Counter("explore.edges").Add(res.Edges)
+		o.Metrics.Counter("explore.sleep_skips").Add(res.Slept)
+		o.Metrics.Counter("explore.stutter_prunes").Add(res.Stutters)
+		o.Metrics.Counter("explore.merge_hits").Add(res.Dups)
+		o.Metrics.Counter("explore.violations").Add(res.Violations)
+		o.Metrics.Gauge("explore.depth").Max(int64(res.Depth))
 	}
 	return res, nil
 }

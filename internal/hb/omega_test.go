@@ -14,7 +14,7 @@ import (
 // runHB drives the heartbeat Ω and returns recorded emulated outputs.
 func runHB(t *testing.T, pattern *model.FailurePattern, sched sim.Scheduler, steps int) ([]trace.Sample, model.Time) {
 	t.Helper()
-	rec := &trace.Recorder{}
+	rec := &trace.Recorder{RecordSamples: true}
 	res, err := sim.Run(sim.Exec{
 		Automaton: hb.NewOmega(pattern.N(), 0, 0),
 		Pattern:   pattern,

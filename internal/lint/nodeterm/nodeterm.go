@@ -59,6 +59,12 @@ var ExemptPackages = map[string]string{
 	"internal/trace":     "passive recorder of whatever the runner produced",
 	"internal/wire":      "pure encode/decode; fuzzed separately",
 	"internal/lint":      "the analyzers themselves (and their fixtures) are not simulation code",
+	// internal/obs is the observability layer: its Wall clock shim
+	// (time.Now) and debug HTTP server are its sanctioned nondeterministic
+	// surface. Determinism-critical packages are barred from reaching that
+	// surface by the obsclock analyzer, which forbids any reference to
+	// obs.Wall outside the exempt concurrent substrates.
+	"internal/obs": "observability layer; Wall clock and pprof server are its sanctioned surface (critical packages are kept off it by obsclock)",
 }
 
 // Analyzer is the nodeterm pass.

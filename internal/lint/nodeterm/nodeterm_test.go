@@ -83,6 +83,20 @@ func TestExploreStaysCritical(t *testing.T) {
 // timing sites (yield sleeps, delay timers, goroutine spawns) are
 // sanctioned — while internal/sim, the deterministic backend, must stay on
 // the critical list so the regenerated tables remain byte-identical.
+// TestObsStaysExempt pins the classification of the observability layer:
+// internal/obs deliberately owns the repo's wall-clock shim (obs.Wall) and
+// the pprof/expvar debug server, so it cannot live on the critical list —
+// but the deterministic event pipeline stays safe because the obsclock
+// analyzer bars every critical package from referencing obs.Wall.
+func TestObsStaysExempt(t *testing.T) {
+	if reason := nodeterm.ExemptPackages["internal/obs"]; reason == "" {
+		t.Error("internal/obs must be exempt (it hosts the sanctioned Wall clock shim and debug server)")
+	}
+	if nodeterm.Critical("nuconsensus/internal/obs") {
+		t.Error("internal/obs must not be determinism-critical")
+	}
+}
+
 func TestSubstrateStaysExempt(t *testing.T) {
 	if reason := nodeterm.ExemptPackages["internal/substrate"]; reason == "" {
 		t.Error("internal/substrate must be exempt (it is the home of the sanctioned concurrent cluster driver)")

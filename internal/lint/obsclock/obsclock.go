@@ -1,0 +1,71 @@
+// Package obsclock implements the `obsclock` analyzer: in the
+// determinism-critical packages of this repo (nodeterm.CriticalPackages),
+// observability events must be stamped by the injected obs.Clock — which
+// defaults to obs.Logical, a pure function of the execution — never by
+// obs.Wall, the time.Now shim that exists for the concurrent substrates.
+//
+// internal/obs itself is nodeterm-exempt (its Wall clock and debug HTTP
+// server are its sanctioned nondeterministic surface), so nodeterm alone
+// would let a critical package smuggle wall time into its event stream by
+// constructing obs.Wall and handing it to a Bus. obsclock closes that
+// hole: any reference to obs.Wall — a composite literal, a conversion, a
+// method expression — in a critical package is a diagnostic. The
+// concurrent substrate driver (internal/substrate, exempt) is the only
+// sanctioned caller of Bus.SetClock(obs.Wall{}).
+//
+// Escape hatch: annotate with //lint:allow obsclock <why>.
+package obsclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"nuconsensus/internal/lint/analysis"
+	"nuconsensus/internal/lint/nodeterm"
+)
+
+// Analyzer is the obsclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsclock",
+	Doc: "forbid the wall-clock observability shim (obs.Wall) in " +
+		"determinism-critical packages: event timestamps there must come " +
+		"from the injected obs.Clock",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !nodeterm.Critical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && isObsWall(obj) {
+				pass.Reportf(sel.Pos(),
+					"obs.Wall in determinism-critical package %s: stamp events via the injected obs.Clock (obs.Logical by default); only the exempt concurrent substrate driver installs the wall clock",
+					pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isObsWall reports whether obj is the Wall type of the repo's
+// observability package (matched by import-path suffix so the analyzer
+// also works on analysistest fixtures and forks of the module path).
+func isObsWall(obj types.Object) bool {
+	if obj.Name() != "Wall" {
+		return false
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}

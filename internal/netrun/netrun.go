@@ -291,19 +291,37 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 		return decoded
 	}
 
-	deliver := func(from model.ProcessID, sends []model.Send, _ *rand.Rand) {
+	// count is nil-registry-safe counter bumping for the transport metrics.
+	count := func(name string, v int64) {
+		if opts.Metrics != nil {
+			opts.Metrics.Counter(name).Add(v)
+		}
+	}
+
+	wrap := func(from model.ProcessID, sends []model.Send, _ *rand.Rand) []*model.Message {
+		msgs := make([]*model.Message, 0, len(sends))
 		for _, s := range sends {
-			out := &model.Message{From: from, To: s.To, Seq: seq.Add(1), Payload: s.Payload}
-			if s.To == from {
-				inboxes[from].Put(out) // loopback without the socket
+			msgs = append(msgs, &model.Message{From: from, To: s.To, Seq: seq.Add(1), Payload: s.Payload})
+		}
+		return msgs
+	}
+
+	dispatch := func(msgs []*model.Message, _ *rand.Rand) {
+		for _, out := range msgs {
+			if out.To == out.From {
+				inboxes[out.From].Put(out) // loopback without the socket
 				continue
 			}
 			frame, err := wire.EncodeMessage(out)
 			if err != nil {
 				panic(fmt.Sprintf("netrun: unencodable payload: %v", err))
 			}
-			if l := m.links[from][s.To]; l != nil {
-				_ = l.writeFrame(frame, &bytesSent) // peer may have crashed
+			if l := m.links[out.From][out.To]; l != nil {
+				if werr := l.writeFrame(frame, &bytesSent); werr != nil {
+					count("netrun.frame_write_errors", 1) // peer may have crashed
+				} else {
+					count("netrun.frames_sent", 1)
+				}
 			}
 		}
 	}
@@ -311,7 +329,8 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 	res, err := substrate.RunCluster(ctx, aut, hist, pattern, opts, substrate.ClusterHooks{
 		Inboxes:    inboxes,
 		SeedStride: seedStride,
-		Deliver:    deliver,
+		Wrap:       wrap,
+		Dispatch:   dispatch,
 		Resolve:    resolve,
 		// A halting process — crashed or merely done — closes its links so
 		// peers' readers see EOF rather than a silent, wedged socket.
@@ -327,5 +346,6 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 		return nil, err
 	}
 	res.BytesSent = bytesSent.Load()
+	count("netrun.bytes_sent", res.BytesSent)
 	return res, nil
 }

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the runtime profiling endpoint started by -debug-addr:
+// net/http/pprof and expvar on a private mux (nothing leaks onto
+// http.DefaultServeMux), plus the registry's deterministic text dump.
+type DebugServer struct {
+	Addr string // the bound address, useful when the flag asked for :0
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeDebug binds addr and serves, in the background:
+//
+//	/debug/pprof/...   the standard pprof index, profiles and traces
+//	/debug/vars        expvar (including the registry, see PublishExpvar)
+//	/metrics           reg.WriteTo's sorted text dump (may be nil)
+//
+// The caller owns the returned server and should Close it on shutdown;
+// commands typically let process exit tear it down.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if reg != nil {
+			reg.WriteTo(w)
+		}
+	})
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go ds.srv.Serve(ln)
+	return ds, nil
+}
+
+// Close shuts the debug server down.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
+
+// PublishExpvar exposes the registry under the given expvar name as a map
+// of metric name to value (histograms report their sample count). expvar
+// panics on duplicate names, so re-publishing the same name is a no-op —
+// tests and long-lived commands can call this freely.
+func PublishExpvar(name string, reg *Registry) {
+	if reg == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		out := make(map[string]int64)
+		for _, s := range reg.Snapshot() {
+			out[s.Name] = s.Value
+		}
+		return out
+	}))
+}

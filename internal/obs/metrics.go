@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBuckets are the fixed upper bounds used when a caller does not
+// bring its own: logical-tick and count scales from 1 to 1e6. Fixed
+// buckets (no dynamic resizing, no quantile sketches) keep histogram
+// merges commutative, which is what makes metric dumps byte-identical at
+// any worker count.
+var DefaultBuckets = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 100000, 1000000}
+
+// Counter is a monotonically increasing sum. Adds from concurrent units
+// commute, so counter values are deterministic whenever the run's work is.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by v.
+func (c *Counter) Add(v int64) { c.v.Add(v) }
+
+// Value returns the current sum.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins level. Gauges are NOT deterministic under
+// concurrent writers; deterministic paths restrict themselves to counters
+// and histograms (DESIGN.md §7) and set gauges only from single-threaded
+// code (e.g. the explorer's per-level frontier depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Max raises the gauge to v if v is larger.
+func (g *Gauge) Max(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution: counts[i] tallies samples
+// v <= bounds[i], with one overflow bucket beyond the last bound. Bucket
+// increments commute, so histograms are as deterministic as counters.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples; Sum their total.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// metric is one registered instrument.
+type metric struct {
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named instruments. Get-or-create methods are safe for
+// concurrent use; snapshots render in sorted name order so dumps are
+// byte-identical whenever the underlying values are.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]*metric)} }
+
+// get returns the named metric slot, creating it with mk on first use.
+func (r *Registry) get(name string, mk func() *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[string]*metric)
+	}
+	inst, ok := r.m[name]
+	if !ok {
+		inst = mk()
+		r.m[name] = inst
+	}
+	return inst
+}
+
+// Counter returns the named counter, creating it on first use. Registering
+// the same name as two different instrument kinds panics: metric names are
+// a global namespace.
+func (r *Registry) Counter(name string) *Counter {
+	inst := r.get(name, func() *metric { return &metric{counter: &Counter{}} })
+	if inst.counter == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	return inst.counter
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	inst := r.get(name, func() *metric { return &metric{gauge: &Gauge{}} })
+	if inst.gauge == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	return inst.gauge
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds (sorted ascending) on first use. Later calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	inst := r.get(name, func() *metric {
+		h := &Histogram{bounds: bounds}
+		h.counts = make([]atomic.Int64, len(bounds)+1)
+		return &metric{hist: h}
+	})
+	if inst.hist == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	return inst.hist
+}
+
+// MetricSnapshot is one instrument's point-in-time reading.
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "counter", "gauge" or "histogram"
+	// Value is the counter sum, the gauge level, or the histogram sample
+	// count.
+	Value int64 `json:"value"`
+	// Sum and Buckets are histogram-only: the sample total and the
+	// cumulative "<= bound" counts aligned with Bounds (the final entry of
+	// Bounds is absent: the last count is the total).
+	Sum     int64   `json:"sum,omitempty"`
+	Bounds  []int64 `json:"bounds,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every instrument's reading in sorted name order
+// (collect-then-sort, so no map iteration order escapes).
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.m))
+	insts := make(map[string]*metric, len(r.m))
+	for name, inst := range r.m {
+		names = append(names, name)
+		insts[name] = inst
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	out := make([]MetricSnapshot, 0, len(names))
+	for _, name := range names {
+		inst := insts[name]
+		switch {
+		case inst.counter != nil:
+			out = append(out, MetricSnapshot{Name: name, Kind: "counter", Value: inst.counter.Value()})
+		case inst.gauge != nil:
+			out = append(out, MetricSnapshot{Name: name, Kind: "gauge", Value: inst.gauge.Value()})
+		case inst.hist != nil:
+			h := inst.hist
+			s := MetricSnapshot{Name: name, Kind: "histogram", Value: h.Count(), Sum: h.Sum(), Bounds: h.bounds}
+			for i := range h.counts {
+				s.Buckets = append(s.Buckets, h.counts[i].Load())
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteTo renders the snapshot as a deterministic text dump: one line per
+// instrument in name order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, s := range r.Snapshot() {
+		var line string
+		switch s.Kind {
+		case "histogram":
+			parts := make([]string, 0, len(s.Buckets))
+			for i, c := range s.Buckets {
+				if i < len(s.Bounds) {
+					parts = append(parts, fmt.Sprintf("le%d=%d", s.Bounds[i], c))
+				} else {
+					parts = append(parts, fmt.Sprintf("inf=%d", c))
+				}
+			}
+			line = fmt.Sprintf("%s histogram count=%d sum=%d %s\n", s.Name, s.Value, s.Sum, strings.Join(parts, " "))
+		default:
+			line = fmt.Sprintf("%s %s %d\n", s.Name, s.Kind, s.Value)
+		}
+		m, err := io.WriteString(w, line)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

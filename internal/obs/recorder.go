@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"nuconsensus/internal/trace"
+)
+
+// RecorderSink adapts a trace.Recorder onto the bus: drivers that feed a
+// Bus get the legacy recorder counters, samples and decisions reconstructed
+// from the event stream, so checkers in internal/check keep working without
+// a second instrumentation path. Step records and emulated-FD outputs are
+// not reconstructible from events alone (outputs come from history
+// introspection after a step) — drivers that need those keep calling the
+// recorder directly, as internal/sim does.
+type RecorderSink struct {
+	R *trace.Recorder
+}
+
+// Emit implements Sink.
+func (rs RecorderSink) Emit(ev Event) {
+	r := rs.R
+	if r == nil {
+		return
+	}
+	switch ev.Kind {
+	case KindStep:
+		r.StepCount++
+		r.MessagesSent += ev.Value
+	case KindDeliver:
+		r.MessagesRecvd++
+	case KindSend:
+		if r.SentKinds == nil {
+			r.SentKinds = make(map[string]int)
+		}
+		r.SentKinds[ev.Payload]++
+	case KindFDQuery:
+		if ev.FD != nil {
+			r.OnFDSample(ev.T, ev.P, ev.FD)
+		}
+	case KindDecide:
+		r.OnDecision(ev.T, ev.P, ev.Value)
+	}
+}
+
+// Close implements Sink (no-op: the recorder is plain memory).
+func (RecorderSink) Close() error { return nil }
+
+// interface check
+var _ Sink = RecorderSink{}

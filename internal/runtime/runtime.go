@@ -60,17 +60,31 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 	inboxes := substrate.NewInboxes(aut.N())
 	var seq atomic.Uint64
 
-	deliver := func(from model.ProcessID, sends []model.Send, rng *rand.Rand) {
+	// Wrap applies the lossy-link decision and assigns sequence numbers; a
+	// dropped send never becomes a message (and never consumes a seq, which
+	// keeps historical seeds reproducing the pre-split message streams).
+	wrap := func(from model.ProcessID, sends []model.Send, rng *rand.Rand) []*model.Message {
+		msgs := make([]*model.Message, 0, len(sends))
 		for _, s := range sends {
 			if opts.DropProb > 0 && s.To != from && rng.Float64() < opts.DropProb {
+				if opts.Metrics != nil {
+					opts.Metrics.Counter("runtime.msgs_dropped").Add(1)
+				}
 				continue // lossy link; loopback sends always arrive
 			}
-			m := &model.Message{From: from, To: s.To, Seq: seq.Add(1), Payload: s.Payload}
+			msgs = append(msgs, &model.Message{From: from, To: s.To, Seq: seq.Add(1), Payload: s.Payload})
+		}
+		return msgs
+	}
+
+	dispatch := func(msgs []*model.Message, rng *rand.Rand) {
+		for _, m := range msgs {
 			if opts.MeanDelay > 0 {
+				m := m
 				d := time.Duration(rng.Int63n(int64(2*opts.MeanDelay) + 1))
 				time.AfterFunc(d, func() { inboxes[m.To].Put(m) })
 			} else {
-				inboxes[s.To].Put(m)
+				inboxes[m.To].Put(m)
 			}
 		}
 	}
@@ -83,6 +97,7 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 		Inboxes:    inboxes,
 		TakeProb:   take,
 		SeedStride: seedStride,
-		Deliver:    deliver,
+		Wrap:       wrap,
+		Dispatch:   dispatch,
 	})
 }

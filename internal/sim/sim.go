@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"nuconsensus/internal/model"
+	"nuconsensus/internal/obs"
 	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/trace"
 )
@@ -42,6 +43,10 @@ type Exec struct {
 	StopWhen func(c *model.Configuration, t model.Time) bool
 	// Recorder, if non-nil, receives step/sample/decision events.
 	Recorder *trace.Recorder
+	// Bus, if non-nil, receives the causal event stream (package obs). On
+	// this substrate the emission order is a pure function of the inputs,
+	// so exported event logs are byte-identical across runs.
+	Bus *obs.Bus
 	// KeepSchedule retains the executed schedule and times in the Result so
 	// it can be validated or merged (costs memory).
 	KeepSchedule bool
@@ -65,9 +70,22 @@ func Run(x Exec) (*substrate.Result, error) {
 	// trivial automata) and initial emulated outputs.
 	snapshotOutputs(x, c, 0, decided)
 
+	// prevAlive tracks the alive set so crash events are emitted exactly
+	// once, at the first time the pattern reports a process down.
+	prevAlive := model.FullSet(x.Automaton.N())
+
 	for step := 0; step < x.MaxSteps; step++ {
 		t := model.Time(step + 1)
 		alive := x.Pattern.Alive(t)
+		if x.Bus != nil && alive != prevAlive {
+			for i := 0; i < x.Automaton.N(); i++ {
+				q := model.ProcessID(i)
+				if prevAlive.Has(q) && !alive.Has(q) {
+					x.Bus.OnCrash(t, q)
+				}
+			}
+		}
+		prevAlive = alive
 		if alive.IsEmpty() {
 			break // everyone has crashed; the run is over
 		}
@@ -89,6 +107,7 @@ func Run(x Exec) (*substrate.Result, error) {
 				x.Recorder.OnSend(sm.Payload)
 			}
 		}
+		x.Bus.OnStep(t, p, m, d, sent, c.States[p])
 		if x.KeepSchedule {
 			res.Schedule = append(res.Schedule, e)
 			res.Times = append(res.Times, t)
@@ -151,6 +170,7 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 		MaxSteps:  opts.MaxSteps,
 		StopWhen:  stopOrCancel,
 		Recorder:  opts.Recorder,
+		Bus:       opts.Bus,
 	})
 	if cancelled {
 		return nil, ctx.Err()

@@ -82,7 +82,7 @@ func TestSimulatedExecutionIsARun(t *testing.T) {
 // first with forced delivery).
 func TestFairSchedulerAdmissibility(t *testing.T) {
 	aut, pattern, hist := anucSetup(4, map[model.ProcessID]model.Time{1: 25}, 3)
-	rec := &trace.Recorder{}
+	rec := &trace.Recorder{RecordSamples: true}
 	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
@@ -232,7 +232,7 @@ func TestPartialSyncScheduler(t *testing.T) {
 		Before: sim.NewFairScheduler(8, 0.1, 50), // starved prefix
 		After:  &sim.RoundRobinScheduler{},
 	}
-	rec := &trace.Recorder{}
+	rec := &trace.Recorder{RecordSamples: true}
 	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"nuconsensus/internal/model"
+	"nuconsensus/internal/obs"
 	"nuconsensus/internal/trace"
 )
 
@@ -37,9 +38,19 @@ type ClusterHooks struct {
 	// reproducible).
 	SeedStride int64
 
-	// Deliver transmits one step's sends. rng is the stepping process's
-	// private stream (for delay/drop decisions).
-	Deliver func(from model.ProcessID, sends []model.Send, rng *rand.Rand)
+	// Wrap and Dispatch split one step's sends into two phases so the
+	// driver can observe the outgoing messages (stamping the event bus's
+	// Send events) before a receiver can possibly take them — that
+	// ordering is what keeps the bus's Lamport annotation consistent with
+	// send-before-receive even under real concurrency.
+	//
+	// Wrap constructs the concrete messages: it assigns sequence numbers
+	// and applies per-send drop decisions (a dropped send never becomes a
+	// message). Dispatch transmits previously wrapped messages — puts them
+	// into inboxes, writes them to sockets, schedules their delayed
+	// delivery. rng is the stepping process's private stream.
+	Wrap     func(from model.ProcessID, sends []model.Send, rng *rand.Rand) []*model.Message
+	Dispatch func(msgs []*model.Message, rng *rand.Rand)
 
 	// OnHalt, if non-nil, runs exactly once when process p stops — by
 	// crashing, by budget exhaustion or by early termination — e.g. to
@@ -83,7 +94,7 @@ func RunCluster(ctx context.Context, aut model.Automaton, hist model.History, pa
 		rec     = opts.Recorder
 	)
 	if rec == nil {
-		rec = &trace.Recorder{}
+		rec = &trace.Recorder{RecordSamples: true}
 	}
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
 	for p := 0; p < n; p++ {
@@ -91,6 +102,11 @@ func RunCluster(ctx context.Context, aut model.Automaton, hist model.History, pa
 	}
 	correct := pattern.Correct()
 	maxTicks := model.Time(opts.MaxSteps)
+
+	// The concurrent substrates are the sanctioned home of wall-clock
+	// nondeterminism: stamp the bus's events with real time here (the
+	// deterministic simulator keeps the zero-stamping Logical clock).
+	opts.Bus.SetClock(obs.Wall{})
 
 	// Propagate ctx cancellation into the cluster's stop channel.
 	watcherDone := make(chan struct{})
@@ -129,6 +145,7 @@ func RunCluster(ctx context.Context, aut model.Automaton, hist model.History, pa
 					return
 				}
 				if pattern.Crashed(p, t) {
+					opts.Bus.OnCrash(t, p)
 					return // crash: silently halt (OnHalt closes resources)
 				}
 				var m *model.Message
@@ -146,7 +163,7 @@ func RunCluster(ctx context.Context, aut model.Automaton, hist model.History, pa
 				d := hist.Output(p, t)
 				ns, sends := aut.Step(p, st, m, d)
 				st = ns
-				h.Deliver(p, sends, rng)
+				msgs := h.Wrap(p, sends, rng)
 
 				mu.Lock()
 				states[p] = st
@@ -154,6 +171,7 @@ func RunCluster(ctx context.Context, aut model.Automaton, hist model.History, pa
 				for _, s := range sends {
 					rec.OnSend(s.Payload)
 				}
+				opts.Bus.OnStep(t, p, m, d, msgs, st)
 				ObserveState(rec, t, p, st, decided)
 				allDecided := false
 				if opts.StopWhenDecided {
@@ -165,6 +183,9 @@ func RunCluster(ctx context.Context, aut model.Automaton, hist model.History, pa
 					})
 				}
 				mu.Unlock()
+				// Dispatch after the bus has the Send events: a receiver
+				// cannot observe a message whose send is unstamped.
+				h.Dispatch(msgs, rng)
 				if allDecided {
 					halt()
 					return
@@ -185,6 +206,15 @@ func RunCluster(ctx context.Context, aut model.Automaton, hist model.History, pa
 	}
 	wg.Wait()
 	halt()
+	if opts.Metrics != nil {
+		var drops, pending int64
+		for _, b := range h.Inboxes {
+			drops += b.SupersededDrops()
+			pending += int64(b.Len())
+		}
+		opts.Metrics.Counter("inbox.superseded_drops").Add(drops)
+		opts.Metrics.Counter("inbox.pending_at_halt").Add(pending)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -13,8 +13,9 @@ import (
 // putting a superseding payload removes the older pending payloads of the
 // same kind from the same sender.
 type Inbox struct {
-	mu   sync.Mutex
-	msgs []*model.Message
+	mu    sync.Mutex
+	msgs  []*model.Message
+	drops int64
 }
 
 // NewInboxes allocates one empty inbox per process.
@@ -35,6 +36,7 @@ func (b *Inbox) Put(m *model.Message) {
 		kept := b.msgs[:0]
 		for _, x := range b.msgs {
 			if x.From == m.From && x.Payload.Kind() == m.Payload.Kind() {
+				b.drops++
 				continue // superseded by the newcomer
 			}
 			kept = append(kept, x)
@@ -61,4 +63,12 @@ func (b *Inbox) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.msgs)
+}
+
+// SupersededDrops reports how many pending messages Put collapsed because a
+// newer superseding payload of the same kind arrived from the same sender.
+func (b *Inbox) SupersededDrops() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.drops
 }

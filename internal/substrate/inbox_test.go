@@ -84,6 +84,35 @@ func TestInboxSupersededCollapsing(t *testing.T) {
 	}
 }
 
+// TestInboxSupersededDropCounter: the inbox accounts for every message it
+// collapses — the counter the cluster driver publishes to the metrics
+// registry as inbox.superseded_drops — and only for those: plain payloads
+// and superseding puts that found nothing to collapse leave it untouched.
+func TestInboxSupersededDropCounter(t *testing.T) {
+	box := &substrate.Inbox{}
+	if got := box.SupersededDrops(); got != 0 {
+		t.Fatalf("fresh inbox SupersededDrops = %d, want 0", got)
+	}
+	box.Put(msg(1, 0, 1, snapshotPayload{plainPayload{"DAG", 1}})) // nothing to collapse
+	box.Put(msg(1, 0, 2, plainPayload{"EST", 7}))                  // plain: never collapses
+	if got := box.SupersededDrops(); got != 0 {
+		t.Fatalf("SupersededDrops = %d after non-collapsing puts, want 0", got)
+	}
+	box.Put(msg(1, 0, 3, snapshotPayload{plainPayload{"DAG", 2}})) // collapses seq 1
+	if got := box.SupersededDrops(); got != 1 {
+		t.Fatalf("SupersededDrops = %d, want 1", got)
+	}
+	box.Put(msg(1, 0, 4, snapshotPayload{plainPayload{"DAG", 3}})) // collapses seq 3
+	box.Put(msg(2, 0, 5, snapshotPayload{plainPayload{"DAG", 9}})) // other sender: no collapse
+	if got := box.SupersededDrops(); got != 2 {
+		t.Fatalf("SupersededDrops = %d, want 2", got)
+	}
+	// The counter matches what actually disappeared from the queue.
+	if put, left := 5, box.Len(); int64(put-left) != box.SupersededDrops() {
+		t.Fatalf("put %d, %d pending, but SupersededDrops = %d", put, left, box.SupersededDrops())
+	}
+}
+
 // TestInboxConcurrentPutTake exercises the lock under the race detector:
 // every message put by concurrent senders is taken exactly once.
 func TestInboxConcurrentPutTake(t *testing.T) {

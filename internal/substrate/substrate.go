@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"nuconsensus/internal/model"
+	"nuconsensus/internal/obs"
 	"nuconsensus/internal/trace"
 )
 
@@ -81,6 +82,18 @@ type Options struct {
 	// populated; the simulator's low-level engine treats nil as "don't
 	// trace" (cheaper long runs).
 	Recorder *trace.Recorder
+
+	// Bus, if non-nil, receives the run's causal event stream (package
+	// obs): steps, sends, deliveries, detector queries, crashes and the
+	// derived round/quorum/decision events. On the deterministic simulator
+	// the emission order is a pure function of the run; the concurrent
+	// substrates inject the wall-clock shim and emit in real-time order.
+	Bus *obs.Bus
+
+	// Metrics, if non-nil, receives substrate-level counters (inbox
+	// supersede drops, transport frame counts). Usually the same registry
+	// the Bus was built with.
+	Metrics *obs.Registry
 }
 
 // Result is the one outcome type shared by every substrate.

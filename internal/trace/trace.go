@@ -37,20 +37,29 @@ type StepRecord struct {
 }
 
 // Recorder accumulates execution records. The zero value is ready to use.
-// RecordSteps controls whether per-step records are kept (they are the
-// bulkiest part; counters are always maintained).
+// RecordSteps controls whether per-step records are kept; RecordSamples
+// whether failure-detector samples and emulated outputs are kept (both are
+// the bulky parts; counters are always maintained). Callers that read
+// Samples or Outputs must set RecordSamples — with it off, samples are
+// counted in DroppedSamples/DroppedOutputs instead of retained, which keeps
+// long experiment sweeps from accumulating per-step garbage.
 type Recorder struct {
-	RecordSteps bool
+	RecordSteps   bool
+	RecordSamples bool
 
 	Steps     []StepRecord
-	Samples   []Sample // FD values seen in steps
-	Outputs   []Sample // emulated FD output_p values, sampled after steps
+	Samples   []Sample // FD values seen in steps (RecordSamples only)
+	Outputs   []Sample // emulated FD output_p values (RecordSamples only)
 	Decisions []Decision
 
 	StepCount     int
 	MessagesSent  int
 	MessagesRecvd int
 	SentKinds     map[string]int
+
+	DroppedSteps   int // step records skipped because RecordSteps is off
+	DroppedSamples int // FD samples skipped because RecordSamples is off
+	DroppedOutputs int // output samples skipped because RecordSamples is off
 }
 
 // OnSend counts one sent payload by kind.
@@ -75,7 +84,7 @@ func (r *Recorder) OnStep(idx int, t model.Time, p model.ProcessID, m *model.Mes
 		r.MessagesRecvd++
 	}
 	if d != nil {
-		r.Samples = append(r.Samples, Sample{P: p, T: t, Val: d})
+		r.OnFDSample(t, p, d)
 	}
 	if r.RecordSteps {
 		rec := StepRecord{Index: idx, T: t, P: p, Received: "λ", Sent: sent}
@@ -83,13 +92,32 @@ func (r *Recorder) OnStep(idx int, t model.Time, p model.ProcessID, m *model.Mes
 			rec.Received = m.String()
 		}
 		r.Steps = append(r.Steps, rec)
+	} else {
+		r.DroppedSteps++
 	}
+}
+
+// OnFDSample records one failure-detector sample. With RecordSamples off
+// the sample is dropped (and counted), not retained.
+func (r *Recorder) OnFDSample(t model.Time, p model.ProcessID, v model.FDValue) {
+	if r == nil || v == nil {
+		return
+	}
+	if !r.RecordSamples {
+		r.DroppedSamples++
+		return
+	}
+	r.Samples = append(r.Samples, Sample{P: p, T: t, Val: v})
 }
 
 // OnOutput records the value of an emulated failure-detector output
 // variable after a step.
 func (r *Recorder) OnOutput(t model.Time, p model.ProcessID, v model.FDValue) {
 	if r == nil || v == nil {
+		return
+	}
+	if !r.RecordSamples {
+		r.DroppedOutputs++
 		return
 	}
 	r.Outputs = append(r.Outputs, Sample{P: p, T: t, Val: v})
@@ -125,10 +153,15 @@ func (r *Recorder) DecidedValues() map[model.ProcessID]int {
 	return out
 }
 
-// Summary renders a one-line summary for CLI tools.
+// Summary renders a one-line summary for CLI tools, including how many
+// records the RecordSteps/RecordSamples knobs dropped.
 func (r *Recorder) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "steps=%d sent=%d recvd=%d decisions=%d",
 		r.StepCount, r.MessagesSent, r.MessagesRecvd, len(r.Decisions))
+	if n := r.DroppedSteps + r.DroppedSamples + r.DroppedOutputs; n > 0 {
+		fmt.Fprintf(&b, " dropped=%d(steps=%d,samples=%d,outputs=%d)",
+			n, r.DroppedSteps, r.DroppedSamples, r.DroppedOutputs)
+	}
 	return b.String()
 }

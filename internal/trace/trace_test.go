@@ -17,7 +17,7 @@ type val struct{}
 func (val) String() string { return "v" }
 
 func TestRecorderCounters(t *testing.T) {
-	r := &Recorder{}
+	r := &Recorder{RecordSamples: true}
 	m := &model.Message{From: 1, To: 0, Payload: pl{"X"}}
 	r.OnStep(0, 1, 0, nil, val{}, 2)
 	r.OnStep(1, 2, 0, m, val{}, 0)
@@ -29,6 +29,29 @@ func TestRecorderCounters(t *testing.T) {
 	}
 	if !strings.Contains(r.Summary(), "steps=2") {
 		t.Errorf("Summary() = %q", r.Summary())
+	}
+}
+
+func TestRecorderDropsSamplesWhenDisabled(t *testing.T) {
+	r := &Recorder{} // zero value: both record knobs off
+	m := &model.Message{From: 1, To: 0, Payload: pl{"X"}}
+	r.OnStep(0, 1, 0, nil, val{}, 2)
+	r.OnStep(1, 2, 0, m, val{}, 0)
+	r.OnOutput(3, 0, val{})
+	if len(r.Samples) != 0 || len(r.Outputs) != 0 || len(r.Steps) != 0 {
+		t.Errorf("retained records with knobs off: samples=%d outputs=%d steps=%d",
+			len(r.Samples), len(r.Outputs), len(r.Steps))
+	}
+	if r.StepCount != 2 || r.MessagesSent != 2 || r.MessagesRecvd != 1 {
+		t.Errorf("counters must survive knobs: steps=%d sent=%d recvd=%d",
+			r.StepCount, r.MessagesSent, r.MessagesRecvd)
+	}
+	if r.DroppedSamples != 2 || r.DroppedOutputs != 1 || r.DroppedSteps != 2 {
+		t.Errorf("drop counts: samples=%d outputs=%d steps=%d",
+			r.DroppedSamples, r.DroppedOutputs, r.DroppedSteps)
+	}
+	if s := r.Summary(); !strings.Contains(s, "dropped=5") {
+		t.Errorf("Summary() = %q, want dropped=5", s)
 	}
 }
 
@@ -64,7 +87,7 @@ func TestRecorderDecisions(t *testing.T) {
 }
 
 func TestRecorderOutputsAndKinds(t *testing.T) {
-	r := &Recorder{}
+	r := &Recorder{RecordSamples: true}
 	r.OnOutput(3, 0, val{})
 	r.OnOutput(4, 0, nil) // nil outputs are skipped
 	if len(r.Outputs) != 1 {

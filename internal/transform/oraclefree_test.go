@@ -36,7 +36,7 @@ func TestOracleFreeConsensus(t *testing.T) {
 			Before: sim.NewFairScheduler(seed, 0.3, 10),
 			After:  sim.NewFairScheduler(seed+100, 0.9, 2),
 		}
-		rec := &trace.Recorder{}
+		rec := &trace.Recorder{RecordSamples: true}
 		res, err := sim.Run(sim.Exec{
 			Automaton: oracleFreeANuc([]int{0, 1, 0, 1, 0}, tf),
 			Pattern:   pattern,
@@ -70,7 +70,7 @@ func TestOracleFreeConsensus(t *testing.T) {
 func TestScratchSigmaNuPlusSpec(t *testing.T) {
 	n, tf := 5, 2
 	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{0: 20, 4: 40})
-	rec := &trace.Recorder{}
+	rec := &trace.Recorder{RecordSamples: true}
 	res, err := sim.Run(sim.Exec{
 		Automaton: transform.NewScratchSigmaNuPlus(n, tf),
 		Pattern:   pattern,

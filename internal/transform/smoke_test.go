@@ -17,7 +17,7 @@ func TestSigmaNuPlusTransformerSmoke(t *testing.T) {
 	n := 4
 	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 30})
 	hist := fd.NewSigmaNu(pattern, 80, 3)
-	rec := &trace.Recorder{}
+	rec := &trace.Recorder{RecordSamples: true}
 	res, err := sim.Run(sim.Exec{
 		Automaton: transform.NewSigmaNuPlusTransformer(n),
 		Pattern:   pattern,
@@ -47,7 +47,7 @@ func TestSigmaNuExtractorSmoke(t *testing.T) {
 		Second: fd.NewSigmaNuPlus(pattern, 60, 5),
 	}
 	target := func(proposals []int) model.Automaton { return consensus.NewANuc(proposals) }
-	rec := &trace.Recorder{}
+	rec := &trace.Recorder{RecordSamples: true}
 	res, err := sim.Run(sim.Exec{
 		Automaton: transform.NewSigmaNuExtractor(n, target, 1),
 		Pattern:   pattern,
@@ -91,7 +91,7 @@ func TestComposedANucOverSigmaNuSmoke(t *testing.T) {
 		transform.NewSigmaNuPlusTransformer(n),
 		consensus.NewANuc([]int{3, 7, 7, 3}),
 	)
-	rec := &trace.Recorder{}
+	rec := &trace.Recorder{RecordSamples: true}
 	res, err := sim.Run(sim.Exec{
 		Automaton: aut,
 		Pattern:   pattern,
@@ -117,7 +117,7 @@ func TestComposedANucOverSigmaNuSmoke(t *testing.T) {
 func TestScratchSigmaSmoke(t *testing.T) {
 	n, tFaults := 5, 2
 	pattern := model.PatternFromCrashes(n, map[model.ProcessID]model.Time{1: 20, 4: 35})
-	rec := &trace.Recorder{}
+	rec := &trace.Recorder{RecordSamples: true}
 	res, err := sim.Run(sim.Exec{
 		Automaton: transform.NewScratchSigma(n, tFaults),
 		Pattern:   pattern,

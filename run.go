@@ -84,7 +84,7 @@ func Simulate(opts SimOptions) (*SimResult, error) {
 		MaxSteps:        maxSteps,
 		StopWhenDecided: opts.StopWhenDecided,
 		GST:             opts.GST,
-		Recorder:        &trace.Recorder{},
+		Recorder:        &trace.Recorder{RecordSamples: true},
 	})
 	if err != nil {
 		return nil, err
