@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments experiments-full substrate-smoke explore-smoke obs-smoke fuzz fmt vet lint ci clean
+.PHONY: all build test test-short race bench bench-hot bench-report bench-check experiments experiments-full substrate-smoke explore-smoke obs-smoke fuzz fmt vet lint lint-static ci clean
 
 all: build test
 
@@ -20,6 +20,34 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# BENCH_HOT selects the hot-path benchmarks the perf contract covers: the
+# sim step loop, the wire codec, the substrate inbox and the explorer
+# frontier. BENCH_COUNT=3 runs each three times; cmd/benchreport takes the
+# per-metric median so a single noisy run cannot move the baseline.
+BENCH_HOT ?= BenchmarkSimStep|BenchmarkWire|BenchmarkInbox|BenchmarkExploreFrontier
+BENCH_COUNT ?= 3
+BENCH_JSON ?= BENCH_6.json
+
+# bench-hot prints the raw hot-path benchmark runs.
+bench-hot:
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count=$(BENCH_COUNT) .
+
+# bench-report regenerates the committed perf baseline from a fresh run
+# (median of $(BENCH_COUNT); see README "Benchmarks and the perf contract").
+bench-report:
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count=$(BENCH_COUNT) . > bench-hot.txt
+	$(GO) run ./cmd/benchreport -in bench-hot.txt -out $(BENCH_JSON)
+	@rm -f bench-hot.txt
+	@echo "bench: wrote $(BENCH_JSON)"
+
+# bench-check is the CI perf gate: re-run the hot-path slice and fail if
+# allocs/op on the sim step loop or the wire codec regresses against the
+# committed baseline (0-alloc baselines fail on ANY allocation).
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count=$(BENCH_COUNT) . > bench-hot.txt
+	$(GO) run ./cmd/benchreport -in bench-hot.txt -check $(BENCH_JSON)
+	@rm -f bench-hot.txt
 
 experiments:
 	$(GO) run ./cmd/experiments
@@ -74,10 +102,14 @@ vet:
 lint:
 	$(GO) run ./cmd/nuclint ./...
 
+# lint-static is the one static-check entry point every CI job shares:
+# gofmt cleanliness, go vet, and the repo's nuclint suite.
+lint-static: vet lint
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 # ci mirrors .github/workflows/ci.yml: static checks, build, tests, race
 # detector, and a parallel experiments run that fails on any claim failure.
-ci: vet lint
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+ci: lint-static
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./...

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: nuconsensus
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimStep/idle-4         	28797122	        37.70 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimStep/idle-4         	28000000	        39.10 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimStep/idle-4         	29000000	        36.90 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimStep/idle-bus-4     	18923970	        71.48 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWireDecode/heartbeat-4 	56925477	        22.19 ns/op	       0 B/op	       0 allocs/op
+BenchmarkExploreFrontier/anuc-4 	      12	  95000000 ns/op	       1234 states/op	       5678 edges/op
+PASS
+ok  	nuconsensus	9.348s
+`
+
+func parseSample(t *testing.T, s string) *Report {
+	t.Helper()
+	rep, runs, err := parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return build(rep, runs)
+}
+
+func TestParseAndBuild(t *testing.T) {
+	rep := parseSample(t, sample)
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "nuconsensus" {
+		t.Errorf("host metadata wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	var idle *Benchmark
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Name == "BenchmarkSimStep/idle" {
+			idle = &rep.Benchmarks[i]
+		}
+	}
+	if idle == nil {
+		t.Fatalf("BenchmarkSimStep/idle missing (GOMAXPROCS suffix not stripped?): %+v", rep.Benchmarks)
+	}
+	if idle.Runs != 3 {
+		t.Errorf("idle runs = %d, want 3", idle.Runs)
+	}
+	if got := idle.Metrics["ns/op"]; got != 37.70 {
+		t.Errorf("idle median ns/op = %g, want 37.70", got)
+	}
+	if got := idle.Metrics["allocs/op"]; got != 0 {
+		t.Errorf("idle allocs/op = %g, want 0", got)
+	}
+	// Custom units survive normalisation (the explorer's states/op).
+	for _, b := range rep.Benchmarks {
+		if b.Name == "BenchmarkExploreFrontier/anuc" && b.Metrics["states/op"] != 1234 {
+			t.Errorf("states/op = %g, want 1234", b.Metrics["states/op"])
+		}
+	}
+	// Canonical order: sorted by name.
+	for i := 1; i < len(rep.Benchmarks); i++ {
+		if rep.Benchmarks[i-1].Name >= rep.Benchmarks[i].Name {
+			t.Errorf("benchmarks not sorted: %q before %q", rep.Benchmarks[i-1].Name, rep.Benchmarks[i].Name)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median odd = %g, want 2", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("median even = %g, want 2.5", got)
+	}
+}
+
+func TestCheckGate(t *testing.T) {
+	gate := regexp.MustCompile(`^BenchmarkSimStep/|^BenchmarkWireDecode/`)
+	base := parseSample(t, sample)
+
+	// Identical run: gate passes.
+	if bad := check(parseSample(t, sample), base, gate, 0.10); len(bad) != 0 {
+		t.Errorf("identical run failed the gate: %v", bad)
+	}
+
+	// A zero-allocation baseline fails on ANY allocation.
+	regressed := strings.Replace(sample,
+		"BenchmarkWireDecode/heartbeat-4 	56925477	        22.19 ns/op	       0 B/op	       0 allocs/op",
+		"BenchmarkWireDecode/heartbeat-4 	56925477	        22.19 ns/op	       8 B/op	       1 allocs/op", 1)
+	bad := check(parseSample(t, regressed), base, gate, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkWireDecode/heartbeat") {
+		t.Errorf("0→1 alloc regression not caught: %v", bad)
+	}
+
+	// An ungated benchmark may regress freely.
+	unrelated := strings.Replace(sample,
+		"1234 states/op", "99 states/op", 1)
+	if bad := check(parseSample(t, unrelated), base, gate, 0.10); len(bad) != 0 {
+		t.Errorf("ungated change failed the gate: %v", bad)
+	}
+
+	// A gated benchmark disappearing from the run fails.
+	missing := strings.Replace(sample,
+		"BenchmarkSimStep/idle-bus-4     	18923970	        71.48 ns/op	       0 B/op	       0 allocs/op\n", "", 1)
+	bad = check(parseSample(t, missing), base, gate, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Errorf("missing gated benchmark not caught: %v", bad)
+	}
+
+	// Nonzero baselines tolerate <=10% and fail beyond it.
+	nzBase := parseSample(t, strings.Replace(sample, "0 allocs/op\nBenchmarkWireDecode", "0 allocs/op\nBenchmarkInboxX-4 	100	 10 ns/op	 0 B/op	 10 allocs/op\nBenchmarkWireDecode", 1))
+	okRun := parseSample(t, strings.Replace(sample, "0 allocs/op\nBenchmarkWireDecode", "0 allocs/op\nBenchmarkInboxX-4 	100	 10 ns/op	 0 B/op	 11 allocs/op\nBenchmarkWireDecode", 1))
+	badRun := parseSample(t, strings.Replace(sample, "0 allocs/op\nBenchmarkWireDecode", "0 allocs/op\nBenchmarkInboxX-4 	100	 10 ns/op	 0 B/op	 12 allocs/op\nBenchmarkWireDecode", 1))
+	nzGate := regexp.MustCompile(`^BenchmarkInboxX$`)
+	if bad := check(okRun, nzBase, nzGate, 0.10); len(bad) != 0 {
+		t.Errorf("10%% regression should pass: %v", bad)
+	}
+	if bad := check(badRun, nzBase, nzGate, 0.10); len(bad) != 1 {
+		t.Errorf("20%% regression should fail: %v", bad)
+	}
+}

@@ -1,5 +1,5 @@
 // Command nuclint is the multichecker for the repo's determinism and
-// model-faithfulness invariants. It bundles five analyzers:
+// model-faithfulness invariants. It bundles six analyzers:
 //
 //	nodeterm     no wall-clock / ambient randomness / env vars / ad-hoc
 //	             goroutines in determinism-critical packages
@@ -8,6 +8,8 @@
 //	seedhash     per-unit RNGs seeded via the engine's DeriveSeed helper
 //	obsclock     no obs.Wall (the wall-clock event-stamp shim) in
 //	             determinism-critical packages
+//	poolbuf      sync.Pool in determinism-critical and pooling-host
+//	             packages confined to pointer-free buffer reuse (*[]T)
 //
 // Standalone usage (package patterns, default ./...):
 //
@@ -37,6 +39,7 @@ import (
 	"nuconsensus/internal/lint/maporder"
 	"nuconsensus/internal/lint/nodeterm"
 	"nuconsensus/internal/lint/obsclock"
+	"nuconsensus/internal/lint/poolbuf"
 	"nuconsensus/internal/lint/seedhash"
 	"nuconsensus/internal/lint/specregistry"
 )
@@ -46,6 +49,7 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	nodeterm.Analyzer,
 	obsclock.Analyzer,
+	poolbuf.Analyzer,
 	seedhash.Analyzer,
 	specregistry.Analyzer,
 }

@@ -235,7 +235,7 @@ func Explore(o Options) (*Result, error) {
 		stable := e.menuStability(t)
 		e.enc = &encCache{} // scope message-encoding memoization to this level
 		edges := e.expandLevel(cur, depth, t, alive, stable)
-		next, pairs := e.merge(edges)
+		next, pairs := e.merge(edges, depth)
 		e.materialize(cur, next, depth, t)
 		for i := range cur { // frontier configs are no longer needed
 			cur[i].cfg, cur[i].procH, cur[i].sleep = nil, nil, nil
@@ -526,7 +526,19 @@ func (e *engine) expandLevel(cur []node, depth int, t model.Time, alive model.Pr
 // path to that state, and it becomes the state's parent pointer. Later
 // edges to the same key only intersect sleep sets (a state reached twice
 // may only sleep what every arrival agrees to sleep).
-func (e *engine) merge(edges []edgeRec) ([]node, [][2]int32) {
+//
+// Levels big enough to amortize the fan-out run the sharded merge; tiny
+// levels use the sequential one. The two produce byte-identical frontiers,
+// pairs and counters (TestMergeShardedMatchesSequential).
+func (e *engine) merge(edges []edgeRec, depth int) ([]node, [][2]int32) {
+	if e.workers > 1 && len(edges) >= 4*e.workers {
+		return e.mergeSharded(edges, depth)
+	}
+	return e.mergeSeq(edges)
+}
+
+// mergeSeq is the single-threaded merge.
+func (e *engine) mergeSeq(edges []edgeRec) ([]node, [][2]int32) {
 	var next []node
 	idx := make(map[Key]int32)
 	pairs := make([][2]int32, 0, len(edges))
@@ -547,6 +559,93 @@ func (e *engine) merge(edges []edgeRec) ([]node, [][2]int32) {
 			next[ci].sleep = intersectChoices(next[ci].sleep, ed.sleep)
 		}
 		pairs = append(pairs, [2]int32{ed.parent, ci})
+	}
+	if e.o.Metrics != nil {
+		// Same totals the sharded merge flushes from its per-worker stores,
+		// so metric dumps are identical at any Parallel value.
+		e.o.Metrics.Counter("explore.merge.unique").Add(int64(len(next)))
+		e.o.Metrics.Counter("explore.merge.dup_hits").Add(int64(len(edges) - len(next)))
+	}
+	return next, pairs
+}
+
+// mergeSharded shards the seen-state set by fingerprint, the ddtxn
+// local-store idiom: every edge of a given key hashes to exactly one
+// worker's private map (no shared map, no locks), each worker scans the
+// canonically ordered edge list recording its keys' first-arrival indices
+// and folding later arrivals into the sleep-set intersection, and the
+// global frontier order is recovered by sorting unique states by first
+// arrival — precisely the order the sequential merge assigns, so the
+// result is byte-identical at any worker count. Per-worker tallies stage
+// in obs.LocalStores and merge into the registry after the barrier.
+func (e *engine) mergeSharded(edges []edgeRec, depth int) ([]node, [][2]int32) {
+	salt := DeriveSeed("merge", depth)
+	type keyRec struct {
+		first int32 // index of the key's first edge in canonical order
+		nd    node
+	}
+	shards := make([]map[Key]*keyRec, e.workers)
+	stats := make([]*obs.LocalStore, e.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		shards[w] = make(map[Key]*keyRec)
+		stats[w] = obs.NewLocalStore()
+		wg.Add(1)
+		//lint:allow nodeterm sharded merge workers; canonical order is restored by the first-arrival sort below
+		go func(w int) {
+			defer wg.Done()
+			seen, st := shards[w], stats[w]
+			for i := range edges {
+				ed := &edges[i]
+				if shardOf(ed.key, salt, e.workers) != w {
+					continue
+				}
+				if kr, ok := seen[ed.key]; ok {
+					kr.nd.sleep = intersectChoices(kr.nd.sleep, ed.sleep)
+					st.Add("explore.merge.dup_hits", 1)
+					continue
+				}
+				seen[ed.key] = &keyRec{
+					first: int32(i),
+					nd:    node{key: ed.key, parent: ed.parent, via: ed.via, sleep: ed.sleep, viol: ed.viol},
+				}
+				st.Add("explore.merge.unique", 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Canonical frontier order: unique states by first-arrival edge index.
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	recs := make([]*keyRec, 0, total)
+	for _, s := range shards {
+		for _, kr := range s {
+			recs = append(recs, kr)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].first < recs[j].first })
+
+	next := make([]node, len(recs))
+	idx := make(map[Key]int32, len(recs))
+	for ci := range recs {
+		next[ci] = recs[ci].nd
+		idx[recs[ci].nd.key] = int32(ci)
+		e.states++
+		if recs[ci].nd.viol != "" {
+			e.violations++
+		}
+	}
+	pairs := make([][2]int32, len(edges))
+	for i := range edges {
+		pairs[i] = [2]int32{edges[i].parent, idx[edges[i].key]}
+	}
+	e.edges += int64(len(edges))
+	e.dups += int64(len(edges) - len(next))
+	for _, st := range stats {
+		st.FlushTo(e.o.Metrics)
 	}
 	return next, pairs
 }

@@ -5,10 +5,13 @@ import (
 	"reflect"
 	"testing"
 
+	"strings"
+
 	"nuconsensus/internal/check"
 	"nuconsensus/internal/consensus"
 	"nuconsensus/internal/fd"
 	"nuconsensus/internal/model"
+	"nuconsensus/internal/obs"
 )
 
 // disagreeScenario is a deliberately broken target that violates agreement
@@ -398,5 +401,40 @@ func TestProgressCallback(t *testing.T) {
 	}
 	if res.Depth != 3 {
 		t.Errorf("depth %d, want 3", res.Depth)
+	}
+}
+
+// TestMergeShardedMatchesSequential pins the sharded frontier merge: the
+// Result and the full metrics dump — including the explore.merge.* totals
+// the workers stage in per-worker obs.LocalStores — must be byte-identical
+// between -parallel 1 (sequential merge) and -parallel 8 (sharded merge on
+// every level wide enough to fan out).
+func TestMergeShardedMatchesSequential(t *testing.T) {
+	run := func(workers int) (*Result, string) {
+		o := VerifyANuc(3, 1)[0].Opts
+		o.Bound = 6
+		o.Parallel = workers
+		reg := obs.NewRegistry()
+		o.Metrics = reg
+		r, err := Explore(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dump strings.Builder
+		if _, err := reg.WriteTo(&dump); err != nil {
+			t.Fatal(err)
+		}
+		return r, dump.String()
+	}
+	r1, m1 := run(1)
+	r8, m8 := run(8)
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("results differ between -parallel 1 and 8:\n%+v\nvs\n%+v", r1, r8)
+	}
+	if m1 != m8 {
+		t.Errorf("metric dumps differ between -parallel 1 and 8:\n%s\nvs\n%s", m1, m8)
+	}
+	if !strings.Contains(m1, "explore.merge.unique") || !strings.Contains(m1, "explore.merge.dup_hits") {
+		t.Errorf("merge counters missing from dump:\n%s", m1)
 	}
 }

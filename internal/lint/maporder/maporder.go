@@ -318,6 +318,13 @@ func sortedAfter(fnBody *ast.BlockStmt, rng *ast.RangeStmt, target string) bool 
 				found = true
 				return false
 			}
+			// Sorting a subslice of the target (slices.Sort(dst[start:]))
+			// covers the append-to-scratch idiom where only the newly
+			// collected tail needs ordering.
+			if sl, ok := arg.(*ast.SliceExpr); ok && types.ExprString(sl.X) == target {
+				found = true
+				return false
+			}
 		}
 		return true
 	})

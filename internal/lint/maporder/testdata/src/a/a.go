@@ -35,6 +35,15 @@ func goodCollectThenSortSlice(m map[string]int) []string {
 	return out
 }
 
+func goodCollectThenSortSubslice(m map[string]int, dst []string) []string {
+	start := len(dst)
+	for k := range m {
+		dst = append(dst, k)
+	}
+	sort.Strings(dst[start:]) // sorting the appended tail legitimizes the collect
+	return dst
+}
+
 func badWriteString(m map[string]int, b *strings.Builder) {
 	for k := range m {
 		b.WriteString(k) // want `WriteString`

@@ -30,3 +30,36 @@ func allowed() {
 	//lint:allow nodeterm sanctioned worker pool fixture
 	go func() {}()
 }
+
+// shardedStoreBad mirrors a per-worker frontier store whose workers are
+// spawned without the sanctioned-pool annotation: still flagged.
+func shardedStoreBad(parts [][]int, out []int) {
+	for w := range parts {
+		go func(w int) { // want `goroutine spawn`
+			sum := 0
+			for _, v := range parts[w] {
+				sum += v
+			}
+			out[w] = sum
+		}(w)
+	}
+}
+
+// shardedStoreAllowed is the explorer's shape: per-worker stores filled by
+// an annotated worker pool, merged after a barrier.
+func shardedStoreAllowed(parts [][]int, out []int, done chan struct{}) {
+	for w := range parts {
+		//lint:allow nodeterm sharded merge workers; canonical order is restored at the barrier
+		go func(w int) {
+			sum := 0
+			for _, v := range parts[w] {
+				sum += v
+			}
+			out[w] = sum
+			done <- struct{}{}
+		}(w)
+	}
+	for range parts {
+		<-done
+	}
+}

@@ -1,0 +1,214 @@
+// Package poolbuf implements the `poolbuf` analyzer: the hot paths
+// recycle allocations through sync.Pool, and the repo's pooling doctrine
+// (DESIGN.md §8) confines that reuse to pointer-free buffers — `*[]byte`
+// scratch in the wire codec, `*[]model.ProcessSet` sort scratch, and
+// nothing else. Pooling anything that carries pointers (messages,
+// payloads, nodes) is how aliasing bugs enter: a recycled object the old
+// owner still references resurfaces under a new writer, and on the
+// deterministic substrates the corruption shows up as a run whose output
+// depends on GC and scheduling timing rather than on the seed.
+//
+// In the packages the doctrine covers (every determinism-critical package
+// plus the pooling hosts internal/wire, internal/substrate,
+// internal/netrun and internal/obs) the analyzer requires, for each
+// sync.Pool composite literal:
+//
+//	var bufPool = sync.Pool{New: func() interface{} { return new([]byte) }}           // ok
+//	var qsScratch = sync.Pool{New: func() any { return new([]model.ProcessSet) }}     // ok
+//	var msgPool = sync.Pool{New: func() interface{} { return new(model.Message) }}    // flagged
+//
+// that the New hook is a function literal returning a pointer to a slice
+// whose element type is recursively pointer-free (no pointers, slices,
+// maps, strings, channels, funcs or interfaces). Every Pool.Put argument
+// in those packages must satisfy the same shape, so a well-typed pool
+// cannot be laundered through Put either. A site that genuinely needs
+// something else can annotate with //lint:allow poolbuf <why>.
+package poolbuf
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"nuconsensus/internal/lint/analysis"
+	"nuconsensus/internal/lint/nodeterm"
+)
+
+// Analyzer is the poolbuf pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolbuf",
+	Doc:  "confine sync.Pool in determinism-critical and pooling-host packages to pointer-free buffer reuse",
+	Run:  run,
+}
+
+// PoolHostPackages lists import-path suffixes of packages outside the
+// determinism-critical set that host pools on behalf of the hot paths;
+// the doctrine covers them too.
+var PoolHostPackages = []string{
+	"internal/wire",
+	"internal/substrate",
+	"internal/netrun",
+	"internal/obs",
+}
+
+// covered reports whether the doctrine applies to the package path.
+func covered(path string) bool {
+	if nodeterm.Critical(path) {
+		return true
+	}
+	for _, suffix := range PoolHostPackages {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !covered(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for i, file := range pass.Files {
+		if strings.HasSuffix(pass.Filenames[i], "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if isSyncPool(pass, n) {
+					checkPoolLit(pass, n)
+				}
+			case *ast.CallExpr:
+				checkPut(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isSyncPool reports whether the composite literal constructs a sync.Pool.
+func isSyncPool(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// checkPoolLit enforces the buffer shape on a sync.Pool literal's New hook.
+func checkPoolLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	var newFn ast.Expr
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "New" {
+			newFn = kv.Value
+		}
+	}
+	if newFn == nil {
+		pass.Reportf(lit.Pos(),
+			"sync.Pool without a New hook in a pooling-doctrine package: declare New as a func literal returning *[]T (pointer-free T) so the pooled shape is checkable")
+		return
+	}
+	fnLit, ok := newFn.(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(newFn.Pos(),
+			"sync.Pool New hook is not a func literal: inline it as func() interface{} { return new([]T) } so the pooled buffer shape is checkable")
+		return
+	}
+	// Inspect the literal's own return statements (not nested literals').
+	ast.Inspect(fnLit.Body, func(n ast.Node) bool {
+		if _, isNested := n.(*ast.FuncLit); isNested {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if t := pass.TypesInfo.TypeOf(res); t != nil && !isBufferPointer(t) {
+				pass.Reportf(res.Pos(),
+					"sync.Pool New returns %s: pooling is confined to pointer-free buffers, return *[]T with pointer-free T (never messages, payloads or nodes)",
+					types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			}
+		}
+		return true
+	})
+}
+
+// checkPut enforces the buffer shape on sync.Pool Put arguments.
+func checkPut(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Pool" || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(call.Args[0]); t != nil && !isBufferPointer(t) {
+		pass.Reportf(call.Args[0].Pos(),
+			"sync.Pool.Put of %s: pooling is confined to pointer-free buffers, pass *[]T with pointer-free T",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// isBufferPointer reports whether t is `*[]E` with a recursively
+// pointer-free element type E — the only shape the doctrine lets a pool
+// hold.
+func isBufferPointer(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	s, ok := p.Elem().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return pointerFree(s.Elem(), make(map[types.Type]bool))
+}
+
+// pointerFree reports whether values of t contain no pointers: basic
+// non-string scalars, and arrays/structs thereof. Strings are excluded —
+// their headers point at shared backing arrays, which is exactly the
+// aliasing the doctrine rules out.
+func pointerFree(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return true // recursive types necessarily contain pointers, but the cycle is cut elsewhere
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString == 0 && u.Kind() != types.UnsafePointer
+	case *types.Array:
+		return pointerFree(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !pointerFree(u.Field(i).Type(), seen) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package poolbuf_test
+
+import (
+	"testing"
+
+	"nuconsensus/internal/lint/analysistest"
+	"nuconsensus/internal/lint/poolbuf"
+)
+
+func TestPoolbuf(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolbuf.Analyzer,
+		"internal/wire", "other")
+}

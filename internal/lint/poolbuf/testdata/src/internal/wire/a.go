@@ -1,0 +1,47 @@
+// Fixture for poolbuf: this package path ends in internal/wire, a pooling
+// host, so every sync.Pool here must be confined to pointer-free buffer
+// reuse (*[]T with pointer-free T).
+package wire
+
+import "sync"
+
+type ProcessSet uint64
+
+type Message struct {
+	From    int
+	Payload interface{}
+}
+
+// The sanctioned shapes: byte-buffer scratch and pointer-free sort scratch.
+var bufPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+var qsetScratch = sync.Pool{New: func() interface{} { return new([]ProcessSet) }}
+
+// Pointer-free struct elements are fine too.
+type sample struct {
+	P int
+	D int
+	K [4]uint64
+}
+
+var samplePool = sync.Pool{New: func() interface{} { return new([]sample) }}
+
+// Pooling objects that carry pointers is the aliasing doctrine violation.
+var msgPool = sync.Pool{New: func() interface{} { return new(Message) }} // want `sync.Pool New returns \*Message`
+
+var strPool = sync.Pool{New: func() interface{} { return new([]string) }} // want `sync.Pool New returns \*\[\]string`
+
+var slicePool = sync.Pool{New: func() interface{} { return new([][]byte) }} // want `sync.Pool New returns \*\[\]\[\]byte`
+
+// A pool without a checkable New hook is flagged outright.
+var blindPool = sync.Pool{} // want `sync.Pool without a New hook`
+
+func makeBuf() interface{} { return new([]byte) }
+
+var indirectPool = sync.Pool{New: makeBuf} // want `New hook is not a func literal`
+
+func roundTrip(m *Message) {
+	b := bufPool.Get().(*[]byte)
+	bufPool.Put(b)
+	msgPool.Put(m) // want `sync.Pool.Put of \*Message`
+}

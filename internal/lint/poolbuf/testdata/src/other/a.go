@@ -1,0 +1,13 @@
+// Fixture for poolbuf scoping: this package is neither determinism-critical
+// nor a pooling host, so its pools are outside the doctrine and produce no
+// diagnostics.
+package other
+
+import "sync"
+
+type conn struct {
+	fd  int
+	buf []byte
+}
+
+var connPool = sync.Pool{New: func() interface{} { return new(conn) }}

@@ -43,3 +43,47 @@ func expandBad(frontier []Key, workers int) []int {
 	}
 	return out
 }
+
+// mergeShardedOK mirrors the explorer's sharded frontier merge: per-worker
+// goroutines each own the keys of their shard, the salt is derived once
+// per level, and the barrier precedes any read of the shard stores.
+func mergeShardedOK(edges []Key, workers, depth int) []int {
+	salt := DeriveSeed("merge", depth)
+	owner := make([]int, len(edges))
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i, k := range edges {
+				if shardOf(k, salt, workers) == w {
+					owner[i] = w
+				}
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return owner
+}
+
+// mergeShardedBad splits the same way but salts each worker with its own
+// index — the split stops being a pure function of the explored states.
+func mergeShardedBad(edges []Key, workers int) []int {
+	owner := make([]int, len(edges))
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i, k := range edges {
+				if shardOf(k, int64(w), workers) == w { // want `fingerprint-sharded worker split`
+					owner[i] = w
+				}
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return owner
+}

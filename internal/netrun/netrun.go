@@ -247,12 +247,29 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 						return
 					}
 					r := bufio.NewReader(conn)
+					// Frames already buffered on the link are drained into
+					// one batch and delivered under a single inbox lock;
+					// the batch flushes whenever the buffer runs dry (or the
+					// destination changes, which on a point-to-point link it
+					// never does). Frame buffers come from the wire pool and
+					// return to it after the deferred decode in resolve.
+					var (
+						batch   []*model.Message
+						batchTo model.ProcessID
+					)
+					flush := func() {
+						if len(batch) > 0 {
+							inboxes[batchTo].PutBatch(batch)
+							batch = batch[:0]
+						}
+					}
+					defer flush()
 					for {
 						size, err := binary.ReadUvarint(r)
 						if err != nil {
 							return // closed or crashed peer
 						}
-						frame := make([]byte, size)
+						frame := wire.GetBuf(int(size))[:size]
 						if _, err := io.ReadFull(r, frame); err != nil {
 							return
 						}
@@ -265,7 +282,14 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 						if head.Supersedes {
 							msg.Payload = rawSupersedingPayload{raw}
 						}
-						inboxes[head.To].Put(msg)
+						if len(batch) > 0 && head.To != batchTo {
+							flush()
+						}
+						batchTo = head.To
+						batch = append(batch, msg)
+						if r.Buffered() == 0 {
+							flush()
+						}
 					}
 				}(l)
 			}
@@ -273,7 +297,12 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 	}
 
 	// resolve decodes a raw frame at take time; loopback messages (put
-	// directly, never encoded) pass through untouched.
+	// directly, never encoded) pass through untouched. The decode reuses
+	// the inbox message object and recycles the frame buffer: decoded
+	// payloads never alias the frame (wire.DecodeMessageInto), so the pool
+	// may hand it to another link immediately. Frames collapsed while
+	// pending are simply garbage collected — the inbox drops them without
+	// a decode, so there is no hook to return them to the pool.
 	resolve := func(m *model.Message) *model.Message {
 		var frame []byte
 		switch p := m.Payload.(type) {
@@ -284,11 +313,12 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 		default:
 			return m
 		}
-		decoded, err := wire.DecodeMessage(frame)
+		err := wire.DecodeMessageInto(m, frame)
+		wire.PutBuf(frame)
 		if err != nil {
 			return nil // corrupted frame: skip, as the eager reader dropped it
 		}
-		return decoded
+		return m
 	}
 
 	// count is nil-registry-safe counter bumping for the transport metrics.
@@ -312,7 +342,9 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 				inboxes[out.From].Put(out) // loopback without the socket
 				continue
 			}
-			frame, err := wire.EncodeMessage(out)
+			// Encode into a pooled buffer; the frame is dead once written
+			// to the socket, so it goes straight back to the pool.
+			frame, err := wire.AppendMessage(wire.GetBuf(64), out)
 			if err != nil {
 				panic(fmt.Sprintf("netrun: unencodable payload: %v", err))
 			}
@@ -323,6 +355,7 @@ func (S) Run(ctx context.Context, aut model.Automaton, hist model.History, patte
 					count("netrun.frames_sent", 1)
 				}
 			}
+			wire.PutBuf(frame)
 		}
 	}
 

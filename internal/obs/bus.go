@@ -44,6 +44,13 @@ type Bus struct {
 	round   []int             // last observed round per process
 	roundAt []model.Time      // logical time the round was entered
 	decided []bool            // first-decision latch per process
+
+	// Hot-path instruments, resolved once at construction so OnStep pays
+	// neither the registry's mutexed get-or-create per event nor the
+	// "msgs.sent."+kind concatenation per send (all nil/empty when no
+	// registry is attached). sentC is only touched under b.mu.
+	cDelivered, cSteps, cCrashes *Counter
+	sentC                        map[string]*Counter
 }
 
 // NewBus returns a bus stamping events with clock (nil means Logical),
@@ -52,12 +59,19 @@ func NewBus(clock Clock, metrics *Registry, sinks ...Sink) *Bus {
 	if clock == nil {
 		clock = Logical{}
 	}
-	return &Bus{
+	b := &Bus{
 		clock:   clock,
 		metrics: metrics,
 		sinks:   sinks,
 		sendL:   make(map[msgKey]uint64),
 	}
+	if metrics != nil {
+		b.cDelivered = metrics.Counter("bus.delivered")
+		b.cSteps = metrics.Counter("bus.steps")
+		b.cCrashes = metrics.Counter("bus.crashes")
+		b.sentC = make(map[string]*Counter)
+	}
+	return b
 }
 
 // SetClock replaces the bus's clock. The concurrent substrates call this
@@ -117,17 +131,17 @@ func (b *Bus) OnStep(t model.Time, p model.ProcessID, m *model.Message, d model.
 	if m != nil {
 		delete(b.sendL, msgKey{m.From, m.Seq})
 		b.emit(Event{Kind: KindDeliver, T: t, P: p, L: l, From: m.From, Seq: m.Seq, Payload: m.Payload.Kind(), Wall: wall})
-		b.count("bus.delivered", 1)
+		b.add(b.cDelivered, 1)
 	}
 	if d != nil {
 		b.emit(Event{Kind: KindFDQuery, T: t, P: p, L: l, FD: d, Wall: wall})
 	}
 	b.emit(Event{Kind: KindStep, T: t, P: p, L: l, Value: len(sent), Wall: wall})
-	b.count("bus.steps", 1)
+	b.add(b.cSteps, 1)
 	for _, sm := range sent {
 		b.sendL[msgKey{sm.From, sm.Seq}] = l
 		b.emit(Event{Kind: KindSend, T: t, P: p, L: l, From: sm.From, To: sm.To, Seq: sm.Seq, Payload: sm.Payload.Kind(), Wall: wall})
-		b.count("msgs.sent."+sm.Payload.Kind(), 1)
+		b.countSent(sm.Payload.Kind())
 	}
 
 	// Derived events from state introspection: round transitions, quorum
@@ -162,7 +176,7 @@ func (b *Bus) OnCrash(t model.Time, p model.ProcessID) {
 	b.grow(p)
 	b.lamport[p]++
 	b.emit(Event{Kind: KindCrash, T: t, P: p, L: b.lamport[p], Wall: b.clock.Now()})
-	b.count("bus.crashes", 1)
+	b.add(b.cCrashes, 1)
 }
 
 // Close closes every sink, returning the first error.
@@ -181,11 +195,27 @@ func (b *Bus) Close() error {
 	return first
 }
 
-// count bumps a registry counter, if a registry is attached.
-func (b *Bus) count(name string, v int64) {
-	if b.metrics != nil {
-		b.metrics.Counter(name).Add(v)
+// add bumps a pre-resolved counter (nil when no registry is attached).
+func (b *Bus) add(c *Counter, v int64) {
+	if c != nil {
+		c.Add(v)
 	}
+}
+
+// countSent bumps the per-kind send counter, resolving "msgs.sent.<KIND>"
+// through the registry only on the kind's first appearance: a map hit on a
+// string key allocates nothing, while the concatenation it replaces
+// allocated on every send. Callers hold b.mu.
+func (b *Bus) countSent(kind string) {
+	if b.metrics == nil {
+		return
+	}
+	c := b.sentC[kind]
+	if c == nil {
+		c = b.metrics.Counter("msgs.sent." + kind)
+		b.sentC[kind] = c
+	}
+	c.Add(1)
 }
 
 // observe records a histogram sample, if a registry is attached.

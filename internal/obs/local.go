@@ -1,0 +1,44 @@
+package obs
+
+// LocalStore is a per-worker metric staging area: plain (non-atomic,
+// non-locked) counters a single worker accumulates privately and merges
+// into a shared Registry at a canonical point — after the level barrier in
+// the explorer, at run end in a driver. The idiom trades the shared
+// registry's mutex-per-update for one flush per worker per merge point;
+// because counter adds commute, the registry totals are identical to what
+// per-update accounting would have produced, at any worker count.
+//
+// A LocalStore must only ever be touched by one goroutine at a time;
+// hand-off between the worker and the flusher needs an external
+// happens-before edge (the WaitGroup barrier every caller already has).
+type LocalStore struct {
+	counts map[string]int64
+}
+
+// NewLocalStore returns an empty store.
+func NewLocalStore() *LocalStore {
+	return &LocalStore{counts: make(map[string]int64)}
+}
+
+// Add accumulates v into the named local counter.
+func (s *LocalStore) Add(name string, v int64) {
+	s.counts[name] += v
+}
+
+// Value returns the local (unflushed) sum of the named counter.
+func (s *LocalStore) Value(name string) int64 {
+	return s.counts[name]
+}
+
+// FlushTo merges every local counter into the registry and resets the
+// store. Counter adds commute, so flushing workers in any order yields the
+// same registry state; flushing an empty store is a no-op. A nil registry
+// discards the values (mirroring the bus's nil-metrics tolerance).
+func (s *LocalStore) FlushTo(r *Registry) {
+	for name, v := range s.counts {
+		if r != nil && v != 0 {
+			r.Counter(name).Add(v)
+		}
+		delete(s.counts, name)
+	}
+}

@@ -6,7 +6,7 @@ package quorum
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"nuconsensus/internal/model"
@@ -82,12 +82,19 @@ func (s Set) hasDisjointWith(t Set) bool {
 
 // Slice returns the quorums in a deterministic order (for rendering).
 func (s Set) Slice() []model.ProcessSet {
-	out := make([]model.ProcessSet, 0, len(s))
+	return s.AppendSorted(make([]model.ProcessSet, 0, len(s)))
+}
+
+// AppendSorted appends the quorums to dst in ascending order and returns
+// the extended slice. Callers on hot paths (the wire encoder) pass a reused
+// scratch buffer so the per-set allocation of Slice disappears.
+func (s Set) AppendSorted(dst []model.ProcessSet) []model.ProcessSet {
+	start := len(dst)
 	for q := range s {
-		out = append(out, q)
+		dst = append(dst, q)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // Histories is the variable H_p of A_nuc: Histories[r] contains all the

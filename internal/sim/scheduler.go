@@ -30,8 +30,13 @@ type FairScheduler struct {
 	deliverProb float64
 	maxSkip     int
 
+	// pass is a window into passBuf, refilled in place when exhausted, so
+	// the per-pass refill allocates nothing (the step loop's steady state
+	// must be allocation-free, DESIGN.md §8). skipped is indexed by process
+	// ID; an array beats a map here both on lookup cost and on allocation.
 	pass    []model.ProcessID
-	skipped map[model.ProcessID]int
+	passBuf [model.MaxProcesses]model.ProcessID
+	skipped [model.MaxProcesses]int
 }
 
 // NewFairScheduler returns a fair scheduler with the given seed. deliverProb
@@ -49,7 +54,6 @@ func NewFairScheduler(seed int64, deliverProb float64, maxSkip int) *FairSchedul
 		rng:         rand.New(rand.NewSource(seed)),
 		deliverProb: deliverProb,
 		maxSkip:     maxSkip,
-		skipped:     make(map[model.ProcessID]int),
 	}
 }
 
@@ -81,7 +85,16 @@ func collapseSuperseded(c *model.Configuration, p model.ProcessID, m *model.Mess
 func (s *FairScheduler) nextProcess(alive model.ProcessSet) model.ProcessID {
 	for {
 		if len(s.pass) == 0 {
-			s.pass = alive.Slice()
+			// Refill in place: same ascending collection and same shuffle
+			// (identical rng draws) as the alive.Slice() it replaces, so
+			// schedules are byte-for-byte what they were before the
+			// allocation was removed.
+			n := 0
+			alive.ForEach(func(p model.ProcessID) {
+				s.passBuf[n] = p
+				n++
+			})
+			s.pass = s.passBuf[:n]
 			s.rng.Shuffle(len(s.pass), func(i, j int) {
 				s.pass[i], s.pass[j] = s.pass[j], s.pass[i]
 			})

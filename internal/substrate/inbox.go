@@ -12,9 +12,15 @@ import (
 // collapsing so DAG snapshot floods cannot deadlock or exhaust memory:
 // putting a superseding payload removes the older pending payloads of the
 // same kind from the same sender.
+//
+// The queue is a slice with a head index rather than a reslice-on-take
+// ring: Take nils the consumed slot and advances head, and the backing
+// array is reused once the queue drains (or compacted when the dead prefix
+// dominates), so the put/take steady state allocates nothing.
 type Inbox struct {
 	mu    sync.Mutex
 	msgs  []*model.Message
+	head  int
 	drops int64
 }
 
@@ -32,16 +38,42 @@ func NewInboxes(n int) []*Inbox {
 func (b *Inbox) Put(m *model.Message) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.put(m)
+}
+
+// PutBatch enqueues a run of messages under one lock acquisition — the
+// transports' readers drain every frame already buffered on a link into
+// one batch, so a burst of n frames costs one lock hand-off instead of n.
+// The slice is not retained; callers may reuse it.
+func (b *Inbox) PutBatch(msgs []*model.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range msgs {
+		b.put(m)
+	}
+}
+
+// put appends one message, collapsing superseded predecessors. Callers
+// hold b.mu.
+func (b *Inbox) put(m *model.Message) {
 	if _, ok := m.Payload.(model.SupersededPayload); ok {
-		kept := b.msgs[:0]
-		for _, x := range b.msgs {
+		kept := b.msgs[b.head:b.head]
+		for _, x := range b.msgs[b.head:] {
 			if x.From == m.From && x.Payload.Kind() == m.Payload.Kind() {
 				b.drops++
 				continue // superseded by the newcomer
 			}
 			kept = append(kept, x)
 		}
-		b.msgs = kept
+		// Nil out the tail the filter vacated so dropped messages are not
+		// pinned by the backing array.
+		for i := b.head + len(kept); i < len(b.msgs); i++ {
+			b.msgs[i] = nil
+		}
+		b.msgs = b.msgs[:b.head+len(kept)]
 	}
 	b.msgs = append(b.msgs, m)
 }
@@ -50,11 +82,27 @@ func (b *Inbox) Put(m *model.Message) {
 func (b *Inbox) Take() *model.Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.msgs) == 0 {
+	if b.head == len(b.msgs) {
 		return nil
 	}
-	m := b.msgs[0]
-	b.msgs = b.msgs[1:]
+	m := b.msgs[b.head]
+	b.msgs[b.head] = nil
+	b.head++
+	switch {
+	case b.head == len(b.msgs):
+		// Drained: rewind onto the same backing array.
+		b.msgs = b.msgs[:0]
+		b.head = 0
+	case b.head >= 64 && b.head*2 >= len(b.msgs):
+		// The dead prefix dominates a long queue: compact in place so an
+		// always-backlogged inbox cannot grow without bound.
+		n := copy(b.msgs, b.msgs[b.head:])
+		for i := n; i < len(b.msgs); i++ {
+			b.msgs[i] = nil
+		}
+		b.msgs = b.msgs[:n]
+		b.head = 0
+	}
 	return m
 }
 
@@ -62,7 +110,7 @@ func (b *Inbox) Take() *model.Message {
 func (b *Inbox) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.msgs)
+	return len(b.msgs) - b.head
 }
 
 // SupersededDrops reports how many pending messages Put collapsed because a

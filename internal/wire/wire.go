@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"nuconsensus/internal/consensus"
 	"nuconsensus/internal/dag"
@@ -98,9 +99,17 @@ func (r *buf) int() (int, error) {
 
 // EncodePayload serializes any payload defined by this repository.
 func EncodePayload(pl model.Payload) ([]byte, error) {
-	w := &buf{}
-	if err := encodePayload(w, pl); err != nil {
-		return nil, err
+	return AppendPayload(nil, pl)
+}
+
+// AppendPayload appends pl's encoding to dst and returns the extended
+// slice. Encoding into a reused buffer (dst[:0] of a previous frame, or a
+// GetBuf lease) is the allocation-free hot path; EncodePayload is the
+// convenience wrapper that starts from nil.
+func AppendPayload(dst []byte, pl model.Payload) ([]byte, error) {
+	w := buf{b: dst}
+	if err := encodePayload(&w, pl); err != nil {
+		return dst, err
 	}
 	return w.b, nil
 }
@@ -335,16 +344,33 @@ func decodePayload(r *buf) (model.Payload, error) {
 	}
 }
 
-// encodeHistories writes a quorum.Histories (nil allowed).
+// qsetScratch recycles the sort scratch encodeHistories needs to emit each
+// quorum set in deterministic order. Elements are plain uint64-backed
+// process sets (pointer-free) and the scratch is truncated before every
+// use, so pooling cannot leak state between frames.
+var qsetScratch = sync.Pool{
+	New: func() interface{} { return new([]model.ProcessSet) },
+}
+
+// encodeHistories writes a quorum.Histories (nil allowed). Each set's
+// quorums travel in ascending order; the sort scratch comes from a pool so
+// steady-state encoding of history-bearing payloads allocates nothing.
 func encodeHistories(w *buf, h quorum.Histories) {
 	w.putUvarint(uint64(len(h)))
+	if len(h) == 0 {
+		return
+	}
+	sp := qsetScratch.Get().(*[]model.ProcessSet)
+	qs := (*sp)[:0]
 	for _, set := range h {
-		qs := set.Slice()
+		qs = set.AppendSorted(qs[:0])
 		w.putUvarint(uint64(len(qs)))
 		for _, q := range qs {
 			w.putUvarint(uint64(q))
 		}
 	}
+	*sp = qs[:0]
+	qsetScratch.Put(sp)
 }
 
 func decodeHistories(r *buf) (quorum.Histories, error) {
@@ -377,9 +403,14 @@ func decodeHistories(r *buf) (quorum.Histories, error) {
 
 // EncodeValue serializes a failure-detector value.
 func EncodeValue(v model.FDValue) ([]byte, error) {
-	w := &buf{}
-	if err := encodeValue(w, v); err != nil {
-		return nil, err
+	return AppendValue(nil, v)
+}
+
+// AppendValue appends v's encoding to dst and returns the extended slice.
+func AppendValue(dst []byte, v model.FDValue) ([]byte, error) {
+	w := buf{b: dst}
+	if err := encodeValue(&w, v); err != nil {
+		return dst, err
 	}
 	return w.b, nil
 }
@@ -478,15 +509,24 @@ func encodeGraph(w *buf, g *dag.Graph) error {
 			return err
 		}
 	}
+	// One bitset scratch serves every node; the stack array covers graphs
+	// up to 512 nodes (the common case) without touching the heap.
+	var packedArr [8]uint64
+	packed := packedArr[:]
+	if maxWords := (g.Len() + 62) / 64; maxWords > len(packed) {
+		packed = make([]uint64, maxWords)
+	}
 	for v := 0; v < g.Len(); v++ {
 		words := (v + 63) / 64
-		packed := make([]uint64, words)
+		for i := 0; i < words; i++ {
+			packed[i] = 0
+		}
 		for u := 0; u < v; u++ {
 			if g.HasEdge(u, v) {
 				packed[u/64] |= 1 << uint(u%64)
 			}
 		}
-		for _, word := range packed {
+		for _, word := range packed[:words] {
 			w.b = binary.LittleEndian.AppendUint64(w.b, word)
 		}
 	}
@@ -525,9 +565,14 @@ func decodeGraph(r *buf) (*dag.Graph, error) {
 		}
 		nodes[i] = nodeRec{p: model.ProcessID(p), k: k, d: d}
 	}
+	// One predecessor scratch serves every node: AddSampleWithPreds copies
+	// the indices into the graph's own bitset, so reusing the slice is safe
+	// and replaces the per-node edge slices (the decode path's dominant
+	// allocation) with a single presized buffer.
 	g := dag.NewGraph()
-	edges := make([][]int, n)
-	for v := range edges {
+	preds := make([]int, 0, n)
+	for v := 0; v < int(n); v++ {
+		preds = preds[:0]
 		words := (v + 63) / 64
 		for wi := 0; wi < words; wi++ {
 			if r.pos+8 > len(r.b) {
@@ -540,24 +585,30 @@ func decodeGraph(r *buf) (*dag.Graph, error) {
 				if u >= v {
 					return nil, fmt.Errorf("wire: graph edge %d→%d violates insertion order", u, v)
 				}
-				edges[v] = append(edges[v], u)
+				preds = append(preds, u)
 			}
 		}
-	}
-	for i, nd := range nodes {
-		g.AddSampleWithPreds(nd.p, nd.d, nd.k, edges[i])
+		g.AddSampleWithPreds(nodes[v].p, nodes[v].d, nodes[v].k, preds)
 	}
 	return g, nil
 }
 
 // EncodeMessage frames a whole model message (from, to, seq, payload).
 func EncodeMessage(m *model.Message) ([]byte, error) {
-	w := &buf{}
+	return AppendMessage(nil, m)
+}
+
+// AppendMessage appends m's frame to dst and returns the extended slice.
+// This is the transport hot path: netrun encodes every outgoing message
+// into a pooled buffer (GetBuf) that returns to the pool after the socket
+// write, so steady-state sends allocate nothing.
+func AppendMessage(dst []byte, m *model.Message) ([]byte, error) {
+	w := buf{b: dst}
 	w.putInt(int(m.From))
 	w.putInt(int(m.To))
 	w.putUvarint(m.Seq)
-	if err := encodePayload(w, m.Payload); err != nil {
-		return nil, err
+	if err := encodePayload(&w, m.Payload); err != nil {
+		return dst, err
 	}
 	return w.b, nil
 }
@@ -645,25 +696,40 @@ func PeekMessage(b []byte) (MessageHead, error) {
 
 // DecodeMessage parses a framed message.
 func DecodeMessage(b []byte) (*model.Message, error) {
-	r := &buf{b: b}
+	m := &model.Message{}
+	if err := DecodeMessageInto(m, b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeMessageInto parses a framed message into a caller-provided Message,
+// avoiding DecodeMessage's per-frame allocation. No decoded field aliases
+// the input: payloads with indirection (histories, graphs) build their own
+// structures and fixed-size payloads are boxed by value, so the caller may
+// recycle b (PutBuf) as soon as this returns. On error m is left partially
+// written and must not be used.
+func DecodeMessageInto(m *model.Message, b []byte) error {
+	r := buf{b: b}
 	from, err := r.int()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	to, err := r.int()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	seq, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	pl, err := decodePayload(r)
+	pl, err := decodePayload(&r)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if r.pos != len(b) {
-		return nil, fmt.Errorf("wire: %d trailing bytes after message", len(b)-r.pos)
+		return fmt.Errorf("wire: %d trailing bytes after message", len(b)-r.pos)
 	}
-	return &model.Message{From: model.ProcessID(from), To: model.ProcessID(to), Seq: seq, Payload: pl}, nil
+	m.From, m.To, m.Seq, m.Payload = model.ProcessID(from), model.ProcessID(to), seq, pl
+	return nil
 }
