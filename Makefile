@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-hot bench-report bench-check experiments experiments-full substrate-smoke explore-smoke obs-smoke fuzz fmt vet lint lint-static ci clean
+.PHONY: all build test test-short race bench bench-hot bench-report bench-check experiments experiments-full substrate-smoke explore-smoke obs-smoke fuzz fmt vet lint lint-flow lint-static ci clean
 
 all: build test
 
@@ -96,15 +96,22 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's own go/analysis suite (nodeterm, maporder,
-# specregistry, seedhash, obsclock). Also usable as `go vet -vettool`:
+# lint runs the repo's own go/analysis suite (all nine analyzers; see
+# `go run ./cmd/nuclint -list`). Also usable as `go vet -vettool`:
 #   go build -o nuclint ./cmd/nuclint && go vet -vettool=./nuclint ./...
 lint:
 	$(GO) run ./cmd/nuclint ./...
 
+# lint-flow runs only the dataflow analyzers (CFG + worklist solver on
+# top of internal/lint/flow) — the slow, path-sensitive subset, split out
+# so it can be iterated on in isolation.
+lint-flow:
+	$(GO) run ./cmd/nuclint -only bufownership,locksafe,atomicmix ./...
+
 # lint-static is the one static-check entry point every CI job shares:
-# gofmt cleanliness, go vet, and the repo's nuclint suite.
-lint-static: vet lint
+# gofmt cleanliness, go vet, and the repo's nuclint suite (the dataflow
+# subset included — lint-flow exists for focused runs, lint covers it).
+lint-static: vet lint lint-flow
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # ci mirrors .github/workflows/ci.yml: static checks, build, tests, race

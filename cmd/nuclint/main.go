@@ -1,19 +1,27 @@
 // Command nuclint is the multichecker for the repo's determinism and
-// model-faithfulness invariants. It bundles six analyzers:
+// model-faithfulness invariants. It bundles nine analyzers:
 //
+//	atomicmix    fields accessed through sync/atomic are atomic
+//	             everywhere outside init/constructors
+//	bufownership pooled buffers are not used, re-put or escaped after
+//	             PutBuf on any path
+//	locksafe     mutexes in concurrent packages released on all paths,
+//	             never re-acquired while held, one global order
+//	maporder     no map iteration order escaping into output
 //	nodeterm     no wall-clock / ambient randomness / env vars / ad-hoc
 //	             goroutines in determinism-critical packages
-//	maporder     no map iteration order escaping into output
-//	specregistry experiments registry ⇔ Spec literals ⇔ EXPERIMENTS.md
-//	seedhash     per-unit RNGs seeded via the engine's DeriveSeed helper
 //	obsclock     no obs.Wall (the wall-clock event-stamp shim) in
 //	             determinism-critical packages
 //	poolbuf      sync.Pool in determinism-critical and pooling-host
 //	             packages confined to pointer-free buffer reuse (*[]T)
+//	seedhash     per-unit RNGs seeded via the engine's DeriveSeed helper
+//	specregistry experiments registry ⇔ Spec literals ⇔ EXPERIMENTS.md
 //
 // Standalone usage (package patterns, default ./...):
 //
 //	go run ./cmd/nuclint ./...
+//	go run ./cmd/nuclint -only bufownership,locksafe,atomicmix ./...
+//	go run ./cmd/nuclint -json report.json ./...
 //
 // As a vet tool (runs the same analyzers through cmd/go's unit-at-a-time
 // protocol, replacing the standard vet passes for that invocation):
@@ -29,6 +37,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +45,9 @@ import (
 	"strings"
 
 	"nuconsensus/internal/lint/analysis"
+	"nuconsensus/internal/lint/atomicmix"
+	"nuconsensus/internal/lint/bufownership"
+	"nuconsensus/internal/lint/locksafe"
 	"nuconsensus/internal/lint/maporder"
 	"nuconsensus/internal/lint/nodeterm"
 	"nuconsensus/internal/lint/obsclock"
@@ -46,6 +58,9 @@ import (
 
 // analyzers is the nuclint suite, in reporting order.
 var analyzers = []*analysis.Analyzer{
+	atomicmix.Analyzer,
+	bufownership.Analyzer,
+	locksafe.Analyzer,
 	maporder.Analyzer,
 	nodeterm.Analyzer,
 	obsclock.Analyzer,
@@ -56,11 +71,12 @@ var analyzers = []*analysis.Analyzer{
 
 func main() {
 	// cmd/go probes vet tools before use: -V=full must print a stable
-	// version fingerprint, -flags the tool's extra flag set (none).
+	// version fingerprint, -flags the tool's extra flag set (none are
+	// announced — the standalone-only flags below never reach vet mode).
 	for _, arg := range os.Args[1:] {
 		switch {
 		case strings.HasPrefix(arg, "-V"):
-			fmt.Println("nuclint version 1")
+			fmt.Println("nuclint version 2")
 			return
 		case arg == "-flags":
 			fmt.Println("[]")
@@ -70,8 +86,10 @@ func main() {
 
 	fs := flag.NewFlagSet("nuclint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.String("json", "", `write findings as a JSON array to this file ("-" for stdout)`)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: nuclint [-list] [package patterns]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: nuclint [-list] [-only a,b] [-json file] [package patterns]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -83,6 +101,11 @@ func main() {
 		}
 		return
 	}
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	args := fs.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
@@ -91,31 +114,95 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(standalone(args))
+	os.Exit(standalone(args, selected, *jsonOut))
+}
+
+// selectAnalyzers resolves the -only list against the suite; an empty
+// spec selects everything.
+func selectAnalyzers(spec string) ([]*analysis.Analyzer, error) {
+	if spec == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("nuclint: -only names unknown analyzer %q (see -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("nuclint: -only selected no analyzers")
+	}
+	return out, nil
+}
+
+// jsonFinding is one diagnostic in -json output: flat, stable fields, in
+// the same order the text reporter prints.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
 }
 
 // standalone loads the patterns through the go toolchain and runs the
-// whole suite in-process, facts flowing between packages directly.
-func standalone(patterns []string) int {
+// selected suite in-process, facts flowing between packages directly.
+func standalone(patterns []string, selected []*analysis.Analyzer, jsonOut string) int {
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	findings, err := analysis.Run(pkgs, analyzers)
+	findings, err := analysis.Run(pkgs, selected)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	wd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.Posn.Filename
+	rel := func(name string) string {
 		if wd != "" {
-			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+			if r, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(r, "..") {
+				return r
 			}
 		}
-		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", name, f.Posn.Line, f.Posn.Column, f.Analyzer, f.Message)
+		return name
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", rel(f.Posn.Filename), f.Posn.Line, f.Posn.Column, f.Analyzer, f.Message)
+	}
+	if jsonOut != "" {
+		report := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			report = append(report, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     rel(f.Posn.Filename),
+				Line:     f.Posn.Line,
+				Column:   f.Posn.Column,
+				Message:  f.Message,
+			})
+		}
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		blob = append(blob, '\n')
+		if jsonOut == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(jsonOut, blob, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "nuclint: %d finding(s)\n", len(findings))

@@ -20,7 +20,8 @@ import (
 
 // An Analyzer describes one static-analysis pass: its name (used in
 // diagnostics and in //lint:allow annotations), documentation, the fact
-// types it exchanges across packages, and its Run function.
+// types it exchanges across packages, the prerequisite analyzers whose
+// results it consumes, and its Run function.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -29,6 +30,20 @@ type Analyzer struct {
 	// exports and imports. Each must be a pointer to a struct
 	// implementing Fact.
 	FactTypes []Fact
+
+	// Requires lists analyzers that must run on the same package first;
+	// their Run results are available through Pass.ResultOf (mirrors
+	// x/tools' Analyzer.Requires / ctrlflow-style prerequisites). A
+	// required analyzer runs at most once per package even when several
+	// analyzers require it, and its own diagnostics are reported only
+	// when it is also requested directly.
+	Requires []*Analyzer
+
+	// ResultType is the dynamic type of the value Run returns, declared
+	// so the runner can check the contract at the boundary between an
+	// analyzer and its dependents. Analyzers returning no result leave
+	// it nil.
+	ResultType reflect.Type
 
 	Run func(*Pass) (interface{}, error)
 }
@@ -56,6 +71,10 @@ type Pass struct {
 	// used by analyzers that consult repo-level files (EXPERIMENTS.md).
 	Dir       string
 	ModuleDir string
+
+	// ResultOf holds the results of the analyzers named in
+	// Analyzer.Requires, keyed by analyzer, for this package.
+	ResultOf map[*Analyzer]interface{}
 
 	Report func(Diagnostic)
 

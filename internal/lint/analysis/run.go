@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -54,11 +55,23 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 }
 
 // runPackage runs all analyzers over one package against a shared fact
-// store.
+// store. Required analyzers (Analyzer.Requires, transitively) run first
+// and at most once each; their results are threaded into dependents via
+// Pass.ResultOf, and their diagnostics are reported only when they are
+// also requested directly.
 func runPackage(pkg *Package, analyzers []*Analyzer, store *factStore) ([]Finding, error) {
 	allow := allowLines(pkg.Fset, pkg.Files)
-	var out []Finding
+	requested := make(map[*Analyzer]bool, len(analyzers))
 	for _, a := range analyzers {
+		requested[a] = true
+	}
+	plan, err := expandRequires(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[*Analyzer]interface{}, len(plan))
+	var out []Finding
+	for _, a := range plan {
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -69,8 +82,18 @@ func runPackage(pkg *Package, analyzers []*Analyzer, store *factStore) ([]Findin
 			Dir:       pkg.Dir,
 			ModuleDir: pkg.ModuleDir,
 		}
+		if len(a.Requires) > 0 {
+			pass.ResultOf = make(map[*Analyzer]interface{}, len(a.Requires))
+			for _, req := range a.Requires {
+				pass.ResultOf[req] = results[req]
+			}
+		}
 		name := a.Name
+		report := requested[a]
 		pass.Report = func(d Diagnostic) {
+			if !report {
+				return // prerequisite-only run: results, not diagnostics
+			}
 			posn := pkg.Fset.Position(d.Pos)
 			if allow.allows(name, posn) {
 				return
@@ -83,11 +106,50 @@ func runPackage(pkg *Package, analyzers []*Analyzer, store *factStore) ([]Findin
 		pass.ImportPackageFact = func(p *types.Package, f Fact) bool {
 			return store.imp(p.Path(), name, f)
 		}
-		if _, err := a.Run(pass); err != nil {
+		res, err := a.Run(pass)
+		if err != nil {
 			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
 		}
+		if a.ResultType != nil && res != nil && reflect.TypeOf(res) != a.ResultType {
+			return nil, fmt.Errorf("analysis: %s on %s returned %T, declared ResultType %v",
+				a.Name, pkg.ImportPath, res, a.ResultType)
+		}
+		results[a] = res
 	}
 	return out, nil
+}
+
+// expandRequires returns the requested analyzers plus every transitive
+// prerequisite, deduplicated, ordered so prerequisites precede their
+// dependents (and otherwise deterministically, by request order then
+// requirement order). A Requires cycle is an error.
+func expandRequires(analyzers []*Analyzer) ([]*Analyzer, error) {
+	var plan []*Analyzer
+	state := make(map[*Analyzer]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analysis: Requires cycle through %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		plan = append(plan, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
 }
 
 // topoSort orders packages so dependencies precede importers; ties are

@@ -1,0 +1,284 @@
+// Package atomicmix implements the `atomicmix` analyzer: a struct field
+// that is accessed through sync/atomic anywhere must be accessed through
+// sync/atomic everywhere. Mixing `atomic.AddInt64(&s.n, 1)` on one
+// goroutine with a plain `s.n++` or `v := s.n` on another is a data
+// race the memory model gives no meaning to: the plain access can tear,
+// be cached, or be reordered past the atomic one, and the corruption
+// surfaces as counters that drift only under load. The only tolerated
+// plain accesses are initialization — package init functions and
+// constructors (New*/new* functions), which run before the value is
+// shared.
+//
+// Atomic use sites are found through the ctrlflow value tables, so the
+// common indirection `p := &s.n; atomic.StoreInt64(p, 0)` marks the
+// field just like the direct call. The set of atomically-accessed
+// fields is exported as a package fact (Type.field names), so a plain
+// access in an importing package is caught too. Typed atomics
+// (atomic.Int64 and friends) need no analyzer — their method set is
+// the only access path — and new code should prefer them; this pass
+// polices the legacy pattern. An intentional mixed site can annotate
+// with //lint:allow atomicmix <why>.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nuconsensus/internal/lint/analysis"
+	"nuconsensus/internal/lint/ctrlflow"
+	"nuconsensus/internal/lint/locksafe"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "fields accessed through sync/atomic must be atomic everywhere outside init and constructors",
+	Requires:  []*analysis.Analyzer{ctrlflow.Analyzer},
+	FactTypes: []analysis.Fact{(*AtomicFieldsFact)(nil)},
+	Run:       run,
+}
+
+// Covered reports whether the discipline applies to the package path:
+// the same concurrent packages the lock discipline covers, for the same
+// reason — shared mutable state.
+func Covered(path string) bool { return locksafe.Covered(path) }
+
+// An AtomicFieldsFact records, as Type.field names, the struct fields of
+// one package that some function accesses through sync/atomic. Importers
+// treat those fields as atomic-only too.
+type AtomicFieldsFact struct {
+	Fields []string `json:"fields"`
+}
+
+// AFact implements analysis.Fact.
+func (*AtomicFieldsFact) AFact() {}
+
+// atomicSet is the per-run view of atomic-only fields: the local fields
+// by object with their first atomic use, and imported fields by
+// qualified pkgpath.Type.field name.
+type atomicSet struct {
+	local    map[*types.Var]token.Pos
+	imported map[string]bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !Covered(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	set := &atomicSet{local: map[*types.Var]token.Pos{}, imported: map[string]bool{}}
+	for _, imp := range pass.Pkg.Imports() {
+		var fact AtomicFieldsFact
+		if pass.ImportPackageFact(imp, &fact) {
+			for _, name := range fact.Fields {
+				set.imported[imp.Path()+"."+name] = true
+			}
+		}
+	}
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	factNames := map[string]bool{}
+	for _, fi := range cfgs.All() {
+		collectAtomicFields(pass, fi, set, factNames)
+	}
+	if len(factNames) > 0 {
+		names := make([]string, 0, len(factNames))
+		for n := range factNames {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		pass.ExportPackageFact(&AtomicFieldsFact{Fields: names})
+	}
+	for i, file := range pass.Files {
+		if strings.HasSuffix(pass.Filenames[i], "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || exemptFunc(fd) {
+				continue
+			}
+			reportPlainAccesses(pass, fd.Body, set)
+		}
+	}
+	return nil, nil
+}
+
+// exemptFunc reports whether plain accesses in fd are initialization:
+// package init functions and constructors, which run before the value
+// is shared.
+func exemptFunc(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return name == "init" ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// collectAtomicFields records every field whose address reaches a
+// sync/atomic call in fi — directly as &s.f, or through a local bound
+// with p := &s.f (the value table resolves p).
+func collectAtomicFields(pass *analysis.Pass, fi *ctrlflow.FuncInfo, set *atomicSet, factNames map[string]bool) {
+	body, ok := funcBody(fi.Decl)
+	if !ok {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !isAtomicCall(pass, call) {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		switch a := arg.(type) {
+		case *ast.UnaryExpr:
+			if a.Op != token.AND {
+				return true
+			}
+			if sel, ok := ast.Unparen(a.X).(*ast.SelectorExpr); ok {
+				if f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && f.IsField() {
+					markAtomic(pass, set, factNames, f, pass.TypesInfo.TypeOf(sel.X), call.Pos())
+				}
+			}
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[a]
+			if obj == nil {
+				return true
+			}
+			if ref := fi.Vals.AddrTarget(obj); ref != nil && ref.Field != nil {
+				markAtomic(pass, set, factNames, ref.Field, ref.Base.Type(), call.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// funcBody extracts the body from a ctrlflow FuncInfo declaration node.
+func funcBody(decl ast.Node) (*ast.BlockStmt, bool) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		return d.Body, d.Body != nil
+	case *ast.FuncLit:
+		return d.Body, true
+	}
+	return nil, false
+}
+
+// markAtomic adds one field to the atomic-only set and, when the struct
+// type is nameable, to the exported fact.
+func markAtomic(pass *analysis.Pass, set *atomicSet, factNames map[string]bool, f *types.Var, recv types.Type, pos token.Pos) {
+	if _, ok := set.local[f]; !ok {
+		set.local[f] = pos
+	}
+	if name, ok := typeFieldName(recv, f); ok {
+		factNames[name] = true
+	}
+}
+
+// typeFieldName renders Type.field for a field accessed on recv.
+func typeFieldName(recv types.Type, f *types.Var) (string, bool) {
+	if recv == nil {
+		return "", false
+	}
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name() + "." + f.Name(), true
+}
+
+// isAtomicCall reports whether the call is a sync/atomic package
+// function (LoadInt64, StoreUint32, AddInt64, SwapPointer,
+// CompareAndSwapInt64, …).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// reportPlainAccesses walks one function body and reports every read or
+// write of an atomic-only field that does not go through sync/atomic.
+// Taking the field's address (&s.f) is not an access — that is how the
+// address reaches the atomic calls.
+func reportPlainAccesses(pass *analysis.Pass, body *ast.BlockStmt, set *atomicSet) {
+	skip := map[*ast.SelectorExpr]bool{}
+	writes := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					skip[sel] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					writes[sel] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || skip[sel] {
+			return true
+		}
+		f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !f.IsField() {
+			return true
+		}
+		atomicPos, local := set.local[f]
+		if !local && !importedField(pass, set, sel, f) {
+			return true
+		}
+		access, verb := "read of", "read"
+		if writes[sel] {
+			access, verb = "write to", "written"
+		}
+		where := "in an importing package"
+		if local {
+			where = "at line " + strconv.Itoa(pass.Fset.Position(atomicPos).Line)
+		}
+		pass.Reportf(sel.Pos(),
+			"plain %s atomic field %s: it is accessed through sync/atomic %s, so a plain access races with it — every access outside init/constructors must be %s atomically",
+			access, fieldLabel(pass, sel, f), where, verb)
+		return true
+	})
+}
+
+// importedField reports whether the field, accessed on a type from
+// another package, is in that package's exported atomic-only fact.
+func importedField(pass *analysis.Pass, set *atomicSet, sel *ast.SelectorExpr, f *types.Var) bool {
+	if f.Pkg() == nil || f.Pkg() == pass.Pkg {
+		return false
+	}
+	name, ok := typeFieldName(pass.TypesInfo.TypeOf(sel.X), f)
+	if !ok {
+		return false
+	}
+	return set.imported[f.Pkg().Path()+"."+name]
+}
+
+// fieldLabel renders the field for diagnostics: Type.field when the
+// receiver type is nameable, the bare field name otherwise.
+func fieldLabel(pass *analysis.Pass, sel *ast.SelectorExpr, f *types.Var) string {
+	if name, ok := typeFieldName(pass.TypesInfo.TypeOf(sel.X), f); ok {
+		return name
+	}
+	return f.Name()
+}

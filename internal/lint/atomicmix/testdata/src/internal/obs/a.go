@@ -1,0 +1,105 @@
+// Fixture for atomicmix: this package path ends in internal/obs, a
+// concurrent package, so any struct field touched through sync/atomic
+// must be touched through sync/atomic everywhere outside init and
+// constructors.
+package obs
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  int64
+	drops int64
+	name  string
+}
+
+// Incr marks hits as atomic-only for the whole package.
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Hits races with Incr: the plain load can tear or be reordered.
+func (c *Counter) Hits() int64 {
+	return c.hits // want `plain read of atomic field Counter\.hits`
+}
+
+// Reset races with Incr: the plain store can be lost entirely.
+func (c *Counter) Reset() {
+	c.hits = 0 // want `plain write to atomic field Counter\.hits`
+}
+
+// Bump is the classic mixed counter bug: ++ is a read-modify-write with
+// no atomicity at all.
+func (c *Counter) Bump() {
+	c.hits++ // want `plain write to atomic field Counter\.hits`
+}
+
+// Drops reads plainly even though drop (below, later in the file) uses
+// the field atomically: collection runs before reporting, so file order
+// does not matter.
+func (c *Counter) Drops() int64 {
+	return c.drops // want `plain read of atomic field Counter\.drops`
+}
+
+// drop reaches the field through a local pointer; the value table
+// resolves p back to c.drops.
+func (c *Counter) drop() {
+	p := &c.drops
+	atomic.AddInt64(p, 1)
+}
+
+type gauge struct {
+	level uint32
+	limit uint32
+}
+
+func setLevel(g *gauge, v uint32) {
+	atomic.StoreUint32(&g.level, v)
+}
+
+func casLimit(g *gauge, old, new uint32) bool {
+	return atomic.CompareAndSwapUint32(&g.limit, old, new)
+}
+
+// levelHigh mixes plain reads of two atomic-only fields in one
+// expression: both are reported.
+func levelHigh(g *gauge) bool {
+	return g.level > g.limit // want `plain read of atomic field gauge\.level` `plain read of atomic field gauge\.limit`
+}
+
+// --- tolerated patterns ---
+
+// NewCounter is a constructor: the value is not shared yet, so plain
+// initialization is fine.
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	c.hits = 0
+	c.drops = 0
+	return c
+}
+
+var defaultCounter Counter
+
+// init runs before main: plain initialization of shared values is fine.
+func init() {
+	defaultCounter.hits = 0
+}
+
+// label touches only the never-atomic field: no discipline applies.
+func (c *Counter) label() string {
+	return c.name
+}
+
+// typedCounter needs no analyzer at all: atomic.Int64's method set is
+// the only access path.
+type typedCounter struct {
+	n atomic.Int64
+}
+
+func (t *typedCounter) incr()       { t.n.Add(1) }
+func (t *typedCounter) read() int64 { return t.n.Load() }
+
+// debugPeek is an acknowledged single-threaded exception.
+func (c *Counter) debugPeek() int64 {
+	//lint:allow atomicmix single-threaded debug dump, no concurrent writers
+	return c.hits
+}

@@ -1,0 +1,281 @@
+// Package bufownership implements the `bufownership` analyzer: pooled
+// buffers obey a strict ownership protocol — wire.GetBuf (or any pool
+// getter) leases a buffer to exactly one owner, and PutBuf (or any pool
+// putter, or a direct sync.Pool Put) ends the lease. After the put, on
+// any path, the buffer must not be read, written through, re-put or
+// escape: the pool may already have handed the same backing array to
+// another goroutine, and on the deterministic substrates the resulting
+// aliasing shows up as runs whose bytes depend on GC and scheduling
+// rather than on the seed. PR 6's -race aliasing test probes this class
+// dynamically on one transport; this analyzer proves its absence
+// per-path, offline, for every covered package.
+//
+// The analysis is an intraprocedural forward dataflow over the ctrlflow
+// CFGs: a put kills the argument's whole alias class (b, b[:n], any
+// variable assigned from them), a reassignment re-leases just that
+// variable, and every classified use of a dead variable is reported —
+// reads, writes (v[i] = x, append targets), re-puts (double-put), and
+// escapes through call arguments, returns, stores or closure captures.
+//
+// Put and get functions are discovered three ways: direct
+// (*sync.Pool).Put calls; the wire package's canonical GetBuf/PutBuf
+// names in doctrine-covered packages; and the PoolAPIFact the poolbuf
+// analyzer exports for every pooling package, so a new pool host's
+// wrappers are recognized without touching this analyzer. A site that
+// intentionally breaks the protocol can annotate with
+// //lint:allow bufownership <why>.
+package bufownership
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nuconsensus/internal/lint/analysis"
+	"nuconsensus/internal/lint/ctrlflow"
+	"nuconsensus/internal/lint/flow"
+	"nuconsensus/internal/lint/poolbuf"
+)
+
+// Analyzer is the bufownership pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "bufownership",
+	Doc:       "pooled buffers must not be used, re-put or escape after PutBuf on any path",
+	Requires:  []*analysis.Analyzer{ctrlflow.Analyzer},
+	FactTypes: []analysis.Fact{(*poolbuf.PoolAPIFact)(nil)},
+	Run:       run,
+}
+
+// Covered reports whether the ownership protocol is enforced for the
+// package path — the same set the pooling doctrine covers.
+func Covered(path string) bool { return poolbuf.Covered(path) }
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !Covered(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	putters := putterSet(pass)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	for _, fi := range cfgs.All() {
+		checkFunc(pass, fi, putters)
+	}
+	return nil, nil
+}
+
+// putterSet collects the functions whose call ends a buffer lease, keyed
+// by "pkgpath.Name": the current package's own pool API (classified the
+// same way poolbuf classifies it for the fact), the PoolAPIFact of every
+// import, and the canonical PutBuf name in any doctrine-covered package.
+func putterSet(pass *analysis.Pass) map[string]bool {
+	putters := make(map[string]bool)
+	_, local := poolbuf.PoolAPI(pass)
+	for _, name := range local {
+		putters[pass.Pkg.Path()+"."+name] = true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		var fact poolbuf.PoolAPIFact
+		if pass.ImportPackageFact(imp, &fact) {
+			for _, name := range fact.Putters {
+				putters[imp.Path()+"."+name] = true
+			}
+		}
+	}
+	return putters
+}
+
+// putArg returns the buffer argument of a lease-ending call: a direct
+// (*sync.Pool).Put, a classified putter, or PutBuf in a covered package.
+func putArg(pass *analysis.Pass, putters map[string]bool, call *ast.CallExpr) (ast.Expr, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	var fn *types.Func
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		if fn != nil && fn.Name() == "Put" {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				rt := recv.Type()
+				if p, ok := rt.(*types.Pointer); ok {
+					rt = p.Elem()
+				}
+				if named, ok := rt.(*types.Named); ok &&
+					named.Obj().Name() == "Pool" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" {
+					return call.Args[0], true
+				}
+			}
+		}
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return nil, false
+	}
+	key := fn.Pkg().Path() + "." + fn.Name()
+	if putters[key] {
+		return call.Args[0], true
+	}
+	if fn.Name() == "PutBuf" && Covered(fn.Pkg().Path()) {
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+// deadMap is the dataflow fact: the variables whose backing buffer has
+// been returned to the pool, each mapped to the put position (the
+// earliest across joined paths, for stable diagnostics).
+type deadMap map[types.Object]token.Pos
+
+// ownership is the flow.Facts instance for one function.
+type ownership struct {
+	pass    *analysis.Pass
+	vals    *flow.Values
+	putters map[string]bool
+}
+
+func (ownership) Bottom() deadMap { return deadMap{} }
+func (ownership) Entry() deadMap  { return deadMap{} }
+
+func (ownership) Join(dst, src deadMap) deadMap {
+	for o, pos := range src {
+		if cur, ok := dst[o]; !ok || pos < cur {
+			dst[o] = pos
+		}
+	}
+	return dst
+}
+
+func (ownership) Equal(a, b deadMap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for o, pos := range a {
+		if bp, ok := b[o]; !ok || bp != pos {
+			return false
+		}
+	}
+	return true
+}
+
+func (x ownership) Transfer(b *flow.Block, in deadMap) deadMap {
+	out := deadMap{}
+	for o, p := range in {
+		out[o] = p
+	}
+	for _, n := range b.Nodes {
+		x.transferNode(n, out)
+	}
+	return out
+}
+
+// transferNode applies one block node: puts kill the argument's alias
+// class, assignments and range definitions re-lease their targets.
+// Deferred and go'd calls are skipped — a deferred put runs at exit,
+// after every path the graph models.
+func (x ownership) transferNode(n ast.Node, dead deadMap) {
+	flow.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if arg, ok := putArg(x.pass, x.putters, m); ok {
+				if obj := x.vals.DerivedFrom(arg); obj != nil {
+					for _, o := range x.vals.ClassMembers(obj) {
+						if _, already := dead[o]; !already {
+							dead[o] = m.Pos()
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := x.objOf(id); obj != nil {
+						delete(dead, obj)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range m.Names {
+				if obj := x.pass.TypesInfo.Defs[name]; obj != nil {
+					delete(dead, obj)
+				}
+			}
+		case *ast.RangeStmt:
+			for _, kv := range []ast.Expr{m.Key, m.Value} {
+				if id, ok := kv.(*ast.Ident); ok && id != nil {
+					if obj := x.objOf(id); obj != nil {
+						delete(dead, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (x ownership) objOf(id *ast.Ident) types.Object {
+	if obj := x.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	if obj, ok := x.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return obj
+	}
+	return nil
+}
+
+// checkFunc solves the ownership dataflow for one function and reports
+// every use of a dead buffer.
+func checkFunc(pass *analysis.Pass, fi *ctrlflow.FuncInfo, putters map[string]bool) {
+	x := ownership{pass: pass, vals: fi.Vals, putters: putters}
+	sol := flow.Solve[deadMap](fi.Graph, flow.Forward, x)
+	seen := make(map[token.Pos]bool)
+	for _, b := range fi.Graph.Blocks {
+		if !b.Live {
+			continue
+		}
+		dead := deadMap{}
+		x.Join(dead, sol.In[b.Index])
+		for _, n := range b.Nodes {
+			reportNode(pass, x, n, dead, seen)
+			x.transferNode(n, dead)
+		}
+	}
+}
+
+// reportNode reports, against the pre-state, double-puts and every other
+// classified use of a dead buffer within one block node.
+func reportNode(pass *analysis.Pass, x ownership, n ast.Node, dead deadMap, seen map[token.Pos]bool) {
+	putArgPos := make(map[token.Pos]bool)
+	flow.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		arg, isPut := putArg(pass, x.putters, call)
+		if !isPut {
+			return true
+		}
+		putArgPos[arg.Pos()] = true
+		if obj := x.vals.DerivedFrom(arg); obj != nil {
+			if putAt, isDead := dead[obj]; isDead && !seen[arg.Pos()] {
+				seen[arg.Pos()] = true
+				pass.Reportf(arg.Pos(),
+					"pooled buffer %s recycled twice: already returned to the pool at line %d — a double-put hands the same backing array to two owners",
+					obj.Name(), pass.Fset.Position(putAt).Line)
+			}
+		}
+		return true
+	})
+	track := func(obj types.Object) bool { _, isDead := dead[obj]; return isDead }
+	for _, u := range x.vals.Uses(n, track) {
+		if putArgPos[u.Pos] || seen[u.Pos] {
+			continue
+		}
+		seen[u.Pos] = true
+		putAt := pass.Fset.Position(dead[u.Obj]).Line
+		pass.Reportf(u.Pos,
+			"pooled buffer %s %s after PutBuf (line %d): the pool may already have handed its backing array to another goroutine",
+			u.Obj.Name(), u.Kind, putAt)
+	}
+}

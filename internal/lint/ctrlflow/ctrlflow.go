@@ -1,0 +1,141 @@
+// Package ctrlflow is the prerequisite analyzer that builds control-flow
+// graphs and value-tracking tables for every function in a package, so
+// the dataflow analyzers (bufownership, locksafe, atomicmix) request
+// them through Analyzer.Requires instead of each rebuilding the graphs —
+// mirroring golang.org/x/tools/go/analysis/passes/ctrlflow on the repo's
+// offline analysis core.
+//
+// The analyzer reports no diagnostics; its result is a *CFGs indexing
+// every function declaration and function literal (test files excluded,
+// matching the other analyzers' scope) to its flow.CFG and flow.Values.
+package ctrlflow
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"nuconsensus/internal/lint/analysis"
+	"nuconsensus/internal/lint/flow"
+)
+
+// Analyzer builds CFGs for downstream analyzers.
+var Analyzer = &analysis.Analyzer{
+	Name:       "ctrlflow",
+	Doc:        "build per-function control-flow graphs and value tables (prerequisite, no diagnostics)",
+	ResultType: reflect.TypeOf(new(CFGs)),
+	Run:        run,
+}
+
+// A FuncInfo is one analyzed function: the declaration node (an
+// *ast.FuncDecl or *ast.FuncLit), its graph and its value tables.
+type FuncInfo struct {
+	// Decl is the *ast.FuncDecl or *ast.FuncLit node.
+	Decl ast.Node
+	// Name is the declared name, with the receiver type prefixed for
+	// methods ("(*Inbox).Take"); function literals get the enclosing
+	// declaration's name plus a positional suffix.
+	Name string
+	// Graph is the function's control-flow graph.
+	Graph *flow.CFG
+	// Vals tracks the function's local variables (aliases, uses).
+	Vals *flow.Values
+}
+
+// CFGs is the ctrlflow result: every function of the package, in file
+// and position order.
+type CFGs struct {
+	funcs []*FuncInfo
+	byPos map[ast.Node]*FuncInfo
+}
+
+// All returns every analyzed function in deterministic (file, position)
+// order.
+func (c *CFGs) All() []*FuncInfo { return c.funcs }
+
+// FuncOf returns the info of a function node (*ast.FuncDecl or
+// *ast.FuncLit), or nil when the node is unknown (e.g. from a test file).
+func (c *CFGs) FuncOf(n ast.Node) *FuncInfo { return c.byPos[n] }
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &CFGs{byPos: make(map[ast.Node]*FuncInfo)}
+	addFunc := func(n ast.Node, name string, body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		fi := &FuncInfo{
+			Decl:  n,
+			Name:  name,
+			Graph: flow.New(body, nil),
+			Vals:  flow.NewValues(pass.TypesInfo, body),
+		}
+		c.funcs = append(c.funcs, fi)
+		c.byPos[n] = fi
+	}
+	for i, file := range pass.Files {
+		if strings.HasSuffix(pass.Filenames[i], "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := declName(fd)
+			addFunc(fd, name, fd.Body)
+			// Function literals anywhere inside (including in the bodies
+			// of other literals) get their own entries: a closure is a
+			// separate function with separate paths.
+			lit := 0
+			ast.Inspect(fd, func(n ast.Node) bool {
+				if fl, isLit := n.(*ast.FuncLit); isLit {
+					lit++
+					addFunc(fl, name+"·func"+strconv.Itoa(lit), fl.Body)
+				}
+				return true
+			})
+		}
+		// Literals in var initializers (Spec bodies, hook tables).
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			lit := 0
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if fl, isLit := n.(*ast.FuncLit); isLit {
+					lit++
+					addFunc(fl, "init·func"+strconv.Itoa(lit), fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return c, nil
+}
+
+// declName renders a function declaration's name, receiver-qualified for
+// methods.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	return "(" + typeText(recv) + ")." + fd.Name.Name
+}
+
+// typeText renders simple receiver type expressions.
+func typeText(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeText(t.X)
+	case *ast.IndexExpr:
+		return typeText(t.X)
+	case *ast.IndexListExpr:
+		return typeText(t.X)
+	}
+	return "?"
+}

@@ -1,0 +1,484 @@
+// Package flow is the dataflow core under nuclint's flow-sensitive
+// analyzers: a control-flow-graph builder over go/ast function bodies, a
+// generic forward/backward worklist solver over lattice facts, and a
+// small value-tracking layer (local variables, aliasing through simple
+// assignments, escape classification). It is the offline analogue of
+// golang.org/x/tools/go/cfg plus the solver those analyses hand-roll —
+// kept on the standard library only, like the rest of internal/lint
+// (see the note on internal/lint/analysis).
+//
+// The graph is intraprocedural and syntactic: one CFG per function body,
+// blocks of statements in execution order, edges for branches, loops,
+// switches, selects, labeled jumps and explicit panics. A single
+// synthetic exit block terminates every path, so "on all paths P holds
+// at exit" is a plain dataflow question. Deferred calls are NOT hoisted
+// to the exit: a *ast.DeferStmt stays in the block where it executes, so
+// a solver can track which defers are registered on which paths (the
+// locksafe analyzer depends on that to credit `defer mu.Unlock()` only
+// on paths that actually registered it).
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// A CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry; Exit is the unique synthetic exit every return, panic and
+// fall-off-the-end path reaches.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+}
+
+// A Block is a maximal run of statements with no internal control
+// transfer. Nodes holds the statements and control sub-expressions the
+// block owns, in execution order; bodies of nested control statements
+// live in their own blocks (use Inspect to walk a node without crossing
+// into them).
+type Block struct {
+	Index int
+	Kind  string // "entry", "if.then", "for.body", … (diagnostic aid)
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	Live  bool // reachable from the entry block
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// Format renders the graph structure for tests and debugging: one line
+// per block with its kind, liveness and successor indices.
+func (g *CFG) Format() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%d %s", b.Index, b.Kind)
+		if !b.Live {
+			sb.WriteString(" dead")
+		}
+		sb.WriteString(" ->")
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// New builds the CFG of one function body. noReturn, when non-nil,
+// reports calls that never return (beyond the built-in panic/os.Exit
+// recognition); such calls end their block with an edge to Exit.
+func New(body *ast.BlockStmt, noReturn func(*ast.CallExpr) bool) *CFG {
+	b := &builder{cfg: &CFG{}, noReturn: noReturn, labels: map[string]*labelBlocks{}}
+	entry := b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = entry
+	b.stmtList(body.List)
+	b.linkCur(b.cfg.Exit) // falling off the end returns
+	markLive(b.cfg)
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.cfg
+}
+
+// builder carries the construction state: the current block (nil while
+// the builder is in dead code after an unconditional transfer), the
+// stack of break/continue targets, and the label table.
+type builder struct {
+	cfg      *CFG
+	cur      *Block
+	targets  *targets
+	labels   map[string]*labelBlocks
+	noReturn func(*ast.CallExpr) bool
+}
+
+// targets is one level of the break/continue stack. brk is always set;
+// cont only for loops. label names the enclosing LabeledStmt, if any.
+type targets struct {
+	tail      *targets
+	label     string
+	brk, cont *Block
+	isLoop    bool
+	fallTo    *Block // next case body, for fallthrough
+}
+
+// labelBlocks resolves goto targets: the block a `goto L` jumps to,
+// created on first reference and adopted when `L:` is reached.
+type labelBlocks struct {
+	target  *Block
+	adopted bool
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block, materializing an unreachable
+// block when the builder is in dead code (so every statement stays
+// addressable by analyzers, just on a dead block).
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// link adds the edge from → to.
+func (b *builder) link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// linkCur closes the current block with an edge to `to` and leaves the
+// builder in dead code.
+func (b *builder) linkCur(to *Block) {
+	if b.cur != nil {
+		b.link(b.cur, to)
+		b.cur = nil
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		if cond == nil { // dead if: still build the arms, on dead blocks
+			cond = b.newBlock("unreachable")
+		}
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		b.link(cond, then)
+		els := done
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+		}
+		b.link(cond, els)
+		b.cur = then
+		b.stmt(s.Body)
+		b.linkCur(done)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.linkCur(done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		b.loop(s, "", s.Init, s.Cond, s.Post, s.Body)
+
+	case *ast.RangeStmt:
+		b.rangeLoop(s, "")
+
+	case *ast.LabeledStmt:
+		b.labeled(s)
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchBody(s.Body, "", "switch")
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchBody(s.Body, "", "typeswitch")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.linkCur(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.callExits(call) {
+			b.linkCur(b.cfg.Exit)
+		}
+
+	default:
+		// Assign, IncDec, Decl, Send, Defer, Go, Empty: plain statements.
+		b.add(s)
+	}
+}
+
+// loop builds for-loops: init → head(cond) → body → post → head, with
+// done as the break target and post (or head) as the continue target.
+func (b *builder) loop(s ast.Stmt, label string, init ast.Stmt, cond ast.Expr, post ast.Stmt, body *ast.BlockStmt) {
+	b.add(init)
+	head := b.newBlock("for.head")
+	b.linkCur(head)
+	bodyB := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	b.cur = head
+	b.add(cond)
+	b.link(head, bodyB)
+	if cond != nil {
+		b.link(head, done)
+	}
+	contTo := head
+	var postB *Block
+	if post != nil {
+		postB = b.newBlock("for.post")
+		contTo = postB
+	}
+	b.targets = &targets{tail: b.targets, label: label, brk: done, cont: contTo, isLoop: true}
+	b.cur = bodyB
+	b.stmt(body)
+	b.targets = b.targets.tail
+	b.linkCur(contTo)
+	if postB != nil {
+		b.cur = postB
+		b.add(post)
+		b.linkCur(head)
+	}
+	b.cur = done
+	_ = s
+}
+
+// rangeLoop builds range loops. The RangeStmt itself sits in the head
+// block, standing for the per-iteration key/value assignment and the
+// (once-evaluated) range operand; Inspect walks those parts without
+// descending into the body.
+func (b *builder) rangeLoop(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	b.linkCur(head)
+	b.cur = head
+	b.add(s)
+	bodyB := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.link(head, bodyB)
+	b.link(head, done)
+	b.targets = &targets{tail: b.targets, label: label, brk: done, cont: head, isLoop: true}
+	b.cur = bodyB
+	b.stmt(s.Body)
+	b.targets = b.targets.tail
+	b.linkCur(head)
+	b.cur = done
+}
+
+// labeled peels a LabeledStmt: loops and switches get the label on their
+// break/continue targets; any statement becomes a goto target.
+func (b *builder) labeled(s *ast.LabeledStmt) {
+	lb := b.labelTarget(s.Label.Name)
+	lb.adopted = true
+	b.linkCur(lb.target)
+	b.cur = lb.target
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.loop(inner, s.Label.Name, inner.Init, inner.Cond, inner.Post, inner.Body)
+	case *ast.RangeStmt:
+		b.rangeLoop(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.add(inner.Init)
+		b.add(inner.Tag)
+		b.switchBody(inner.Body, s.Label.Name, "switch")
+	case *ast.TypeSwitchStmt:
+		b.add(inner.Init)
+		b.add(inner.Assign)
+		b.switchBody(inner.Body, s.Label.Name, "typeswitch")
+	case *ast.SelectStmt:
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+// labelTarget returns (creating on first use) the jump block of a label.
+func (b *builder) labelTarget(name string) *labelBlocks {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{target: b.newBlock("label." + name)}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+// switchBody builds the clause blocks of a switch/type-switch: the head
+// branches to every case body (and to done when there is no default);
+// fallthrough links a body to the next.
+func (b *builder) switchBody(body *ast.BlockStmt, label, kind string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+	}
+	done := b.newBlock(kind + ".done")
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		bodies[i] = b.newBlock(kind + ".case")
+		b.link(head, bodies[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.link(head, done)
+	}
+	for i, cc := range clauses {
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		var fallTo *Block
+		if i+1 < len(clauses) {
+			fallTo = bodies[i+1]
+		}
+		b.targets = &targets{tail: b.targets, label: label, brk: done, fallTo: fallTo}
+		b.stmtList(cc.Body)
+		b.targets = b.targets.tail
+		b.linkCur(done)
+	}
+	b.cur = done
+}
+
+// selectStmt builds select: the head branches to one block per comm
+// clause; each clause block owns its comm statement.
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+	}
+	done := b.newBlock("select.done")
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("select.case")
+		b.link(head, blk)
+		b.cur = blk
+		b.add(cc.Comm)
+		b.targets = &targets{tail: b.targets, label: label, brk: done}
+		b.stmtList(cc.Body)
+		b.targets = b.targets.tail
+		b.linkCur(done)
+	}
+	b.cur = done
+}
+
+// branch resolves break/continue/goto/fallthrough against the target
+// stack and label table.
+func (b *builder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok.String() {
+	case "break":
+		for t := b.targets; t != nil; t = t.tail {
+			if s.Label == nil || t.label == s.Label.Name {
+				b.linkCur(t.brk)
+				return
+			}
+		}
+	case "continue":
+		for t := b.targets; t != nil; t = t.tail {
+			if t.isLoop && (s.Label == nil || t.label == s.Label.Name) {
+				b.linkCur(t.cont)
+				return
+			}
+		}
+	case "goto":
+		if s.Label != nil {
+			b.linkCur(b.labelTarget(s.Label.Name).target)
+			return
+		}
+	case "fallthrough":
+		for t := b.targets; t != nil; t = t.tail {
+			if t.fallTo != nil {
+				b.linkCur(t.fallTo)
+				return
+			}
+		}
+	}
+	b.cur = nil // malformed branch: treat as opaque transfer
+}
+
+// callExits reports whether a call statement terminates the function:
+// the built-in panic, os.Exit / runtime.Goexit / log.Fatal* by name, or
+// whatever the caller's noReturn hook recognizes.
+func (b *builder) callExits(call *ast.CallExpr) bool {
+	if b.noReturn != nil && b.noReturn(call) {
+		return true
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			switch pkg.Name + "." + fn.Sel.Name {
+			case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markLive flags every block reachable from the entry.
+func markLive(g *CFG) {
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if b.Live {
+			return
+		}
+		b.Live = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+	}
+	if len(g.Blocks) > 0 {
+		dfs(g.Blocks[0])
+	}
+}
+
+// Inspect walks the parts of a block node that the block owns, calling
+// fn in ast.Inspect style. It does not descend into the body of a
+// RangeStmt (only X, Key and Value are owned by the head block) nor into
+// FuncLit bodies (a closure is a separate function with its own CFG; the
+// FuncLit node itself is still visited).
+func Inspect(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.RangeStmt:
+			if !fn(m) {
+				return false
+			}
+			for _, part := range []ast.Node{m.Key, m.Value, m.X} {
+				if part != nil {
+					Inspect(part, fn)
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			return fn(m) && false
+		}
+		return fn(m)
+	})
+}

@@ -1,0 +1,86 @@
+package flow
+
+// Direction selects whether facts propagate along edges (Forward) or
+// against them (Backward).
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Facts is one dataflow problem over lattice values of type F: the
+// boundary and initial values, the per-block transfer function, and the
+// join that merges facts where paths meet. Join may mutate and return
+// its first argument; Transfer must not mutate its input.
+type Facts[F any] interface {
+	// Bottom is the initial in-fact of every non-boundary block — the
+	// identity of Join.
+	Bottom() F
+	// Entry is the boundary fact: the in-fact of the entry block
+	// (Forward) or of the exit block (Backward).
+	Entry() F
+	// Transfer computes the out-fact of b from its in-fact.
+	Transfer(b *Block, in F) F
+	// Join merges src into dst, returning the merged fact.
+	Join(dst, src F) F
+	// Equal reports whether two facts are the same lattice point.
+	Equal(a, b F) bool
+}
+
+// A Solution holds the fixpoint facts per block index: In is the fact on
+// entry to the block in the chosen direction, Out the fact after its
+// transfer.
+type Solution[F any] struct {
+	In, Out []F
+}
+
+// Solve runs the worklist algorithm to a fixpoint and returns the
+// per-block facts. Only live blocks participate; dead blocks keep Bottom.
+// Iteration order is by block index, so the result (and any diagnostics
+// derived while re-walking blocks against it) is deterministic.
+func Solve[F any](g *CFG, dir Direction, fx Facts[F]) *Solution[F] {
+	n := len(g.Blocks)
+	sol := &Solution[F]{In: make([]F, n), Out: make([]F, n)}
+	for i := range sol.In {
+		sol.In[i] = fx.Bottom()
+		sol.Out[i] = fx.Transfer(g.Blocks[i], sol.In[i])
+	}
+	boundary := 0
+	if dir == Backward {
+		boundary = g.Exit.Index
+	}
+	sol.In[boundary] = fx.Join(sol.In[boundary], fx.Entry())
+	sol.Out[boundary] = fx.Transfer(g.Blocks[boundary], sol.In[boundary])
+
+	feeds := func(b *Block) []*Block {
+		if dir == Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if !b.Live {
+				continue
+			}
+			in := fx.Bottom()
+			if b.Index == boundary {
+				in = fx.Join(in, fx.Entry())
+			}
+			for _, p := range feeds(b) {
+				if p.Live {
+					in = fx.Join(in, sol.Out[p.Index])
+				}
+			}
+			if fx.Equal(in, sol.In[b.Index]) {
+				continue
+			}
+			sol.In[b.Index] = in
+			sol.Out[b.Index] = fx.Transfer(b, in)
+			changed = true
+		}
+	}
+	return sol
+}

@@ -1,0 +1,129 @@
+package poolbuf
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"nuconsensus/internal/lint/analysis"
+)
+
+// A PoolAPIFact records the pooled-buffer API a package exposes: the
+// functions that lease buffers out of a sync.Pool (getters — they touch
+// Pool.Get and return a slice) and the functions that recycle them
+// (putters — they touch Pool.Put and take a slice parameter with no
+// results). The bufownership analyzer imports this fact from a package's
+// dependencies to learn which calls transfer buffer ownership, so a new
+// pool host is discovered by analysis instead of by hardcoding names.
+type PoolAPIFact struct {
+	Getters []string `json:"getters"`
+	Putters []string `json:"putters"`
+}
+
+// AFact implements analysis.Fact.
+func (*PoolAPIFact) AFact() {}
+
+// Covered reports whether the pooling doctrine applies to the package
+// path: every determinism-critical package plus the pooling hosts
+// (PoolHostPackages).
+func Covered(path string) bool { return covered(path) }
+
+// PoolAPI classifies the package's top-level functions into pool getters
+// and putters by body shape, mirroring the fact exported during a full
+// run so bufownership can classify the package it is currently analyzing
+// without depending on fact ordering. Results are sorted.
+func PoolAPI(pass *analysis.Pass) (getters, putters []string) {
+	for i, file := range pass.Files {
+		if strings.HasSuffix(pass.Filenames[i], "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			usesGet, usesPut := poolTouches(pass, fd.Body)
+			if !usesGet && !usesPut {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			switch {
+			case usesGet && returnsSlice(sig):
+				getters = append(getters, fd.Name.Name)
+			case usesPut && sig.Results().Len() == 0 && takesSlice(sig):
+				putters = append(putters, fd.Name.Name)
+			}
+		}
+	}
+	sort.Strings(getters)
+	sort.Strings(putters)
+	return getters, putters
+}
+
+// poolTouches reports whether the body calls (*sync.Pool).Get / Put.
+func poolTouches(pass *analysis.Pass, body *ast.BlockStmt) (get, put bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isPoolMethod(pass, sel) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Get":
+			get = true
+		case "Put":
+			put = true
+		}
+		return true
+	})
+	return get, put
+}
+
+// isPoolMethod reports whether sel resolves to a method of sync.Pool.
+func isPoolMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "Pool" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+func returnsSlice(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if _, ok := res.At(i).Type().Underlying().(*types.Slice); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func takesSlice(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if _, ok := params.At(i).Type().Underlying().(*types.Slice); ok {
+			return true
+		}
+	}
+	return false
+}

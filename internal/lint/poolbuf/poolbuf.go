@@ -36,9 +36,10 @@ import (
 
 // Analyzer is the poolbuf pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "poolbuf",
-	Doc:  "confine sync.Pool in determinism-critical and pooling-host packages to pointer-free buffer reuse",
-	Run:  run,
+	Name:      "poolbuf",
+	Doc:       "confine sync.Pool in determinism-critical and pooling-host packages to pointer-free buffer reuse",
+	FactTypes: []analysis.Fact{(*PoolAPIFact)(nil)},
+	Run:       run,
 }
 
 // PoolHostPackages lists import-path suffixes of packages outside the
@@ -67,6 +68,12 @@ func covered(path string) bool {
 func run(pass *analysis.Pass) (interface{}, error) {
 	if !covered(pass.Pkg.Path()) {
 		return nil, nil
+	}
+	// Publish the package's pool API so bufownership (and any dependent
+	// package's bufownership pass) discovers ownership-transferring calls
+	// by analysis rather than by name.
+	if getters, putters := PoolAPI(pass); len(getters)+len(putters) > 0 {
+		pass.ExportPackageFact(&PoolAPIFact{Getters: getters, Putters: putters})
 	}
 	for i, file := range pass.Files {
 		if strings.HasSuffix(pass.Filenames[i], "_test.go") {

@@ -1,13 +1,51 @@
 package poolbuf_test
 
 import (
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 
+	"nuconsensus/internal/lint/analysis"
 	"nuconsensus/internal/lint/analysistest"
 	"nuconsensus/internal/lint/poolbuf"
 )
 
 func TestPoolbuf(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), poolbuf.Analyzer,
-		"internal/wire", "other")
+		"internal/wire", "internal/netrun", "other")
+}
+
+// TestPoolAPIClassification pins the getter/putter classification behind
+// the PoolAPIFact that bufownership consumes: the netrun fixture's lease
+// wrappers must classify as exactly one getter and the two putter-shaped
+// functions.
+func TestPoolAPIClassification(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(wd, "testdata", "src", "internal", "netrun")
+	pkg, err := analysis.CheckDir(dir, "internal/netrun", wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var getters, putters []string
+	probe := &analysis.Analyzer{
+		Name: "poolapiprobe",
+		Doc:  "capture the PoolAPI classification",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			getters, putters = poolbuf.PoolAPI(pass)
+			return nil, nil
+		},
+	}
+	if _, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{probe}); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"getFrame"}; !reflect.DeepEqual(getters, want) {
+		t.Errorf("getters = %v, want %v", getters, want)
+	}
+	if want := []string{"putAnything", "putFrame"}; !reflect.DeepEqual(putters, want) {
+		t.Errorf("putters = %v, want %v", putters, want)
+	}
 }

@@ -1,0 +1,57 @@
+// Fixture for poolbuf on a pooling host that wraps its pool in a lease
+// API: the batch-drain/recycle shape the TCP transport uses — frames
+// leased per iteration, written out, recycled at the loop bottom — plus
+// local getter/putter wrappers, which the analyzer classifies and
+// exports as a PoolAPIFact for bufownership to consume.
+package netrun
+
+import (
+	"sync"
+
+	"nuconsensus/internal/wire"
+)
+
+// The sanctioned local pool and its lease API: getFrame touches Get and
+// returns a slice (getter), putFrame touches Put, takes a slice and
+// returns nothing (putter).
+var framePool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+func getFrame(n int) []byte {
+	bp := framePool.Get().(*[]byte)
+	b := *bp
+	*bp = nil
+	framePool.Put(bp)
+	if cap(b) < n {
+		b = make([]byte, 0, n)
+	}
+	return b[:0]
+}
+
+func putFrame(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	framePool.Put(&b) // *[]byte: the sanctioned pointer-free buffer shape
+}
+
+// putAnything launders a pointer-carrying value through the same pool:
+// the Put shape check catches what the New hook check cannot see.
+func putAnything(vals []interface{}) {
+	framePool.Put(&vals) // want `sync.Pool.Put of \*\[\]interface\{\}`
+}
+
+// drainBatch is the dispatch loop shape: lease at the top, append the
+// frame, hand it to the writer, recycle at the bottom. Every iteration
+// re-leases, so nothing escapes the loop body.
+func drainBatch(batch [][]byte, write func([]byte) error) error {
+	for _, payload := range batch {
+		frame := wire.GetBuf(len(payload) + 8)
+		frame = append(frame, payload...)
+		if err := write(frame); err != nil {
+			wire.PutBuf(frame)
+			return err
+		}
+		wire.PutBuf(frame)
+	}
+	return nil
+}
