@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-hot bench-report bench-check experiments experiments-full substrate-smoke explore-smoke obs-smoke fuzz fmt vet lint lint-flow lint-static ci clean
+.PHONY: all build test test-short race bench bench-hot bench-report bench-check experiments experiments-full substrate-smoke explore-smoke obs-smoke e17-smoke fuzz fmt vet lint lint-flow lint-static ci clean
 
 all: build test
 
@@ -22,10 +22,11 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # BENCH_HOT selects the hot-path benchmarks the perf contract covers: the
-# sim step loop, the wire codec, the substrate inbox and the explorer
-# frontier. BENCH_COUNT=3 runs each three times; cmd/benchreport takes the
+# sim step loop, the wire codec, the substrate inbox, the explorer
+# frontier, the long replicated-log run and the history-delta inner loops.
+# BENCH_COUNT=3 runs each three times; cmd/benchreport takes the
 # per-metric median so a single noisy run cannot move the baseline.
-BENCH_HOT ?= BenchmarkSimStep|BenchmarkWire|BenchmarkInbox|BenchmarkExploreFrontier
+BENCH_HOT ?= BenchmarkSimStep|BenchmarkWire|BenchmarkInbox|BenchmarkExploreFrontier|BenchmarkLogLongRun|BenchmarkHistoryDelta
 BENCH_COUNT ?= 3
 BENCH_JSON ?= BENCH_6.json
 
@@ -86,6 +87,23 @@ obs-smoke:
 	@rm -f obs-smoke.p1.jsonl obs-smoke.p8.jsonl obs-smoke.p1.metrics obs-smoke.p8.metrics obs-smoke.trace.json
 	@echo "obs: event log and metrics byte-identical at -parallel 1 and 8; trace is valid JSON"
 
+# e17-smoke runs the long-log scale experiment (E17) end to end and checks
+# the shared-store transport contract on its obs metrics dump: byte-
+# identical at -parallel 1 and 8 (the rsm.hist.* counters fold
+# commutatively), zero delta gaps on FIFO substrates, and incremental
+# delta hits dominating snapshot fallbacks. The experiment run itself
+# fails the target if E17's claim stops holding.
+e17-smoke:
+	$(GO) run ./cmd/experiments -e E17 -parallel 1 -metrics e17-smoke.p1.metrics > /dev/null
+	$(GO) run ./cmd/experiments -e E17 -parallel 8 -metrics e17-smoke.p8.metrics > /dev/null
+	diff e17-smoke.p1.metrics e17-smoke.p8.metrics
+	grep -q '^rsm.hist.delta_gaps counter 0$$' e17-smoke.p1.metrics
+	awk '$$1 == "rsm.hist.delta_hits" { hits = $$3 } \
+	     $$1 == "rsm.hist.full_fallbacks" { falls = $$3 } \
+	     END { exit !(hits > 10 * falls) }' e17-smoke.p1.metrics
+	@rm -f e17-smoke.p1.metrics e17-smoke.p8.metrics
+	@echo "e17: metrics byte-identical at -parallel 1 and 8; delta transport healthy"
+
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzDecodePayload -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzDecodeValue -fuzztime 30s
@@ -124,6 +142,7 @@ ci: lint-static
 	$(GO) run -race ./cmd/experiments -e E1,Q1,Q2 -substrate async
 	$(MAKE) explore-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) e17-smoke
 
 clean:
 	$(GO) clean ./...

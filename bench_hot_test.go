@@ -17,6 +17,8 @@ import (
 	"nuconsensus/internal/hb"
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/obs"
+	"nuconsensus/internal/quorum"
+	"nuconsensus/internal/rsm"
 	"nuconsensus/internal/sim"
 	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/wire"
@@ -127,6 +129,7 @@ func BenchmarkWireEncode(b *testing.B) {
 	}{
 		{"heartbeat", hb.HeartbeatPayload{}},
 		{"lead-hist", consensusLead(3, 1, quorumHistories(5))},
+		{"lead-delta", benchDeltaPayload()},
 		{"dag64", benchGraphPayload(64)},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
@@ -155,6 +158,7 @@ func BenchmarkWireDecode(b *testing.B) {
 	}{
 		{"heartbeat", hb.HeartbeatPayload{}},
 		{"report", benchReportPayload()},
+		{"lead-delta", benchDeltaPayload()},
 		{"dag64", benchGraphPayload(64)},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
@@ -229,6 +233,21 @@ func BenchmarkInbox(b *testing.B) {
 
 // benchReportPayload is the small consensus payload of the decode bench.
 func benchReportPayload() model.Payload { return consensus.ReportPayload{K: 3, V: 1} }
+
+// benchDeltaPayload is a slot-wrapped LEAD carrying an incremental history
+// delta — the steady-state frame of the shared-store replicated log. Its
+// encode path shares the zero-allocation contract with the other payload
+// kinds.
+func benchDeltaPayload() model.Payload {
+	return rsm.SlotPayload{Slot: 2, Inner: consensus.LeadDeltaPayload{K: 3, V: 1, Delta: quorum.Delta{
+		Base: 40, To: 44, Adds: []quorum.DeltaEntry{
+			{R: 0, Q: model.SetOf(0, 1)},
+			{R: 1, Q: model.SetOf(1, 2)},
+			{R: 2, Q: model.SetOf(0, 2)},
+			{R: 3, Q: model.SetOf(1, 3)},
+		},
+	}}}
+}
 
 // benchGraphPayload builds an n-node DAG snapshot, the heavyweight gossip
 // payload of A_DAG (and the only SupersededPayload in the repo).

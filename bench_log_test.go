@@ -1,0 +1,145 @@
+// Long-log and history-delta benchmarks: the replicated log's end-to-end
+// cost in its two history-plumbing modes (owned full-copy vs the shared
+// versioned store of internal/rsm/shared.go), and the delta machinery's
+// inner loops. BenchmarkHistoryDelta is part of the allocs/op perf gate:
+// the append-shaped delta paths (AppendSince into a scratch buffer,
+// redundant Apply, delta payload encode) must stay at 0 allocs/op so the
+// per-send cost of shared mode never scales with history size.
+package nuconsensus_test
+
+import (
+	"testing"
+
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/quorum"
+	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/wire"
+)
+
+// BenchmarkLogLongRun fills an 8-slot replicated log per iteration — the
+// long-run shape E17 measures, at benchmark-friendly size. The owned and
+// shared sub-benchmarks run the same commands, seeds and scheduler, so
+// their ns/op and allocs/op compare the history plumbing alone.
+func BenchmarkLogLongRun(b *testing.B) {
+	const n, slots = 3, 8
+	cmds := [][]int{{1, 2, 3}, {4, 5, 6}, {7, 8}}
+	run := func(b *testing.B, shared bool) {
+		b.Helper()
+		pattern := model.PatternFromCrashes(n, nil)
+		var steps int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seed := int64(i + 1)
+			var aut model.Automaton
+			var hist model.History
+			if shared {
+				sampler := rsm.SamplerForLog(pattern, 80, seed)
+				aut = rsm.NewSharedLog(cmds, slots).WithSampler(sampler)
+				hist = sampler
+			} else {
+				aut = rsm.NewLog(cmds, slots)
+				hist = rsm.PairForLog(pattern, 80, seed)
+			}
+			res, err := sim.Run(sim.Exec{
+				Automaton: aut,
+				Pattern:   pattern,
+				History:   hist,
+				Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
+				MaxSteps:  200000,
+				StopWhen:  rsm.AllAppended(pattern, slots),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Stopped {
+				b.Fatalf("iteration %d: log never filled", i)
+			}
+			steps += res.Steps
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	}
+	b.Run("owned", func(b *testing.B) { run(b, false) })
+	b.Run("shared", func(b *testing.B) { run(b, true) })
+}
+
+// benchVersioned builds a 5-process store holding every 2-process quorum
+// for every reporter: 50 distinct entries, the scale of a decided run.
+func benchVersioned() *quorum.Versioned {
+	v := quorum.NewVersioned(5)
+	for r := 0; r < 5; r++ {
+		for a := 0; a < 5; a++ {
+			for c := a + 1; c < 5; c++ {
+				v.Add(model.ProcessID(r), model.SetOf(model.ProcessID(a), model.ProcessID(c)))
+			}
+		}
+	}
+	return v
+}
+
+// BenchmarkHistoryDelta measures the versioned-store inner loops the
+// shared log hits on every send and delivery. All four sub-benchmarks
+// must be 0 allocs/op in steady state: the scratch buffers come from the
+// caller (rsm reuses per-state delta buffers), and redundant applies
+// dedup without mutating.
+func BenchmarkHistoryDelta(b *testing.B) {
+	b.Run("append-since", func(b *testing.B) {
+		v := benchVersioned()
+		base := v.Version() - 4
+		dst, _, _ := v.AppendSince(nil, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var full bool
+			dst, _, full = v.AppendSince(dst[:0], base)
+			if full || len(dst) != 4 {
+				b.Fatalf("AppendSince(%d) = %d entries, full=%v", base, len(dst), full)
+			}
+		}
+	})
+	b.Run("snapshot-fallback", func(b *testing.B) {
+		v := benchVersioned()
+		v.Compact(v.Version()) // force every base below the floor
+		dst, _, _ := v.AppendSince(nil, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var full bool
+			dst, _, full = v.AppendSince(dst[:0], 1)
+			if !full || len(dst) != v.Len() {
+				b.Fatalf("AppendSince(1) = %d entries, full=%v", len(dst), full)
+			}
+		}
+	})
+	b.Run("apply-redundant", func(b *testing.B) {
+		v := benchVersioned()
+		d := v.Snapshot()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if novel := v.Apply(d); novel != 0 {
+				b.Fatalf("redundant apply found %d novel entries", novel)
+			}
+		}
+	})
+	b.Run("encode-delta", func(b *testing.B) {
+		v := benchVersioned()
+		d := v.DeltaSince(v.Version() - 8)
+		// Box the payload once: the codec itself is allocation-free, and in
+		// the real send path the payload is already behind the interface.
+		var pl model.Payload = rsm.SlotPayload{Slot: 2, Inner: consensus.LeadDeltaPayload{K: 3, V: 1, Delta: d}}
+		buf, err := wire.AppendPayload(nil, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if buf, err = wire.AppendPayload(buf[:0], pl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

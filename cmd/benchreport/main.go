@@ -15,8 +15,9 @@
 // recorded for context but never compared.
 //
 // The -check gate compares only allocs/op, and only on the benchmarks the
-// hot-path contract covers (-gate regexp; default: the sim step loop and
-// the wire decode/encode paths): allocation counts are deterministic
+// hot-path contract covers (-gate regexp; default: the sim step loop, the
+// wire decode/encode paths and the history-delta inner loops): allocation
+// counts are deterministic
 // across hosts, unlike ns/op, so the gate neither flakes on slow CI
 // runners nor needs per-host baselines. A baseline of 0 allocs/op fails on
 // ANY allocation; nonzero baselines fail on a >10% regression (-max-regress).
@@ -199,7 +200,7 @@ func main() {
 		in         = flag.String("in", "-", "go test -bench output to read ('-' for stdin)")
 		out        = flag.String("out", "", "write the canonical JSON report to this file ('-' for stdout)")
 		checkPath  = flag.String("check", "", "compare against this committed baseline report and fail on allocs/op regressions")
-		gateExpr   = flag.String("gate", `^BenchmarkSimStep/|^BenchmarkWireDecode/|^BenchmarkWireEncode/`, "regexp selecting the benchmarks the allocs/op gate covers")
+		gateExpr   = flag.String("gate", `^BenchmarkSimStep/|^BenchmarkWireDecode/|^BenchmarkWireEncode/|^BenchmarkHistoryDelta/`, "regexp selecting the benchmarks the allocs/op gate covers")
 		maxRegress = flag.Float64("max-regress", 0.10, "allowed fractional allocs/op regression for nonzero baselines")
 	)
 	flag.Parse()

@@ -5,7 +5,6 @@ import (
 
 	"nuconsensus/internal/fd"
 	"nuconsensus/internal/model"
-	"nuconsensus/internal/quorum"
 )
 
 // phase identifies where in the round structure a process is parked. The
@@ -100,10 +99,10 @@ type anucState struct {
 	p        model.ProcessID
 	proposal int
 
-	x  int              // estimate x_p
-	k  int              // round k_p
-	h  quorum.Histories // quorum histories H_p
-	ph phase
+	x     int          // estimate x_p
+	k     int          // round k_p
+	store HistoryStore // quorum histories H_p (owned by default, shared in rsm)
+	ph    phase
 
 	sent    map[model.ProcessSet]bool             // sent_p[Q]
 	acks    map[model.ProcessSet]model.ProcessSet // Acks_p[Q]
@@ -121,7 +120,7 @@ type anucState struct {
 // CloneState implements model.State.
 func (s *anucState) CloneState() model.State {
 	c := *s
-	c.h = s.h.Clone()
+	c.store = s.store.CloneStore()
 	c.sent = make(map[model.ProcessSet]bool, len(s.sent))
 	for k, v := range s.sent {
 		c.sent[k] = v
@@ -173,7 +172,7 @@ func (a *ANuc) InitState(p model.ProcessID) model.State {
 		p:        p,
 		proposal: a.proposals[p],
 		x:        a.proposals[p],
-		h:        quorum.NewHistories(a.N()),
+		store:    newOwnedHistories(a.N()),
 		ph:       phaseInit,
 		sent:     make(map[model.ProcessSet]bool),
 		acks:     make(map[model.ProcessSet]model.ProcessSet),
@@ -216,7 +215,7 @@ func (s *anucState) handleMessage(m *model.Message) []model.Send {
 	case SawPayload:
 		// Lines 35–37: record that m.From saw quorum pl.Q and acknowledge
 		// with the current round number.
-		s.h.Add(m.From, pl.Q)
+		s.store.Add(m.From, pl.Q)
 		return []model.Send{{To: m.From, Payload: AckPayload{Q: pl.Q, K: s.k}}}
 	case AckPayload:
 		// Lines 39–42.
@@ -264,11 +263,9 @@ func (s *anucState) advance(a *ANuc, d model.FDValue) []model.Send {
 			return out
 		}
 		// Line 17: import_history(Hist_q).
-		if lead.Hist != nil {
-			s.h.Import(lead.Hist)
-		}
+		s.store.Import(lead.Hist)
 		// Line 18: adopt the leader's estimate unless distrusted.
-		if a.ablation.NoDistrust || !s.h.Distrusts(s.p, leader) {
+		if a.ablation.NoDistrust || !s.store.Distrusts(s.p, leader) {
 			s.x = lead.V
 		}
 		// Line 19: send report.
@@ -285,7 +282,7 @@ func (s *anucState) advance(a *ANuc, d model.FDValue) []model.Send {
 		}
 		// Lines 21–24: propose v if the reports from Q_p are unanimous,
 		// else "?". The proposal carries the current H_p.
-		pl := ProposalPayload{K: s.k, Hist: s.h.Clone()}
+		pl := ProposalPayload{K: s.k, Hist: s.store.Outgoing()}
 		if v, unanimous := unanimousValue(s.reps[s.k], q, func(r ReportPayload) (int, bool) { return r.V, true }); unanimous {
 			pl.V, pl.HasV = v, true
 		}
@@ -302,14 +299,12 @@ func (s *anucState) advance(a *ANuc, d model.FDValue) []model.Send {
 		}
 		props := s.props[s.k]
 		q.ForEach(func(r model.ProcessID) {
-			if props[r].Hist != nil {
-				s.h.Import(props[r].Hist)
-			}
+			s.store.Import(props[r].Hist)
 		})
 		distrusted := false
 		if !a.ablation.NoDistrust {
 			q.ForEach(func(r model.ProcessID) {
-				if !distrusted && s.h.Distrusts(s.p, r) {
+				if !distrusted && s.store.Distrusts(s.p, r) {
 					distrusted = true
 				}
 			})
@@ -351,7 +346,7 @@ func (s *anucState) getQuorum(d model.FDValue) model.ProcessSet {
 	if !ok {
 		panic(fmt.Sprintf("consensus: A_nuc needs a Σν+ component, got %v", d))
 	}
-	s.h.Add(s.p, q)
+	s.store.Add(s.p, q)
 	return q
 }
 
@@ -362,7 +357,7 @@ func (s *anucState) startRound(all model.ProcessSet, out *[]model.Send) {
 	pruneInbox(s.leads, s.k)
 	pruneInbox(s.reps, s.k)
 	pruneInbox(s.props, s.k)
-	*out = append(*out, model.Broadcast(all, LeadPayload{K: s.k, V: s.x, Hist: s.h.Clone()})...)
+	*out = append(*out, model.Broadcast(all, LeadPayload{K: s.k, V: s.x, Hist: s.store.Outgoing()})...)
 	s.ph = phaseLead
 }
 
@@ -424,8 +419,11 @@ func anyValue(byP map[model.ProcessID]ProposalPayload, q model.ProcessSet) (int,
 // Lemma 6.20 (p ∉ F_p, by Σν+ self-inclusion) and Lemma 6.21 (for correct
 // p and q, q ∉ F_p, by nonuniform intersection).
 func (s *anucState) ConsideredFaulty() model.ProcessSet {
-	return s.h.ConsideredFaulty(s.p)
+	return s.store.ConsideredFaulty(s.p)
 }
+
+// BindStore implements StoreBound.
+func (s *anucState) BindStore(store HistoryStore) { s.store = store }
 
 // FaultView is implemented by states exposing their considered-faulty set.
 type FaultView interface {
@@ -441,5 +439,14 @@ func (a *ANuc) InitStateProposing(p model.ProcessID, v int) model.State {
 	st := a.InitState(p).(*anucState)
 	st.proposal = v
 	st.x = v
+	return st
+}
+
+// InitStateProposingWith is InitStateProposing with an injected history
+// store: the shared-store mode of internal/rsm, where every live slot
+// instance of a process reads and writes one per-process H_p.
+func (a *ANuc) InitStateProposingWith(p model.ProcessID, v int, store HistoryStore) model.State {
+	st := a.InitStateProposing(p, v).(*anucState)
+	st.store = store
 	return st
 }

@@ -75,6 +75,57 @@ func (m ProposalPayload) String() string {
 	return fmt.Sprintf("PROP(k=%d,v=%d)", m.K, m.V)
 }
 
+// LeadDeltaPayload is the delta-encoded form of LeadPayload used by the
+// shared-store rsm mode: instead of a full history clone it carries the
+// canonical additions since the version the sender last shipped to this
+// receiver (Delta.Base == 0 marks the full-snapshot fallback for receivers
+// whose base has been compacted away). The rsm transport applies the delta
+// to the receiver's shared store and hands the inner instance a plain
+// LeadPayload with Hist == nil. Delta payloads must never implement
+// model.SupersededPayload: dropping one would break the version chain.
+type LeadDeltaPayload struct {
+	K     int
+	V     int
+	Delta quorum.Delta
+}
+
+// Kind implements model.Payload.
+func (LeadDeltaPayload) Kind() string { return "LEADD" }
+
+// String implements model.Payload.
+func (m LeadDeltaPayload) String() string {
+	return fmt.Sprintf("LEADD(k=%d,v=%d,%s)", m.K, m.V, m.Delta)
+}
+
+// Plain returns the equivalent history-free LeadPayload for the inner
+// instance, once the transport has applied the delta.
+func (m LeadDeltaPayload) Plain() LeadPayload { return LeadPayload{K: m.K, V: m.V} }
+
+// ProposalDeltaPayload is the delta-encoded form of ProposalPayload (see
+// LeadDeltaPayload).
+type ProposalDeltaPayload struct {
+	K     int
+	V     int
+	HasV  bool
+	Delta quorum.Delta
+}
+
+// Kind implements model.Payload.
+func (ProposalDeltaPayload) Kind() string { return "PROPD" }
+
+// String implements model.Payload.
+func (m ProposalDeltaPayload) String() string {
+	if !m.HasV {
+		return fmt.Sprintf("PROPD(k=%d,?,%s)", m.K, m.Delta)
+	}
+	return fmt.Sprintf("PROPD(k=%d,v=%d,%s)", m.K, m.V, m.Delta)
+}
+
+// Plain returns the equivalent history-free ProposalPayload.
+func (m ProposalDeltaPayload) Plain() ProposalPayload {
+	return ProposalPayload{K: m.K, V: m.V, HasV: m.HasV}
+}
+
 // SawPayload is the quorum-awareness message (SAW, p, Q) (Fig. 4 line 32);
 // the sender p is the message's From field.
 type SawPayload struct {

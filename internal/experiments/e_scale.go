@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/obs"
+	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/substrate"
+	"nuconsensus/internal/wire"
+)
+
+// E17 measures how the replicated log's costs scale with log length, in
+// the two history-plumbing modes:
+//
+//   - owned (the PR-7-and-earlier baseline): every live slot instance owns
+//     a full copy of its process's quorum histories, and every LEAD/PROP
+//     carries a complete clone inline;
+//   - shared: one versioned store per process, shared by all live slot
+//     instances, with LEAD/PROP carrying (base, delta) against what this
+//     process last shipped to that destination (see internal/rsm/shared.go).
+//
+// Three quantities per run, all through the real wire codec: total
+// bytes-on-wire, the history share of each message (encoded size minus the
+// size of the same payload with its inline histories / delta frame
+// stripped), and the high-water live-state history footprint of any single
+// process (rsm.StatsOf, sampled at every step).
+
+const e17N = 5
+
+var e17SlotsGrid = []int{4, 8, 16}
+
+// e17Meter wraps the log automaton with measurement taps. The substrate
+// steps processes from independent goroutines on the concurrent backends,
+// so both taps are atomics; they are per-unit, so the recorded numbers
+// stay deterministic on sim at any engine worker count.
+type e17Meter struct {
+	model.Automaton
+	msgs      atomic.Int64 // sends observed
+	wireBytes atomic.Int64 // Σ encoded payload size over all sends
+	histBytes atomic.Int64 // Σ history share: encoded minus history-free encoded
+	peakHist  atomic.Int64 // high-water StatsOf().HistEntries of any process
+}
+
+func (a *e17Meter) Step(p model.ProcessID, s model.State, m *model.Message, d model.FDValue) (model.State, []model.Send) {
+	ns, sends := a.Automaton.Step(p, s, m, d)
+	var total, hist int64
+	for _, snd := range sends {
+		b, err := wire.EncodePayload(snd.Payload)
+		if err != nil {
+			continue
+		}
+		total += int64(len(b))
+		if stripped := historyFree(snd.Payload); stripped != nil {
+			if sb, err := wire.EncodePayload(stripped); err == nil {
+				hist += int64(len(b) - len(sb))
+			}
+		}
+	}
+	a.msgs.Add(int64(len(sends)))
+	a.wireBytes.Add(total)
+	a.histBytes.Add(hist)
+	atomicMax(&a.peakHist, int64(rsm.StatsOf(ns).HistEntries))
+	return ns, sends
+}
+
+// historyFree strips the history freight from a slot-wrapped payload —
+// inline Hist clones in owned mode, the whole (base, delta) frame in
+// shared mode — returning nil for payloads that carry none.
+func historyFree(pl model.Payload) model.Payload {
+	sp, ok := pl.(rsm.SlotPayload)
+	if !ok {
+		return nil
+	}
+	switch inner := sp.Inner.(type) {
+	case consensus.LeadPayload:
+		inner.Hist = nil
+		sp.Inner = inner
+	case consensus.ProposalPayload:
+		inner.Hist = nil
+		sp.Inner = inner
+	case consensus.LeadDeltaPayload:
+		sp.Inner = inner.Plain()
+	case consensus.ProposalDeltaPayload:
+		sp.Inner = inner.Plain()
+	default:
+		return nil
+	}
+	return sp
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+var e17Spec = &Spec{
+	ID:    "E17",
+	Title: "Long-log scale: bytes-on-wire and live state, owned vs shared histories",
+	Claim: "§1 motivation, run long enough to hurt: with retirement stalled " +
+		"by a crash, owned mode holds one full history copy per live slot " +
+		"instance (live state grows with log length) and re-ships full " +
+		"histories in every LEAD/PROP; the shared versioned store holds one " +
+		"copy and ships O(delta) frames, so live state stays flat and " +
+		"incremental deltas dominate snapshot fallbacks.",
+	Columns: []string{"mode", "slots", "runs", "ok", "msgs/slot", "hist bytes/msg", "peak hist entries", "delta hits", "fallbacks"},
+	// Portable: the unit drives the substrate interface directly (with
+	// StopWhenDecided — logState implements model.Decider), so it runs
+	// unchanged on the async and tcp backends.
+	Portable: true,
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for _, mode := range []string{"owned", "shared"} {
+			for _, slots := range e17SlotsGrid {
+				cfgs = append(cfgs, seedRange(Config{Label: mode, N: e17N, Arg: slots}, sc.Seeds)...)
+			}
+		}
+		return cfgs
+	},
+	Unit: func(sc Scale, cfg Config, _ *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		slots, seed := cfg.Arg, cfg.Seed
+		sub, err := sc.substrate()
+		if err != nil {
+			u.failf("%v", err)
+			return u
+		}
+		pattern := model.NewFailurePattern(e17N)
+		// One early crash stalls progress gossip at the crashed process's
+		// last slot: instances above it never retire, so owned mode pays
+		// one full history copy per unretired instance — the live-state
+		// footprint that grows with log length.
+		pattern.SetCrash(model.ProcessID(e17N-1), 30)
+		cmds := make([][]int, e17N)
+		for p := range cmds {
+			cmds[p] = []int{100*p + 1}
+		}
+		reg := obs.NewRegistry()
+		var aut model.Automaton
+		var hist model.History
+		if cfg.Label == "shared" {
+			sampler := rsm.SamplerForLog(pattern, 80, seed)
+			aut = rsm.NewSharedLog(cmds, slots).WithMetrics(reg).WithSampler(sampler)
+			hist = sampler
+		} else {
+			aut = rsm.NewLog(cmds, slots).WithMetrics(reg)
+			hist = rsm.PairForLog(pattern, 80, seed)
+		}
+		meter := &e17Meter{Automaton: aut}
+		budget := min(sc.MaxSteps*8, 400000)
+		if !sub.Deterministic() && budget < 3_000_000 {
+			// The concurrent substrates' shared clock ticks on idle spins
+			// too (see runConsensus); StopWhenDecided keeps real cost low.
+			budget = 3_000_000
+		}
+		res, err := sub.Run(context.Background(), meter, hist, pattern, substrate.Options{
+			Seed:            seed,
+			MaxSteps:        budget,
+			StopWhenDecided: true,
+			Bus:             sc.Bus,
+			Metrics:         sc.Metrics,
+		})
+		if err != nil || !res.Decided {
+			u.failf("%s slots=%d seed=%d: err=%v filled=%v", cfg.Label, slots, seed, err, res != nil && res.Decided)
+			return u
+		}
+		var ref []int
+		agree := true
+		pattern.Correct().ForEach(func(p model.ProcessID) {
+			entries := res.Config.States[p].(rsm.LogHolder).Entries()
+			if ref == nil {
+				ref = entries
+				return
+			}
+			if len(entries) != len(ref) {
+				agree = false
+				return
+			}
+			for i := range ref {
+				if entries[i] != ref[i] {
+					agree = false
+				}
+			}
+		})
+		if !agree {
+			u.failf("%s slots=%d seed=%d: correct logs diverged", cfg.Label, slots, seed)
+			return u
+		}
+		hits := int(reg.Counter("rsm.hist.delta_hits").Value())
+		falls := int(reg.Counter("rsm.hist.full_fallbacks").Value())
+		gaps := int(reg.Counter("rsm.hist.delta_gaps").Value())
+		if gaps != 0 {
+			u.failf("%s slots=%d seed=%d: %d delta gaps on a FIFO substrate", cfg.Label, slots, seed, gaps)
+			return u
+		}
+		u.OK = true
+		u.Add("msgs", int(meter.msgs.Load()))
+		u.Add("wire", int(meter.wireBytes.Load()))
+		u.Add("histwire", int(meter.histBytes.Load()))
+		u.Add("hist", int(meter.peakHist.Load()))
+		u.Add("hits", hits)
+		u.Add("falls", falls)
+		// Fold the per-unit registry into the run-wide metrics registry
+		// (commutative adds/maxes only, so dumps stay worker-count-free).
+		if sc.Metrics != nil {
+			sc.Metrics.Counter("rsm.hist.delta_hits").Add(int64(hits))
+			sc.Metrics.Counter("rsm.hist.full_fallbacks").Add(int64(falls))
+			sc.Metrics.Counter("rsm.hist.delta_gaps").Add(int64(gaps))
+			sc.Metrics.Gauge("rsm.hist.store_bytes").Max(reg.Gauge("rsm.hist.store_bytes").Value())
+			sc.Metrics.Gauge("rsm.hist.store_entries").Max(reg.Gauge("rsm.hist.store_entries").Value())
+		}
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		slots := g.Key.Arg
+		return []string{g.Key.Label, itoa(slots), itoa(g.Runs()), itoa(g.OKs()),
+			avg(g.Sum("msgs")/slots, g.OKs()), avg(g.Sum("histwire"), g.Sum("msgs")),
+			g.AvgOverOK("hist"), g.AvgOverOK("hits"), g.AvgOverOK("falls")}
+	},
+	Finalize: func(sc Scale, t *Table, gs []Group) {
+		// Per-(mode, slots) aggregates: history bytes per message and the
+		// high-water live-state entry count.
+		perMsg := map[string]map[int]float64{"owned": {}, "shared": {}}
+		peak := map[string]map[int]float64{"owned": {}, "shared": {}}
+		var hits, falls int
+		for _, g := range gs {
+			if g.OKs() == 0 {
+				t.Pass = false
+				return
+			}
+			perMsg[g.Key.Label][g.Key.Arg] = float64(g.Sum("histwire")) / float64(g.Sum("msgs"))
+			peak[g.Key.Label][g.Key.Arg] = float64(g.Sum("hist")) / float64(g.OKs())
+			if g.Key.Label == "shared" {
+				hits += g.Sum("hits")
+				falls += g.Sum("falls")
+			}
+		}
+		long := e17SlotsGrid[len(e17SlotsGrid)-1]
+		short := e17SlotsGrid[0]
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("history freight at %d slots: owned %.1f bytes/msg vs shared %.1f bytes/msg (delta frames)",
+				long, perMsg["owned"][long], perMsg["shared"][long]),
+			fmt.Sprintf("peak live-state entries, %d→%d slots: owned %.0f→%.0f (one history copy per unretired instance), shared %.0f→%.0f (one store)",
+				short, long, peak["owned"][short], peak["owned"][long], peak["shared"][short], peak["shared"][long]),
+			fmt.Sprintf("shared transport: %d incremental delta applications vs %d full-snapshot fallbacks", hits, falls))
+		if perMsg["owned"][long] < 3*perMsg["shared"][long] {
+			t.Pass = false
+			t.Notes = append(t.Notes, "FAIL: owned history freight per message should be at least 3x shared's on long logs")
+		}
+		if peak["owned"][long] < 2*peak["owned"][short] {
+			t.Pass = false
+			t.Notes = append(t.Notes, "FAIL: owned live state should grow with log length under stalled retirement")
+		}
+		if peak["shared"][long] > 1.5*peak["shared"][short] {
+			t.Pass = false
+			t.Notes = append(t.Notes, "FAIL: shared live state should stay flat as the log grows")
+		}
+		if hits <= 10*falls {
+			t.Pass = false
+			t.Notes = append(t.Notes, "FAIL: incremental deltas should dominate snapshot fallbacks")
+		}
+	},
+}

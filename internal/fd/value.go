@@ -41,6 +41,8 @@ func LeaderOf(d model.FDValue) (model.ProcessID, bool) {
 		return v.Leader, true
 	case PairValue:
 		return LeaderOf(v.First)
+	case Sample:
+		return LeaderOf(v.Value)
 	default:
 		return model.NoProcess, false
 	}
@@ -54,6 +56,8 @@ func QuorumOf(d model.FDValue) (model.ProcessSet, bool) {
 		return v.Quorum, true
 	case PairValue:
 		return QuorumOf(v.Second)
+	case Sample:
+		return QuorumOf(v.Value)
 	default:
 		return model.EmptySet, false
 	}
@@ -91,6 +95,8 @@ func SuspectsOf(d model.FDValue) (model.ProcessSet, bool) {
 			return s, true
 		}
 		return SuspectsOf(v.Second)
+	case Sample:
+		return SuspectsOf(v.Value)
 	default:
 		return model.EmptySet, false
 	}

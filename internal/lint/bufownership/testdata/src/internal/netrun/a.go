@@ -186,3 +186,27 @@ func allowEscape() []byte {
 }
 
 func consume(b []byte) { _ = b }
+
+// encodeDeltaShape is the delta-encode frame protocol: lease, append the
+// uvarint-packed (R, Q) adds, hand the frame onward, recycle — the clean
+// steady state of the shared log's delta sends.
+func encodeDeltaShape(adds [][2]uint64) {
+	frame := wire.GetBuf(64)
+	for _, e := range adds {
+		frame = append(frame, byte(e[0]), byte(e[1]))
+	}
+	consume(frame)
+	wire.PutBuf(frame)
+}
+
+// encodeDeltaUseAfterPut returns the encoded delta frame after recycling
+// it: the caller would read bytes the pool may already have handed to
+// another encoder.
+func encodeDeltaUseAfterPut(adds [][2]uint64) []byte {
+	frame := wire.GetBuf(64)
+	for _, e := range adds {
+		frame = append(frame, byte(e[0]), byte(e[1]))
+	}
+	wire.PutBuf(frame)
+	return frame // want `pooled buffer frame returned after PutBuf \(line 210\)`
+}

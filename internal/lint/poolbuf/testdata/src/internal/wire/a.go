@@ -45,3 +45,22 @@ func roundTrip(m *Message) {
 	bufPool.Put(b)
 	msgPool.Put(m) // want `sync.Pool.Put of \*Message`
 }
+
+// The delta-encode scratch shape: pooled (R, Q) add batches are slices
+// of pointer-free structs, the same doctrine as the histories sort
+// scratch above.
+type deltaEntry struct {
+	R int
+	Q ProcessSet
+}
+
+var deltaScratch = sync.Pool{New: func() interface{} { return new([]deltaEntry) }}
+
+// A delta batch that embeds its adds slice cannot be pooled: the slice
+// header is a pointer, so a recycled batch aliases live adds.
+type deltaBatch struct {
+	Base, To uint64
+	Adds     []deltaEntry
+}
+
+var deltaBatchPool = sync.Pool{New: func() interface{} { return new(deltaBatch) }} // want `sync.Pool New returns \*deltaBatch`

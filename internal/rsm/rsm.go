@@ -92,6 +92,10 @@ type Log struct {
 	cmds  [][]int // cmds[p]: commands process p wants appended
 	slots int     // stop appending after this many slots
 	inner *consensus.ANuc
+
+	shared  bool        // one shared history store per process (see shared.go)
+	metrics *logMetrics // pre-resolved obs instruments; nil if unmetered
+	sampler *fd.Sampler // shared FD sample source; nil unless attached
 }
 
 // NewLog returns the replicated-log automaton: process p wants cmds[p]
@@ -131,6 +135,11 @@ type logState struct {
 	progress  []int               // known progress of every process
 	pump      int                 // round-robin cursor over older instances
 	steps     int                 // own step counter (pump throttling)
+
+	// Shared-store mode only (see shared.go); all nil/empty in owned mode.
+	store      *sharedStore
+	sentVer    []uint64 // per destination: store version last shipped there
+	appliedVer []uint64 // per sender: that sender's version applied through
 }
 
 // CloneState implements model.State.
@@ -140,9 +149,20 @@ func (s *logState) CloneState() model.State {
 	c.known = append([]int(nil), s.known...)
 	c.entries = append([]int(nil), s.entries...)
 	c.progress = append([]int(nil), s.progress...)
+	if s.store != nil {
+		// Clone the shared store ONCE, then rebind every cloned instance:
+		// the instances' own CloneStore is identity for shared stores.
+		c.store = s.store.clone()
+		c.sentVer = append([]uint64(nil), s.sentVer...)
+		c.appliedVer = append([]uint64(nil), s.appliedVer...)
+	}
 	c.instances = make(map[int]model.State, len(s.instances))
 	for k, v := range s.instances {
-		c.instances[k] = v.CloneState()
+		inst := v.CloneState()
+		if s.store != nil {
+			inst.(consensus.StoreBound).BindStore(c.store)
+		}
+		c.instances[k] = inst
 	}
 	return &c
 }
@@ -174,8 +194,22 @@ func (a *Log) InitState(p model.ProcessID) model.State {
 		instances: make(map[int]model.State, 2),
 		progress:  make([]int, a.n),
 	}
-	st.instances[0] = a.inner.InitStateProposing(p, st.nextProposal())
+	if a.shared {
+		st.store = newSharedStore(a.n)
+		st.sentVer = make([]uint64, a.n)
+		st.appliedVer = make([]uint64, a.n)
+	}
+	st.instances[0] = a.newInstance(p, st)
 	return st
+}
+
+// newInstance opens a slot instance for p's next proposal, injecting the
+// shared history store when the log runs in shared mode.
+func (a *Log) newInstance(p model.ProcessID, st *logState) model.State {
+	if st.store != nil {
+		return a.inner.InitStateProposingWith(p, st.nextProposal(), st.store)
+	}
+	return a.inner.InitStateProposing(p, st.nextProposal())
 }
 
 func (s *logState) nextProposal() int {
@@ -205,11 +239,18 @@ func (a *Log) Step(p model.ProcessID, s model.State, m *model.Message, d model.F
 				st.retire()
 			}
 		case SlotPayload:
+			payload := pl.Inner
+			if st.store != nil {
+				// Apply any piggybacked history delta to the shared store
+				// even when the slot has retired: the delta chain from
+				// this sender must stay unbroken for later slots.
+				payload = st.applyIncoming(m.From, payload, a.metrics)
+			}
 			if inst, live := st.instances[pl.Slot]; live {
-				inner := &model.Message{From: m.From, To: m.To, Seq: m.Seq, Payload: pl.Inner}
+				inner := &model.Message{From: m.From, To: m.To, Seq: m.Seq, Payload: payload}
 				ns, sends := a.inner.Step(p, inst, inner, d)
 				st.instances[pl.Slot] = ns
-				out = append(out, wrapSends(pl.Slot, sends)...)
+				out = append(out, st.wrap(pl.Slot, sends)...)
 				currentGotMsg = pl.Slot == st.slot
 				if pl.Slot == st.slot {
 					out = append(out, st.checkDecided(a, d)...)
@@ -234,7 +275,7 @@ func (a *Log) Step(p model.ProcessID, s model.State, m *model.Message, d model.F
 		if inst, live := st.instances[st.slot]; live {
 			ns, sends := a.inner.Step(p, inst, nil, d)
 			st.instances[st.slot] = ns
-			out = append(out, wrapSends(st.slot, sends)...)
+			out = append(out, st.wrap(st.slot, sends)...)
 			out = append(out, st.checkDecided(a, d)...)
 		}
 	}
@@ -252,7 +293,11 @@ func (a *Log) Step(p model.ProcessID, s model.State, m *model.Message, d model.F
 		st.pump++
 		ns, sends := a.inner.Step(p, st.instances[slot], nil, d)
 		st.instances[slot] = ns
-		out = append(out, wrapSends(slot, sends)...)
+		out = append(out, st.wrap(slot, sends)...)
+	}
+
+	if st.store != nil {
+		st.compactStore(a.metrics)
 	}
 
 	return st, out
@@ -276,7 +321,7 @@ func (s *logState) checkDecided(a *Log, _ model.FDValue) []model.Send {
 		s.progress[s.p] = s.slot
 		out = append(out, model.Broadcast(model.FullSet(len(s.progress)).Remove(s.p), ProgressPayload{Slot: s.slot})...)
 		if s.slot < a.slots {
-			s.instances[s.slot] = a.inner.InitStateProposing(s.p, s.nextProposal())
+			s.instances[s.slot] = a.newInstance(s.p, s)
 		}
 		s.retire()
 	}
@@ -336,17 +381,30 @@ func (s *logState) retire() {
 	}
 }
 
-// olderSlots lists live instances strictly below the current slot, in
-// increasing order (the set is tiny, bounded by retirement).
-func (s *logState) olderSlots() []int {
+// liveSlots lists live instances strictly below limit, in increasing
+// order (the set is tiny, bounded by retirement). It backs both the pump
+// cursor (limit = current slot) and DebugState (limit = all slots).
+func (s *logState) liveSlots(limit int) []int {
 	var out []int
 	for slot := range s.instances {
-		if slot < s.slot {
+		if slot < limit {
 			out = append(out, slot)
 		}
 	}
 	sort.Ints(out)
 	return out
+}
+
+// olderSlots lists live instances strictly below the current slot.
+func (s *logState) olderSlots() []int { return s.liveSlots(s.slot) }
+
+// wrap slot-tags an instance's sends, delta-encoding history payloads in
+// shared mode (wrapShared, shared.go).
+func (s *logState) wrap(slot int, sends []model.Send) []model.Send {
+	if s.store != nil {
+		return s.wrapShared(slot, sends)
+	}
+	return wrapSends(slot, sends)
 }
 
 func wrapSends(slot int, sends []model.Send) []model.Send {
@@ -374,11 +432,13 @@ func AllAppended(pattern *model.FailurePattern, slots int) func(*model.Configura
 }
 
 // PairForLog builds the (Ω, Σν+) history the log needs, mirroring A_nuc's
-// requirements.
+// requirements. The two modules draw from decorrelated sub-streams of the
+// configuration seed (fd.DeriveSeed): passing one seed to both used to
+// make the pre-stabilization Ω and Σν+ noise move in lockstep.
 func PairForLog(pattern *model.FailurePattern, stabilize model.Time, seed int64) model.History {
 	return fd.PairHistory{
-		First:  fd.NewOmega(pattern, stabilize, seed),
-		Second: fd.NewSigmaNuPlus(pattern, stabilize, seed),
+		First:  fd.NewOmega(pattern, stabilize, fd.DeriveSeed("omega", seed)),
+		Second: fd.NewSigmaNuPlus(pattern, stabilize, fd.DeriveSeed("sigmanu+", seed)),
 	}
 }
 
@@ -388,11 +448,7 @@ func DebugState(s model.State) string {
 	if !ok {
 		return fmt.Sprintf("%T", s)
 	}
-	live := make([]int, 0, len(st.instances))
-	for k := range st.instances {
-		live = append(live, k)
-	}
-	sort.Ints(live)
+	live := st.liveSlots(st.slots + 1)
 	cur := "nil"
 	if inst, ok := st.instances[st.slot]; ok {
 		if r, has := model.RoundOf(inst); has {

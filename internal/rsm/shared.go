@@ -1,0 +1,288 @@
+// Shared-detector runtime for the replicated log.
+//
+// In the default (owned) mode every live slot instance owns a full copy of
+// its process's quorum histories and every LEAD/PROP message carries a
+// complete clone — per-slot live state and bytes-on-wire both scale with
+// the total history size. In shared mode (NewSharedLog) each process holds
+// ONE versioned history store (quorum.Versioned) that all its live slot
+// instances read and write through the consensus.HistoryStore interface,
+// and outgoing LEAD/PROP messages carry (baseVersion, delta) against the
+// version this process last shipped to that destination. Receivers apply
+// the delta to their own shared store before handing the inner instance a
+// history-free payload.
+//
+// Delta chaining is sound because every substrate in this repository
+// delivers FIFO per link and delta payloads never implement
+// model.SupersededPayload (so inboxes cannot collapse one): the deltas a
+// process receives from one sender arrive in send order, each based
+// exactly on the previous one's To version. A receiver whose base has
+// been compacted away (or a fresh delta after the sender's floor passed
+// it) gets a full snapshot (Delta.Base == 0) instead — the
+// rsm.hist.full_fallbacks counter measures how rarely that happens.
+package rsm
+
+import (
+	"math/bits"
+
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/fd"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/obs"
+	"nuconsensus/internal/quorum"
+)
+
+// NewSharedLog returns the replicated-log automaton in shared-store mode:
+// one versioned history store and one failure-detector sample stream per
+// process, shared by all live slot instances, with delta-encoded history
+// transport. Log semantics (decided entries) are the same as NewLog's;
+// only the history plumbing differs.
+func NewSharedLog(cmds [][]int, slots int) *Log {
+	a := NewLog(cmds, slots)
+	a.shared = true
+	return a
+}
+
+// Shared reports whether the log runs in shared-store mode.
+func (a *Log) Shared() bool { return a.shared }
+
+// WithMetrics attaches an obs metrics registry, pre-resolving the counters
+// on the hot path (PR-6 discipline). Safe to call on either mode; the
+// delta counters only move in shared mode.
+func (a *Log) WithMetrics(reg *obs.Registry) *Log {
+	a.metrics = &logMetrics{
+		deltaHits:     reg.Counter("rsm.hist.delta_hits"),
+		fullFallbacks: reg.Counter("rsm.hist.full_fallbacks"),
+		deltaGaps:     reg.Counter("rsm.hist.delta_gaps"),
+		storeBytes:    reg.Gauge("rsm.hist.store_bytes"),
+		storeEntries:  reg.Gauge("rsm.hist.store_entries"),
+		fdEpochs:      reg.Counter("rsm.fd.epochs"),
+	}
+	return a
+}
+
+// WithSampler attaches the shared failure-detector sampler whose samples
+// drive this log, subscribing the epoch-fanout counter: every epoch
+// change any process's module announces is one rsm.fd.epochs increment.
+func (a *Log) WithSampler(s *fd.Sampler) *Log {
+	a.sampler = s
+	s.Subscribe(func(model.ProcessID, fd.Sample) {
+		if a.metrics != nil {
+			a.metrics.fdEpochs.Add(1)
+		}
+	})
+	return a
+}
+
+// Sampler returns the attached sampler (nil if none).
+func (a *Log) Sampler() *fd.Sampler { return a.sampler }
+
+// logMetrics holds the pre-resolved obs instruments. All methods are
+// nil-receiver-safe so unmetered runs pay only a nil check.
+type logMetrics struct {
+	deltaHits     *obs.Counter
+	fullFallbacks *obs.Counter
+	deltaGaps     *obs.Counter
+	storeBytes    *obs.Gauge // high-water wire size of one process's store
+	storeEntries  *obs.Gauge // high-water entry count of one process's store
+	fdEpochs      *obs.Counter
+}
+
+func (m *logMetrics) hit() {
+	if m != nil {
+		m.deltaHits.Add(1)
+	}
+}
+
+func (m *logMetrics) fallback() {
+	if m != nil {
+		m.fullFallbacks.Add(1)
+	}
+}
+
+func (m *logMetrics) gap() {
+	if m != nil {
+		m.deltaGaps.Add(1)
+	}
+}
+
+// sharedStore adapts one process's quorum.Versioned to the
+// consensus.HistoryStore interface. CloneStore returns the receiver: the
+// owning logState clones the Versioned exactly once per step
+// (CloneState) and rebinds every cloned instance, so the per-instance
+// clone-then-mutate discipline costs O(1) per instance instead of
+// O(history) per instance.
+type sharedStore struct {
+	v *quorum.Versioned
+	// lastSizedVer throttles the O(entries) wire-size walk behind version
+	// changes, so the per-step gauge update is O(1) in steady state.
+	lastSizedVer uint64
+	wireBytes    int
+}
+
+func newSharedStore(n int) *sharedStore {
+	return &sharedStore{v: quorum.NewVersioned(n)}
+}
+
+func (s *sharedStore) Add(r model.ProcessID, q model.ProcessSet) { s.v.Add(r, q) }
+
+func (s *sharedStore) Import(h quorum.Histories) {
+	if h != nil {
+		s.v.Import(h)
+	}
+}
+
+func (s *sharedStore) Distrusts(p, q model.ProcessID) bool { return s.v.Distrusts(p, q) }
+
+func (s *sharedStore) ConsideredFaulty(p model.ProcessID) model.ProcessSet {
+	return s.v.ConsideredFaulty(p)
+}
+
+// Outgoing returns nil: shared-mode payloads carry no inline histories —
+// the transport ships versioned deltas instead (wrapShared).
+func (s *sharedStore) Outgoing() quorum.Histories { return nil }
+
+func (s *sharedStore) CloneStore() consensus.HistoryStore { return s }
+
+func (s *sharedStore) clone() *sharedStore {
+	return &sharedStore{v: s.v.Clone(), lastSizedVer: s.lastSizedVer, wireBytes: s.wireBytes}
+}
+
+// sizeBytes returns the exact wire size of the store's entries (the bytes
+// a full snapshot's add list would occupy), recomputed only when the
+// version moved.
+func (s *sharedStore) sizeBytes() int {
+	if s.v.Version() != s.lastSizedVer {
+		total := 0
+		for r, set := range s.v.Histories() {
+			for q := range set {
+				total += uvarintLen(uint64(r)) + uvarintLen(uint64(q))
+			}
+		}
+		s.wireBytes = total
+		s.lastSizedVer = s.v.Version()
+	}
+	return s.wireBytes
+}
+
+// uvarintLen is the LEB128 length of v (the wire codec's varint).
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// wrapShared converts an inner instance's sends into slot-tagged,
+// delta-encoded payloads: LEAD/PROP (whose Hist is nil in shared mode)
+// become LeadDeltaPayload/ProposalDeltaPayload carrying everything this
+// process's store gained since the version last shipped to that
+// destination. Per-link FIFO delivery makes the per-destination chain
+// airtight; sends within one step to the same destination chain through
+// sentVer just like sends in different steps.
+func (s *logState) wrapShared(slot int, sends []model.Send) []model.Send {
+	out := make([]model.Send, len(sends))
+	for i, snd := range sends {
+		pl := snd.Payload
+		switch p := pl.(type) {
+		case consensus.LeadPayload:
+			pl = consensus.LeadDeltaPayload{K: p.K, V: p.V, Delta: s.deltaFor(snd.To)}
+		case consensus.ProposalPayload:
+			pl = consensus.ProposalDeltaPayload{K: p.K, V: p.V, HasV: p.HasV, Delta: s.deltaFor(snd.To)}
+		}
+		out[i] = model.Send{To: snd.To, Payload: SlotPayload{Slot: slot, Inner: pl}}
+	}
+	return out
+}
+
+func (s *logState) deltaFor(to model.ProcessID) quorum.Delta {
+	d := s.store.v.DeltaSince(s.sentVer[to])
+	s.sentVer[to] = d.To
+	return d
+}
+
+// applyIncoming runs on every slot-wrapped payload a shared-mode process
+// receives: delta payloads are applied to the shared store and replaced
+// by their history-free plain forms before the inner instance sees them.
+// Non-delta payloads (REP, SAW, ACK — and LEAD/PROP from an owned-mode
+// peer, which cannot occur in practice) pass through untouched.
+func (s *logState) applyIncoming(from model.ProcessID, inner model.Payload, m *logMetrics) model.Payload {
+	switch p := inner.(type) {
+	case consensus.LeadDeltaPayload:
+		s.applyDelta(from, p.Delta, m)
+		return p.Plain()
+	case consensus.ProposalDeltaPayload:
+		s.applyDelta(from, p.Delta, m)
+		return p.Plain()
+	}
+	return inner
+}
+
+func (s *logState) applyDelta(from model.ProcessID, d quorum.Delta, m *logMetrics) {
+	switch {
+	case d.IsSnapshot():
+		m.fallback()
+	case d.Base <= s.appliedVer[from]:
+		m.hit()
+	default:
+		// A base beyond what we applied means the chain skipped — which
+		// per-link FIFO delivery makes impossible under every built-in
+		// scheduler and substrate. Count it loudly (the counter pins 0 in
+		// tests); the adds below are still true facts and still applied.
+		m.gap()
+	}
+	s.store.v.Apply(d)
+	if d.To > s.appliedVer[from] {
+		s.appliedVer[from] = d.To
+	}
+}
+
+// compactStore advances the shared store's compaction floor to the lowest
+// version shipped to any destination: every future outgoing delta bases
+// at or above it, so the discarded log prefix can never be asked for
+// again. Called once per step in shared mode.
+func (s *logState) compactStore(m *logMetrics) {
+	min := s.sentVer[0]
+	for _, v := range s.sentVer[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	s.store.v.Compact(min)
+	if m != nil {
+		m.storeBytes.Max(int64(s.store.sizeBytes()))
+		m.storeEntries.Max(int64(s.store.v.Len()))
+	}
+}
+
+// StateStats reports the live-state footprint of one process's log state,
+// for the long-log scale experiment (E17): how much history the state
+// holds across all live instances (the shared store counted once) and how
+// many instances are live.
+type StateStats struct {
+	LiveInstances int
+	HistEntries   int    // total (process, quorum) entries held
+	StoreVersion  uint64 // shared mode: version counter; 0 in owned mode
+	StoreBytes    int    // shared mode: exact wire size of the store
+}
+
+// StatsOf computes StateStats for a log state (zero value for other
+// states).
+func StatsOf(st model.State) StateStats {
+	s, ok := st.(*logState)
+	if !ok {
+		return StateStats{}
+	}
+	stats := StateStats{LiveInstances: len(s.instances)}
+	if s.store != nil {
+		stats.HistEntries = s.store.v.Len()
+		stats.StoreVersion = s.store.v.Version()
+		stats.StoreBytes = s.store.sizeBytes()
+		return stats
+	}
+	for _, inst := range s.instances {
+		stats.HistEntries += consensus.HistoryLen(inst)
+	}
+	return stats
+}
+
+// SamplerForLog wraps PairForLog in a shared fd.Sampler: one (Ω, Σν+)
+// module pair per process, queried once per logical tick, fanning
+// epoch-stamped samples out to every live slot instance.
+func SamplerForLog(pattern *model.FailurePattern, stabilize model.Time, seed int64) *fd.Sampler {
+	return fd.NewSampler(PairForLog(pattern, stabilize, seed))
+}

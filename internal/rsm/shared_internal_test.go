@@ -1,0 +1,124 @@
+package rsm
+
+import (
+	"testing"
+
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/quorum"
+)
+
+// TestDeliveryToRetiredSlotKeepsDeltaChain: a SlotPayload for a slot that
+// progress gossip already retired must not panic, and in shared mode its
+// piggybacked history delta must still be applied — dropping it would break
+// the sender's per-link version chain for every later slot.
+func TestDeliveryToRetiredSlotKeepsDeltaChain(t *testing.T) {
+	aut := NewSharedLog([][]int{{1}, {2}, {3}}, 3)
+	pattern := model.PatternFromCrashes(3, nil)
+	hist := PairForLog(pattern, 0, 9)
+
+	st := aut.InitState(0).(*logState)
+	// Fabricate a just-retired slot 0: this process decided it, opened slot
+	// 1, and then learned every peer passed it too.
+	st.slot = 1
+	st.entries = append(st.entries, NoOp)
+	st.progress = []int{1, 1, 1}
+	st.instances[1] = aut.newInstance(0, st)
+	st.retire()
+	if _, live := st.instances[0]; live {
+		t.Fatal("slot 0 should have retired")
+	}
+
+	d := quorum.Delta{To: 2, Adds: []quorum.DeltaEntry{
+		{R: 1, Q: model.SetOf(1, 2)},
+		{R: 2, Q: model.SetOf(1, 2)},
+	}}
+	m := &model.Message{From: 1, To: 0, Seq: 1,
+		Payload: SlotPayload{Slot: 0, Inner: consensus.LeadDeltaPayload{K: 1, V: 2, Delta: d}}}
+	ns, _ := aut.Step(0, st, m, hist.Output(0, 1))
+	got := ns.(*logState)
+	if got.appliedVer[1] != 2 {
+		t.Errorf("appliedVer[1] = %d, want 2: retired-slot delta must still advance the chain", got.appliedVer[1])
+	}
+	if got.store.v.Len() != 2 {
+		t.Errorf("store has %d entries, want 2: retired-slot delta's adds never reached the shared store", got.store.v.Len())
+	}
+	if _, live := got.instances[0]; live {
+		t.Error("delivery must not resurrect a retired instance")
+	}
+}
+
+// TestDeliveryToUnknownSlotIgnored: a slot number that was never opened
+// (far ahead of the current one) is ignored without panicking, in both
+// modes.
+func TestDeliveryToUnknownSlotIgnored(t *testing.T) {
+	pattern := model.PatternFromCrashes(3, nil)
+	hist := PairForLog(pattern, 0, 9)
+	for _, aut := range []*Log{
+		NewLog([][]int{{1}, {2}, {3}}, 3),
+		NewSharedLog([][]int{{1}, {2}, {3}}, 3),
+	} {
+		st := aut.InitState(0)
+		m := &model.Message{From: 2, To: 0, Seq: 1,
+			Payload: SlotPayload{Slot: 7, Inner: consensus.ReportPayload{K: 1, V: 5}}}
+		ns, _ := aut.Step(0, st, m, hist.Output(0, 1))
+		if _, live := ns.(*logState).instances[7]; live {
+			t.Errorf("shared=%v: unknown slot must not open an instance", aut.Shared())
+		}
+	}
+}
+
+// TestPumpCursorSurvivesMidCycleRetirement: the round-robin cursor over
+// older live instances must stay valid when retirement shrinks (or empties)
+// the set between pump steps.
+func TestPumpCursorSurvivesMidCycleRetirement(t *testing.T) {
+	aut := NewLog([][]int{{1}, {2}, {3}}, 3)
+	pattern := model.PatternFromCrashes(3, nil)
+	hist := PairForLog(pattern, 0, 5)
+
+	st := aut.InitState(0).(*logState)
+	// Fabricate a filled log whose three instances all linger as "older"
+	// (peers have not confirmed progress yet), with the cursor mid-cycle.
+	st.slot = 3
+	st.entries = []int{NoOp, NoOp, NoOp}
+	st.progress = []int{3, 0, 0}
+	st.instances[1] = aut.newInstance(0, st)
+	st.instances[2] = aut.newInstance(0, st)
+	st.pump = 2
+	st.steps = pumpPeriod - 1 // the very next step pumps
+
+	ns, _ := aut.Step(0, st, nil, hist.Output(0, 1))
+	cur := ns.(*logState)
+	if len(cur.instances) != 3 {
+		t.Fatalf("live instances = %d, want 3", len(cur.instances))
+	}
+
+	// Peers announce progress 2 mid-cycle: slots 0 and 1 retire while the
+	// cursor points past the shrunken list.
+	for _, from := range []model.ProcessID{1, 2} {
+		n, _ := aut.Step(0, cur, &model.Message{From: from, To: 0, Seq: 1, Payload: ProgressPayload{Slot: 2}}, hist.Output(0, 2))
+		cur = n.(*logState)
+	}
+	if got := cur.olderSlots(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("older slots after retirement = %v, want [2]", got)
+	}
+
+	// Keep stepping through several pump cycles: the cursor must keep
+	// selecting the one surviving slot, and a final retirement emptying the
+	// set must also be safe.
+	for i := 0; i < 3*pumpPeriod; i++ {
+		n, _ := aut.Step(0, cur, nil, hist.Output(0, model.Time(3+i)))
+		cur = n.(*logState)
+	}
+	n, _ := aut.Step(0, cur, &model.Message{From: 1, To: 0, Seq: 2, Payload: ProgressPayload{Slot: 3}}, hist.Output(0, 20))
+	cur = n.(*logState)
+	n, _ = aut.Step(0, cur, &model.Message{From: 2, To: 0, Seq: 2, Payload: ProgressPayload{Slot: 3}}, hist.Output(0, 21))
+	cur = n.(*logState)
+	if len(cur.instances) != 0 {
+		t.Fatalf("instances after full retirement = %d, want 0", len(cur.instances))
+	}
+	for i := 0; i < 2*pumpPeriod; i++ {
+		n, _ := aut.Step(0, cur, nil, hist.Output(0, model.Time(22+i)))
+		cur = n.(*logState)
+	}
+}

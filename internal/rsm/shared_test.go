@@ -1,0 +1,284 @@
+package rsm_test
+
+import (
+	"context"
+	"testing"
+
+	"nuconsensus/internal/consensus"
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/netrun"
+	"nuconsensus/internal/obs"
+	"nuconsensus/internal/quorum"
+	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
+)
+
+// runSharedLog drives a shared-store replicated log to completion and
+// returns each process's final entries, the stop flag, and the metrics
+// registry the run was instrumented with.
+func runSharedLog(t *testing.T, cmds [][]int, slots int, crashes map[model.ProcessID]model.Time, seed int64) ([][]int, bool, *obs.Registry) {
+	t.Helper()
+	n := len(cmds)
+	pattern := model.PatternFromCrashes(n, crashes)
+	reg := obs.NewRegistry()
+	sampler := rsm.SamplerForLog(pattern, 80, seed)
+	aut := rsm.NewSharedLog(cmds, slots).WithMetrics(reg).WithSampler(sampler)
+	res, err := sim.Run(sim.Exec{
+		Automaton: aut,
+		Pattern:   pattern,
+		History:   sampler,
+		Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
+		MaxSteps:  120000,
+		StopWhen:  rsm.AllAppended(pattern, slots),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := make([][]int, n)
+	for i, s := range res.Config.States {
+		if lh, ok := s.(rsm.LogHolder); ok {
+			logs[i] = lh.Entries()
+		}
+	}
+	return logs, res.Stopped, reg
+}
+
+// TestSharedLogAgreement: the shared-store log satisfies the same per-slot
+// agreement and validity as the owned-mode log, under the same seeds and
+// crash pattern as TestReplicatedLogAgreement.
+func TestSharedLogAgreement(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cmds := [][]int{{10, 11}, {20}, {30, 31}, {40}}
+		crashes := map[model.ProcessID]model.Time{3: 60}
+		logs, done, reg := runSharedLog(t, cmds, 4, crashes, seed)
+		if !done {
+			t.Fatalf("seed=%d: shared log never filled", seed)
+		}
+		pattern := model.PatternFromCrashes(4, crashes)
+		var ref []int
+		pattern.Correct().ForEach(func(p model.ProcessID) {
+			if ref == nil {
+				ref = logs[p]
+				return
+			}
+			if len(logs[p]) != len(ref) {
+				t.Fatalf("seed=%d: %v has %d entries, want %d", seed, p, len(logs[p]), len(ref))
+			}
+			for i := range ref {
+				if logs[p][i] != ref[i] {
+					t.Fatalf("seed=%d: logs diverge at slot %d: %v vs %v", seed, i, logs[p], ref)
+				}
+			}
+		})
+		valid := map[int]bool{rsm.NoOp: true}
+		for _, qs := range cmds {
+			for _, c := range qs {
+				valid[c] = true
+			}
+		}
+		for _, v := range ref {
+			if !valid[v] {
+				t.Fatalf("seed=%d: log contains unproposed command %d", seed, v)
+			}
+		}
+		assertDeltaTransport(t, reg, 4)
+		t.Logf("seed=%d: shared log %v", seed, ref)
+	}
+}
+
+// assertDeltaTransport checks the shared-mode transport counters: delta
+// chaining dominates (hits far above the at-most-one snapshot-shaped first
+// transfer per link), and FIFO delivery makes gaps impossible.
+func assertDeltaTransport(t *testing.T, reg *obs.Registry, n int) {
+	t.Helper()
+	hits := reg.Counter("rsm.hist.delta_hits").Value()
+	falls := reg.Counter("rsm.hist.full_fallbacks").Value()
+	gaps := reg.Counter("rsm.hist.delta_gaps").Value()
+	// A_nuc broadcasts include the sender itself, so there are n² FIFO
+	// links (self-delivery included), each with at most one snapshot-shaped
+	// first transfer.
+	links := int64(n * n)
+	if gaps != 0 {
+		t.Errorf("delta_gaps = %d, want 0 (FIFO links cannot skip)", gaps)
+	}
+	if falls > links {
+		t.Errorf("full_fallbacks = %d, want ≤ %d (one first transfer per link)", falls, links)
+	}
+	if hits <= 10*falls || hits == 0 {
+		t.Errorf("delta_hits = %d vs full_fallbacks = %d: deltas should dominate", hits, falls)
+	}
+	if reg.Counter("rsm.fd.epochs").Value() == 0 {
+		t.Error("rsm.fd.epochs never moved: sampler epochs not fanning out")
+	}
+	if reg.Gauge("rsm.hist.store_entries").Value() == 0 {
+		t.Error("rsm.hist.store_entries gauge never set")
+	}
+}
+
+// TestSharedLogDrainsCommands mirrors TestReplicatedLogDrainsCommands in
+// shared mode.
+func TestSharedLogDrainsCommands(t *testing.T) {
+	cmds := [][]int{{1}, {2}, {3}}
+	logs, done, _ := runSharedLog(t, cmds, 6, nil, 2)
+	if !done {
+		t.Fatal("shared log never filled")
+	}
+	appended := map[int]bool{}
+	for _, v := range logs[0] {
+		appended[v] = true
+	}
+	for p, qs := range cmds {
+		for _, c := range qs {
+			if !appended[c] {
+				t.Errorf("p%d's command %d never appended in %v", p, c, logs[0])
+			}
+		}
+	}
+}
+
+// TestSharedLogOverTCP runs the shared-store stack over real sockets: delta
+// payloads cross the wire codec and the sampler is hit from per-process
+// goroutines concurrently.
+func TestSharedLogOverTCP(t *testing.T) {
+	cmds := [][]int{{7}, {8}, {9}}
+	const slots = 3
+	pattern := model.PatternFromCrashes(3, nil)
+	reg := obs.NewRegistry()
+	sampler := rsm.SamplerForLog(pattern, 100, 4)
+	aut := rsm.NewSharedLog(cmds, slots).WithMetrics(reg).WithSampler(sampler)
+	res, err := netrun.New().Run(context.Background(), aut, sampler, pattern, substrate.Options{
+		Seed:            4,
+		MaxSteps:        3_000_000,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatalf("shared TCP log never filled (%d ticks)", res.Ticks)
+	}
+	var ref []int
+	for p := 0; p < 3; p++ {
+		entries := res.Config.States[p].(rsm.LogHolder).Entries()
+		if ref == nil {
+			ref = entries
+		} else if len(entries) != len(ref) {
+			t.Fatalf("log lengths diverge: %v vs %v", entries, ref)
+		} else {
+			for i := range ref {
+				if entries[i] != ref[i] {
+					t.Fatalf("logs diverge: %v vs %v", entries, ref)
+				}
+			}
+		}
+	}
+	if gaps := reg.Counter("rsm.hist.delta_gaps").Value(); gaps != 0 {
+		t.Errorf("delta_gaps = %d over TCP, want 0 (per-link FIFO)", gaps)
+	}
+	t.Logf("shared TCP replicated log: %v (%d wire bytes)", ref, res.BytesSent)
+}
+
+// TestSharedCloneIsolation: Step must never mutate its input state — in
+// shared mode that hinges on CloneState deep-copying the one shared store
+// and rebinding every cloned instance to the copy. Incoming history deltas
+// land in the store, so delivering one to a state and re-reading that same
+// state is the sharpest probe.
+func TestSharedCloneIsolation(t *testing.T) {
+	pattern := model.PatternFromCrashes(3, nil)
+	hist := rsm.PairForLog(pattern, 40, 7)
+	aut := rsm.NewSharedLog([][]int{{1}, {2}, {3}}, 2)
+	ns := aut.InitState(0)
+	for i := 1; i <= 6; i++ {
+		d := quorum.Delta{Base: uint64(i - 1), To: uint64(i), Adds: []quorum.DeltaEntry{
+			{R: 1, Q: model.SetOf(1, model.ProcessID(i%3))},
+		}}
+		m := &model.Message{From: 1, To: 0, Seq: uint64(i),
+			Payload: rsm.SlotPayload{Slot: 0, Inner: consensus.LeadDeltaPayload{K: i, V: 5, Delta: d}}}
+		before := rsm.StatsOf(ns)
+		next, _ := aut.Step(0, ns, m, hist.Output(0, model.Time(i)))
+		if after := rsm.StatsOf(ns); after != before {
+			t.Fatalf("delivery %d: Step mutated its input state: %+v → %+v", i, before, after)
+		}
+		ns = next
+	}
+	if got := rsm.StatsOf(ns); got.StoreVersion == 0 || got.StoreBytes == 0 {
+		t.Fatalf("store never absorbed the deltas: %+v", got)
+	}
+}
+
+// TestStatsOfModes: StatsOf distinguishes shared from owned states and is
+// zero for foreign ones.
+func TestStatsOfModes(t *testing.T) {
+	if got := rsm.StatsOf(nonLogState{}); got != (rsm.StateStats{}) {
+		t.Errorf("StatsOf(foreign) = %+v, want zero", got)
+	}
+	owned := rsm.NewLog([][]int{{1}, {2}}, 2).InitState(0)
+	if got := rsm.StatsOf(owned); got.StoreVersion != 0 || got.LiveInstances != 1 {
+		t.Errorf("StatsOf(owned init) = %+v", got)
+	}
+	shared := rsm.NewSharedLog([][]int{{1}, {2}}, 2).InitState(0)
+	if got := rsm.StatsOf(shared); got.LiveInstances != 1 || got.HistEntries != 0 {
+		t.Errorf("StatsOf(shared init) = %+v", got)
+	}
+}
+
+// starveScheduler excludes one process from scheduling for its first
+// `until` decisions, then behaves exactly like its inner scheduler — a
+// deterministic way to create a laggard that must catch up through slots
+// its peers decided (and whose stores compacted) long ago.
+type starveScheduler struct {
+	inner  sim.Scheduler
+	victim model.ProcessID
+	until  int
+	calls  int
+}
+
+func (s *starveScheduler) Next(t model.Time, alive model.ProcessSet, c *model.Configuration) (model.ProcessID, *model.Message) {
+	s.calls++
+	if s.calls <= s.until {
+		if rest := alive.Remove(s.victim); !rest.IsEmpty() {
+			return s.inner.Next(t, rest, c)
+		}
+	}
+	return s.inner.Next(t, alive, c)
+}
+
+// TestSharedLogLaggardCatchesUp: a process starved through thousands of
+// steps — while its peers decide slots, retire instances, and compact
+// their delta logs — must still drain its FIFO backlog, decide every slot
+// itself, and agree, with zero delta gaps and no late snapshot fallbacks
+// (compaction floors never pass a version already shipped to the laggard).
+func TestSharedLogLaggardCatchesUp(t *testing.T) {
+	cmds := [][]int{{10}, {20}, {30}}
+	const slots = 4
+	pattern := model.PatternFromCrashes(3, nil)
+	reg := obs.NewRegistry()
+	sampler := rsm.SamplerForLog(pattern, 80, 6)
+	aut := rsm.NewSharedLog(cmds, slots).WithMetrics(reg).WithSampler(sampler)
+	res, err := sim.Run(sim.Exec{
+		Automaton: aut,
+		Pattern:   pattern,
+		History:   sampler,
+		Scheduler: &starveScheduler{inner: sim.NewFairScheduler(6, 0.8, 3), victim: 2, until: 4000},
+		MaxSteps:  200000,
+		StopWhen:  rsm.AllAppended(pattern, slots),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("laggard never caught up")
+	}
+	ref := res.Config.States[0].(rsm.LogHolder).Entries()
+	lag := res.Config.States[2].(rsm.LogHolder).Entries()
+	if len(ref) != slots || len(lag) != slots {
+		t.Fatalf("log lengths: p0=%d p2=%d, want %d", len(ref), len(lag), slots)
+	}
+	for i := range ref {
+		if ref[i] != lag[i] {
+			t.Fatalf("laggard diverged at slot %d: %v vs %v", i, lag, ref)
+		}
+	}
+	assertDeltaTransport(t, reg, 3)
+}

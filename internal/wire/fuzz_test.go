@@ -18,6 +18,8 @@ func FuzzDecodePayload(f *testing.F) {
 		consensus.ProposalPayload{K: 5},
 		consensus.SawPayload{Q: model.SetOf(0, 2)},
 		consensus.AckPayload{Q: model.SetOf(1), K: 8},
+		consensus.LeadDeltaPayload{K: 3, V: -7, Delta: sampleDelta()},
+		consensus.ProposalDeltaPayload{K: 5, HasV: true, V: 2, Delta: sampleDelta()},
 	}
 	for _, pl := range seed {
 		b, err := wire.EncodePayload(pl)

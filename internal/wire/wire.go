@@ -45,6 +45,8 @@ const (
 	tagCoord
 	tagReply
 	tagDecide
+	tagLeadDelta
+	tagProposalDelta
 )
 
 // Failure-detector value tags.
@@ -180,6 +182,21 @@ func encodePayload(w *buf, pl model.Payload) error {
 	case consensus.DecidePayload:
 		w.putByte(tagDecide)
 		w.putInt(p.V)
+	case consensus.LeadDeltaPayload:
+		w.putByte(tagLeadDelta)
+		w.putInt(p.K)
+		w.putInt(p.V)
+		encodeDelta(w, p.Delta)
+	case consensus.ProposalDeltaPayload:
+		w.putByte(tagProposalDelta)
+		w.putInt(p.K)
+		w.putInt(p.V)
+		if p.HasV {
+			w.putByte(1)
+		} else {
+			w.putByte(0)
+		}
+		encodeDelta(w, p.Delta)
 	default:
 		return fmt.Errorf("wire: unknown payload type %T", pl)
 	}
@@ -339,6 +356,38 @@ func decodePayload(r *buf) (model.Payload, error) {
 			return nil, err
 		}
 		return consensus.DecidePayload{V: v}, nil
+	case tagLeadDelta:
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		d, err := decodeDelta(r)
+		if err != nil {
+			return nil, err
+		}
+		return consensus.LeadDeltaPayload{K: k, V: v, Delta: d}, nil
+	case tagProposalDelta:
+		k, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		hasV, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		d, err := decodeDelta(r)
+		if err != nil {
+			return nil, err
+		}
+		return consensus.ProposalDeltaPayload{K: k, V: v, HasV: hasV == 1, Delta: d}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown payload tag %d", tag)
 	}
@@ -399,6 +448,59 @@ func decodeHistories(r *buf) (quorum.Histories, error) {
 		}
 	}
 	return h, nil
+}
+
+// encodeDelta writes a versioned history delta: the version interval, then
+// the add list. The producer (quorum.Versioned) emits Adds in canonical
+// (R, Q) order with no duplicates, so the bytes are map-order-free by
+// construction; the encoder writes the slice as-is and allocates nothing.
+func encodeDelta(w *buf, d quorum.Delta) {
+	w.putUvarint(d.Base)
+	w.putUvarint(d.To)
+	w.putUvarint(uint64(len(d.Adds)))
+	for _, e := range d.Adds {
+		w.putUvarint(uint64(e.R))
+		w.putUvarint(uint64(e.Q))
+	}
+}
+
+func decodeDelta(r *buf) (quorum.Delta, error) {
+	var d quorum.Delta
+	var err error
+	if d.Base, err = r.uvarint(); err != nil {
+		return d, err
+	}
+	if d.To, err = r.uvarint(); err != nil {
+		return d, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return d, err
+	}
+	// Every add costs at least two bytes; a count exceeding the remaining
+	// input is forged — reject before allocating (same defense as graphs).
+	if n > uint64(len(r.b)-r.pos)/2 {
+		return d, fmt.Errorf("wire: delta claims %d adds but only %d bytes remain", n, len(r.b)-r.pos)
+	}
+	if n == 0 {
+		return d, nil
+	}
+	d.Adds = make([]quorum.DeltaEntry, n)
+	for i := range d.Adds {
+		pr, err := r.uvarint()
+		if err != nil {
+			return d, err
+		}
+		if pr >= model.MaxProcesses {
+			return d, fmt.Errorf("wire: delta add for process %d", pr)
+		}
+		q, err := r.uvarint()
+		if err != nil {
+			return d, err
+		}
+		d.Adds[i] = quorum.DeltaEntry{R: model.ProcessID(pr), Q: model.ProcessSet(q)}
+	}
+	return d, nil
 }
 
 // EncodeValue serializes a failure-detector value.
@@ -633,6 +735,10 @@ var payloadPrototypes = map[byte]model.Payload{
 	tagCoord:     consensus.CoordPayload{},
 	tagReply:     consensus.ReplyPayload{},
 	tagDecide:    consensus.DecidePayload{},
+	// Delta payloads intentionally do not implement SupersededPayload:
+	// collapsing one in an inbox would break the receiver's version chain.
+	tagLeadDelta:     consensus.LeadDeltaPayload{},
+	tagProposalDelta: consensus.ProposalDeltaPayload{},
 }
 
 // MessageHead is the envelope of an encoded message: everything a

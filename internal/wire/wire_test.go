@@ -23,6 +23,17 @@ func sampleHistories() quorum.Histories {
 	return h
 }
 
+func sampleDelta() quorum.Delta {
+	return quorum.Delta{
+		Base: 4,
+		To:   6,
+		Adds: []quorum.DeltaEntry{
+			{R: 0, Q: model.SetOf(0, 1)},
+			{R: 2, Q: model.SetOf(1, 2)},
+		},
+	}
+}
+
 func TestRoundTripPayloads(t *testing.T) {
 	payloads := []model.Payload{
 		consensus.LeadPayload{K: 3, V: -7, Hist: sampleHistories()},
@@ -39,6 +50,10 @@ func TestRoundTripPayloads(t *testing.T) {
 		consensus.ReplyPayload{R: 7, Ok: true},
 		consensus.ReplyPayload{R: 8},
 		consensus.DecidePayload{V: -1},
+		consensus.LeadDeltaPayload{K: 3, V: -7, Delta: sampleDelta()},
+		consensus.LeadDeltaPayload{K: 1, V: 0, Delta: quorum.Delta{Base: 2, To: 2}},
+		consensus.ProposalDeltaPayload{K: 5, V: 9, HasV: true, Delta: sampleDelta()},
+		consensus.ProposalDeltaPayload{K: 5, Delta: quorum.Delta{To: 1, Adds: []quorum.DeltaEntry{{R: 1, Q: model.SetOf(1)}}}},
 	}
 	for _, pl := range payloads {
 		b, err := wire.EncodePayload(pl)
@@ -144,6 +159,45 @@ func TestDecodeErrors(t *testing.T) {
 	}
 }
 
+func TestDeltaPayloadDecodeRejectsForgedCount(t *testing.T) {
+	// tagLeadDelta, K=0, V=0, Base=0, To=0, count=200 with no bytes behind
+	// it must be rejected before allocating the adds slice.
+	b := []byte{16, 0, 0, 0, 0, 200, 1}
+	if _, err := wire.DecodePayload(b); err == nil {
+		t.Error("forged delta add count must error")
+	}
+	// An add naming a process ≥ MaxProcesses is invalid.
+	b = []byte{16, 0, 0, 0, 2, 1, 64, 1}
+	if _, err := wire.DecodePayload(b); err == nil {
+		t.Error("delta add for out-of-range process must error")
+	}
+}
+
+func TestDeltaPayloadsNeverSupersede(t *testing.T) {
+	// Collapsing a delta frame in an inbox would break the receiver's
+	// version chain; the envelope must say so without decoding the body.
+	for _, pl := range []model.Payload{
+		consensus.LeadDeltaPayload{K: 1, Delta: sampleDelta()},
+		consensus.ProposalDeltaPayload{K: 1, Delta: sampleDelta()},
+	} {
+		if _, ok := pl.(model.SupersededPayload); ok {
+			t.Fatalf("%T must not implement SupersededPayload", pl)
+		}
+		m := &model.Message{From: 1, To: 2, Seq: 3, Payload: pl}
+		b, err := wire.EncodeMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := wire.PeekMessage(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Kind != pl.Kind() || h.Supersedes {
+			t.Errorf("peek of %T = %+v", pl, h)
+		}
+	}
+}
+
 type alienPayload struct{}
 
 func (alienPayload) Kind() string   { return "ALIEN" }
@@ -161,6 +215,8 @@ func TestRoundTripRSMPayloads(t *testing.T) {
 		rsm.SlotPayload{Slot: 0, Inner: consensus.LeadPayload{K: 2, V: -1, Hist: sampleHistories()}},
 		rsm.ProgressPayload{Slot: 7},
 		rsm.CommandPayload{Cmd: 42},
+		rsm.SlotPayload{Slot: 5, Inner: consensus.LeadDeltaPayload{K: 2, V: -1, Delta: sampleDelta()}},
+		rsm.SlotPayload{Slot: 6, Inner: consensus.ProposalDeltaPayload{K: 4, V: 0, HasV: true, Delta: sampleDelta()}},
 	}
 	for _, pl := range payloads {
 		b, err := wire.EncodePayload(pl)
