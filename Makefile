@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-hot bench-report bench-check experiments experiments-full substrate-smoke explore-smoke obs-smoke e17-smoke fuzz fmt vet lint lint-flow lint-static ci clean
+.PHONY: all build test test-short race bench bench-hot bench-report bench-check experiments experiments-full substrate-smoke explore-smoke obs-smoke e17-smoke serve-smoke fuzz fmt vet lint lint-flow lint-static ci clean
 
 all: build test
 
@@ -23,12 +23,13 @@ bench:
 
 # BENCH_HOT selects the hot-path benchmarks the perf contract covers: the
 # sim step loop, the wire codec, the substrate inbox, the explorer
-# frontier, the long replicated-log run and the history-delta inner loops.
+# frontier, the long replicated-log run, the history-delta inner loops,
+# and the serving layer's batch codec and session dedup.
 # BENCH_COUNT=3 runs each three times; cmd/benchreport takes the
 # per-metric median so a single noisy run cannot move the baseline.
-BENCH_HOT ?= BenchmarkSimStep|BenchmarkWire|BenchmarkInbox|BenchmarkExploreFrontier|BenchmarkLogLongRun|BenchmarkHistoryDelta
+BENCH_HOT ?= BenchmarkSimStep|BenchmarkWire|BenchmarkInbox|BenchmarkExploreFrontier|BenchmarkLogLongRun|BenchmarkHistoryDelta|BenchmarkServeBatch|BenchmarkSessionDedup
 BENCH_COUNT ?= 3
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_9.json
 
 # bench-hot prints the raw hot-path benchmark runs.
 bench-hot:
@@ -87,6 +88,34 @@ obs-smoke:
 	@rm -f obs-smoke.p1.jsonl obs-smoke.p8.jsonl obs-smoke.p1.metrics obs-smoke.p8.metrics obs-smoke.trace.json
 	@echo "obs: event log and metrics byte-identical at -parallel 1 and 8; trace is valid JSON"
 
+# serve-smoke checks the serving layer both ways it runs. First E18 on
+# the sim substrate: the metrics dump (the serve.* counters fold
+# commutatively) must be byte-identical at -parallel 1 and 8. Then the
+# real thing: a 3-node cmd/nucd cluster over loopback TCP serves a short
+# cmd/nucload run (writes + plain and read-index reads), both sides dump
+# their metrics registries as JSONL (the CI artifact), and the dumps must
+# actually carry the serving-path instruments. nucd itself fails the
+# target if the replicas' machines diverge or the step budget runs out;
+# nucload fails it if any write goes unacked.
+serve-smoke:
+	$(GO) run ./cmd/experiments -e E18 -parallel 1 -metrics serve-smoke.p1.metrics > /dev/null
+	$(GO) run ./cmd/experiments -e E18 -parallel 8 -metrics serve-smoke.p8.metrics > /dev/null
+	diff serve-smoke.p1.metrics serve-smoke.p8.metrics
+	$(GO) build -o nucd.smoke ./cmd/nucd
+	$(GO) build -o nucload.smoke ./cmd/nucload
+	rm -f serve-smoke.addrs
+	./nucd.smoke -n 3 -ops 300 -batch 8 -addr-file serve-smoke.addrs \
+	    -metrics nucd.metrics.jsonl & \
+	pid=$$!; \
+	./nucload.smoke -addr-file serve-smoke.addrs -ops 300 -clients 4 -window 4 \
+	    -read-frac 0.3 -timeout 60s -metrics nucload.metrics.jsonl \
+	    || { kill $$pid 2>/dev/null; exit 1; }; \
+	wait $$pid
+	grep -q '"name":"serve.apply.commands"' nucd.metrics.jsonl
+	grep -q '"name":"load.write_us"' nucload.metrics.jsonl
+	@rm -f serve-smoke.p1.metrics serve-smoke.p8.metrics serve-smoke.addrs nucd.smoke nucload.smoke
+	@echo "serve: E18 metrics byte-identical at -parallel 1 and 8; nucd+nucload TCP run clean"
+
 # e17-smoke runs the long-log scale experiment (E17) end to end and checks
 # the shared-store transport contract on its obs metrics dump: byte-
 # identical at -parallel 1 and 8 (the rsm.hist.* counters fold
@@ -143,6 +172,7 @@ ci: lint-static
 	$(MAKE) explore-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) e17-smoke
+	$(MAKE) serve-smoke
 
 clean:
 	$(GO) clean ./...

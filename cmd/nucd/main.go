@@ -1,0 +1,325 @@
+// Command nucd hosts a replicated KV/queue service: an n-process serving
+// cluster (internal/serve over the rsm log) executing on the TCP-mesh
+// substrate inside one OS process, with one client listener per node
+// speaking the varint-framed SREQ/SREP payload protocol of internal/wire.
+//
+// Writes are batched per node (-batch commands per consensus value, or a
+// -flush timeout for stragglers), gossiped as BATCH bodies, decided as
+// batch IDs on the pipelined shared-store log, and applied exactly once
+// through per-client sessions; the reply to a write is sent when it
+// applies at the node that accepted it. Reads are served locally: plain
+// reads from the node's machine, linearizable reads via read-index (snap
+// the decided frontier, wait until applied, then read).
+//
+// With -ops N the daemon exits once every node has applied N distinct
+// commands (pair it with cmd/nucload -ops N); with -ops 0 it runs until
+// the log is full. On exit it verifies cross-node machine agreement,
+// writes the metrics registry as JSONL (-metrics), and prints a summary.
+//
+// Usage:
+//
+//	nucd -n 4 -ops 2000 -batch 16 -addr-file /tmp/nucd.addrs &
+//	nucload -addr-file /tmp/nucd.addrs -ops 2000 -clients 8
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"nuconsensus/internal/model"
+	_ "nuconsensus/internal/netrun" // register the tcp substrate
+	"nuconsensus/internal/obs"
+	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/serve"
+	"nuconsensus/internal/substrate"
+	"nuconsensus/internal/wire"
+
+	"context"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 4, "number of replicas (2..64)")
+		slots     = flag.Int("slots", 1<<16, "log capacity (consensus instances)")
+		pipeline  = flag.Int("pipeline", 2, "slot instances in flight")
+		batch     = flag.Int("batch", 16, "max commands per consensus batch")
+		flush     = flag.Duration("flush", 2*time.Millisecond, "partial-batch flush interval")
+		ops       = flag.Int("ops", 0, "exit after this many distinct commands applied everywhere (0: run to log-full)")
+		seed      = flag.Int64("seed", 1, "substrate seed")
+		stabilize = flag.Int64("stabilize", 60, "failure-detector stabilization time (logical ticks)")
+		maxSteps  = flag.Int("maxsteps", 50_000_000, "logical step budget")
+		addrFile  = flag.String("addr-file", "", "write the client listener addresses to this file (one per line)")
+		metrics   = flag.String("metrics", "", "write the metrics registry as JSONL to this file at exit")
+	)
+	flag.Parse()
+	if *n < 2 || *n > 64 {
+		log.Fatalf("nucd: need 2 <= n <= 64, got %d", *n)
+	}
+
+	reg := obs.NewRegistry()
+	pattern := model.NewFailurePattern(*n)
+	cl := serve.NewCluster(serve.Config{
+		N: *n, Slots: *slots, Pipeline: *pipeline,
+		Target: *ops, Registry: reg,
+	})
+	sampler := rsm.SamplerForLog(pattern, model.Time(*stabilize), *seed)
+	cl.Log().WithSampler(sampler)
+
+	// Client listeners: one per node, ephemeral loopback ports.
+	listeners := make([]net.Listener, *n)
+	addrs := make([]string, *n)
+	for p := 0; p < *n; p++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("nucd: client listener for node %d: %v", p, err)
+		}
+		listeners[p] = ln
+		addrs[p] = ln.Addr().String()
+	}
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, addrs); err != nil {
+			log.Fatalf("nucd: %v", err)
+		}
+	}
+	for p, a := range addrs {
+		fmt.Printf("listen node=%d addr=%s\n", p, a)
+	}
+
+	var conns sync.WaitGroup
+	batchers := make([]*batcher, *n)
+	for p := 0; p < *n; p++ {
+		batchers[p] = newBatcher(cl.Ingress(model.ProcessID(p)), *batch, *flush)
+		go serveClients(listeners[p], cl.Applier(model.ProcessID(p)), batchers[p], reg, &conns)
+	}
+
+	// NUCD_DEBUG=1 prints per-node applier progress every 5s — the first
+	// thing to reach for when a run stops making progress (it is how the
+	// pipelined-window liveness wedge that motivated rsm's parked-message
+	// replay was diagnosed: every node frozen at frontier=2, cmds=0).
+	if os.Getenv("NUCD_DEBUG") != "" {
+		go func() {
+			for range time.Tick(5 * time.Second) {
+				for p := 0; p < *n; p++ {
+					st := cl.Applier(model.ProcessID(p)).StatsOf()
+					fmt.Printf("DEBUG node=%d frontier=%d applied=%d cmds=%d dups=%d batches=%d stalled=%d\n",
+						p, st.Frontier, st.Applied, st.Commands, st.Dups, st.Batches, st.Stalled)
+				}
+			}
+		}()
+	}
+
+	sub, err := substrate.Get("tcp")
+	if err != nil {
+		log.Fatalf("nucd: %v", err)
+	}
+	start := time.Now()
+	res, err := sub.Run(context.Background(), cl.Automaton(), sampler, pattern, substrate.Options{
+		Seed:            *seed,
+		MaxSteps:        *maxSteps,
+		StopWhenDecided: true,
+		Metrics:         reg,
+	})
+	if err != nil {
+		log.Fatalf("nucd: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	// The halted cluster can no longer apply stalled frontier entries, so
+	// unblock read-index waits (they degrade to local reads), stop new
+	// accepts, and give in-flight clients a bounded grace to drain their
+	// windows and hang up before the process exits under them.
+	for p := 0; p < *n; p++ {
+		cl.Applier(model.ProcessID(p)).Shutdown()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	drained := make(chan struct{})
+	go func() { conns.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		log.Print("nucd: clients still connected after shutdown grace; exiting anyway")
+	}
+
+	// Cross-node agreement: every replica applied the same command count
+	// and holds the same machine state.
+	var refSum uint64
+	agree := true
+	var applied int64
+	for p := 0; p < *n; p++ {
+		st := cl.Applier(model.ProcessID(p)).StatsOf()
+		sum := cl.Applier(model.ProcessID(p)).Checksum()
+		fmt.Printf("node=%d applied=%d cmds=%d dups=%d batches=%d checksum=%016x\n",
+			p, st.Applied, st.Commands, st.Dups, st.Batches, sum)
+		if p == 0 {
+			refSum, applied = sum, st.Commands
+		} else if sum != refSum || st.Commands != applied {
+			agree = false
+		}
+	}
+	fmt.Printf("done decided=%v steps=%d wall=%s cmds=%d cmds/sec=%.0f bytes_sent=%d\n",
+		res.Decided, res.Steps, elapsed.Round(time.Millisecond), applied,
+		float64(applied)/elapsed.Seconds(), res.BytesSent)
+
+	if *metrics != "" {
+		if err := writeMetricsJSONL(*metrics, reg); err != nil {
+			log.Fatalf("nucd: %v", err)
+		}
+	}
+	if !agree {
+		log.Fatal("nucd: replica machines diverged")
+	}
+	if !res.Decided {
+		log.Fatal("nucd: step budget exhausted before the target was reached")
+	}
+}
+
+// writeAddrFile publishes the listener addresses atomically (write a temp
+// file, then rename) so a polling nucload never reads a partial list.
+func writeAddrFile(path string, addrs []string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strings.Join(addrs, "\n")+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeMetricsJSONL dumps the registry snapshot, one JSON object per
+// instrument in sorted name order.
+func writeMetricsJSONL(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, s := range reg.Snapshot() {
+		if err := enc.Encode(s); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// batcher groups a node's incoming write commands into consensus batches:
+// a group is pushed to the node's ingress when it reaches the size cap or
+// when the flush ticker finds it aged.
+type batcher struct {
+	mu      sync.Mutex
+	cur     []serve.Command
+	ingress *serve.Ingress
+	size    int
+}
+
+func newBatcher(in *serve.Ingress, size int, flush time.Duration) *batcher {
+	b := &batcher{ingress: in, size: size}
+	go func() {
+		t := time.NewTicker(flush)
+		defer t.Stop()
+		for range t.C {
+			b.mu.Lock()
+			b.flushLocked()
+			b.mu.Unlock()
+		}
+	}()
+	return b
+}
+
+func (b *batcher) add(c serve.Command) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cur = append(b.cur, c)
+	if len(b.cur) >= b.size {
+		b.flushLocked()
+	}
+}
+
+func (b *batcher) flushLocked() {
+	if len(b.cur) == 0 {
+		return
+	}
+	b.ingress.Push(b.cur)
+	b.cur = nil
+}
+
+// serveClients accepts client connections for one node.
+func serveClients(ln net.Listener, ap *serve.Applier, bt *batcher, reg *obs.Registry, conns *sync.WaitGroup) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed at shutdown
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			handleConn(conn, ap, bt, reg)
+		}()
+	}
+}
+
+// handleConn speaks the framed SREQ/SREP protocol on one connection.
+// Writes are acked asynchronously when they apply (RegisterWaiter), so a
+// client may pipeline; replies share the connection under a write lock.
+func handleConn(conn net.Conn, ap *serve.Applier, bt *batcher, reg *obs.Registry) {
+	defer conn.Close()
+	var wmu sync.Mutex
+	reply := func(client uint32, seq uint64, status byte, val int64) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := wire.WritePayloadFrame(conn, serve.ReplyPayload{Client: client, Seq: seq, Status: status, Val: val}); err != nil {
+			conn.Close() // reader sees the error and drops the conn
+		}
+	}
+	cReqs := reg.Counter("nucd.requests")
+	cReads := reg.Counter("nucd.reads")
+	cLin := reg.Counter("nucd.lin_reads")
+	r := bufio.NewReader(conn)
+	for {
+		pl, err := wire.ReadPayloadFrame(r)
+		if err != nil {
+			return // closed or corrupted: drop the connection
+		}
+		req, ok := pl.(serve.RequestPayload)
+		if !ok {
+			return
+		}
+		cReqs.Add(1)
+		switch req.Op {
+		case serve.OpGet:
+			cReads.Add(1)
+			var v int64
+			var hit bool
+			if req.Lin {
+				cLin.Add(1)
+				v, hit = ap.GetLin(req.Key)
+			} else {
+				v, hit = ap.Get(req.Key)
+			}
+			status := byte(serve.StatusOK)
+			if !hit {
+				status = serve.StatusMissing
+			}
+			reply(req.Client, req.Seq, status, v)
+		default:
+			// A write: ack when it applies, then batch it toward the log.
+			ap.RegisterWaiter(req.Client, req.Seq, func(status byte, val int64) {
+				reply(req.Client, req.Seq, status, val)
+			})
+			bt.add(serve.Command{Client: req.Client, Seq: req.Seq, Op: req.Op, Key: req.Key, Val: req.Val})
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/obs"
+	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/serve"
+	"nuconsensus/internal/substrate"
+	"nuconsensus/internal/wire"
+)
+
+// E18 measures the serving layer (internal/serve) end to end: a generated
+// client workload — Zipf-skewed keys, mixed kv/queue ops, per-client
+// session seqs — batched into consensus values and served off the
+// replicated log, with exactly-once application checked on every run.
+//
+// Two grids, one claim each:
+//
+//   - batch: the per-slot consensus cost is independent of how many
+//     commands ride in the slot's batch, so throughput (commands applied
+//     per step) scales with batch size;
+//   - pipe: the pipelined window advances one in-flight instance per step
+//     (round-robin), so deepening the window must NOT inflate the message
+//     cost per decided slot.
+
+const (
+	e18N       = 4
+	e18Batches = 8  // batches per run, both grids
+	e18Slots   = 24 // fixed log capacity: 8 value slots + generous noop slack
+)
+
+var (
+	e18BatchGrid = []int{1, 4, 16, 64} // commands per batch (pipeline fixed at 2)
+	e18PipeGrid  = []int{1, 2, 4}      // slot instances in flight (batch fixed at 4)
+)
+
+// e18Meter counts sends and bytes-on-wire through the real codec. The
+// concurrent substrates step processes from independent goroutines, so the
+// taps are atomics; they are per-unit, so the recorded numbers stay
+// deterministic on sim at any engine worker count.
+type e18Meter struct {
+	model.Automaton
+	msgs      atomic.Int64
+	wireBytes atomic.Int64
+}
+
+func (a *e18Meter) Step(p model.ProcessID, s model.State, m *model.Message, d model.FDValue) (model.State, []model.Send) {
+	ns, sends := a.Automaton.Step(p, s, m, d)
+	var total int64
+	for _, snd := range sends {
+		if b, err := wire.EncodePayload(snd.Payload); err == nil {
+			total += int64(len(b))
+		}
+	}
+	a.msgs.Add(int64(len(sends)))
+	a.wireBytes.Add(total)
+	return ns, sends
+}
+
+var e18Spec = &Spec{
+	ID:    "E18",
+	Title: "Serving layer: batched throughput and pipelined slot cost",
+	Claim: "§1 motivation, as a service: consensus per slot costs the same " +
+		"whether the slot carries one command or sixty-four, so batching " +
+		"multiplies served throughput; and the pipelined window advances one " +
+		"in-flight instance per step, so message cost per decided slot stays " +
+		"flat as the window deepens. Exactly-once application and machine " +
+		"agreement hold on every run.",
+	Columns: []string{"grid", "arg", "runs", "ok", "cmds/run", "steps/run", "cmds/kstep", "msgs/slot", "dups/run"},
+	// Portable: the unit drives the substrate interface with
+	// StopWhenDecided (replicaState implements model.Decider), so it runs
+	// unchanged on the async and tcp backends.
+	Portable: true,
+	Configs: func(sc Scale) []Config {
+		var cfgs []Config
+		for _, b := range e18BatchGrid {
+			cfgs = append(cfgs, seedRange(Config{Label: "batch", N: e18N, Arg: b}, sc.Seeds)...)
+		}
+		for _, k := range e18PipeGrid {
+			cfgs = append(cfgs, seedRange(Config{Label: "pipe", N: e18N, Arg: k}, sc.Seeds)...)
+		}
+		return cfgs
+	},
+	Unit: func(sc Scale, cfg Config, rng *rand.Rand) UnitResult {
+		u := UnitResult{Counted: true}
+		seed := cfg.Seed
+		sub, err := sc.substrate()
+		if err != nil {
+			u.failf("%v", err)
+			return u
+		}
+		batch, pipe := cfg.Arg, 2
+		if cfg.Label == "pipe" {
+			batch, pipe = 4, cfg.Arg
+		}
+		wl := serve.Workload{
+			Commands: batch * e18Batches, Batch: batch,
+			Clients: 8, Keys: 64, Zipf: 1.3, QueueFrac: 0.25,
+		}.Gen(rng, e18N)
+		total := 0
+		for _, bs := range wl {
+			for _, b := range bs {
+				total += len(b.Cmds)
+			}
+		}
+		pattern := model.NewFailurePattern(e18N)
+		reg := obs.NewRegistry()
+		cl := serve.NewCluster(serve.Config{
+			N: e18N, Slots: e18Slots, Pipeline: pipe,
+			Workload: wl, Target: total, Registry: reg,
+		})
+		sampler := rsm.SamplerForLog(pattern, 60, seed)
+		cl.Log().WithSampler(sampler)
+		meter := &e18Meter{Automaton: cl.Automaton()}
+		budget := min(sc.MaxSteps*8, 400000)
+		if !sub.Deterministic() && budget < 3_000_000 {
+			budget = 3_000_000
+		}
+		res, err := sub.Run(context.Background(), meter, sampler, pattern, substrate.Options{
+			Seed:            seed,
+			MaxSteps:        budget,
+			StopWhenDecided: true,
+			Bus:             sc.Bus,
+			Metrics:         sc.Metrics,
+		})
+		if err != nil || !res.Decided {
+			u.failf("%s=%d seed=%d: err=%v decided=%v", cfg.Label, cfg.Arg, seed, err, res != nil && res.Decided)
+			return u
+		}
+		// Exactly-once and agreement, on every unit: each replica applied
+		// every distinct command exactly once, and the machines agree.
+		var refSum uint64
+		slots, dups := 0, 0
+		for p := 0; p < e18N; p++ {
+			st := cl.Applier(model.ProcessID(p)).StatsOf()
+			if st.Commands != int64(total) {
+				u.failf("%s=%d seed=%d: p%d applied %d distinct commands, want %d",
+					cfg.Label, cfg.Arg, seed, p, st.Commands, total)
+				return u
+			}
+			sum := cl.Applier(model.ProcessID(p)).Checksum()
+			if p == 0 {
+				refSum = sum
+			} else if sum != refSum {
+				u.failf("%s=%d seed=%d: p%d machine checksum %x != %x", cfg.Label, cfg.Arg, seed, p, sum, refSum)
+				return u
+			}
+			if st.Frontier > slots {
+				slots = st.Frontier
+			}
+			dups += int(st.Dups)
+		}
+		u.OK = true
+		u.Add("cmds", total)
+		u.Add("steps", res.Steps)
+		u.Add("msgs", int(meter.msgs.Load()))
+		u.Add("wire", int(meter.wireBytes.Load()))
+		u.Add("slots", slots)
+		u.Add("dups", dups)
+		// Fold the per-unit registry into the run-wide metrics registry
+		// (commutative adds/maxes only, so dumps stay worker-count-free).
+		if sc.Metrics != nil {
+			for _, name := range []string{
+				"serve.apply.commands", "serve.apply.dup_commands",
+				"serve.apply.batches", "serve.apply.dup_batches",
+				"serve.apply.noops", "serve.apply.stalls",
+				"serve.sessions.compactions",
+			} {
+				sc.Metrics.Counter(name).Add(reg.Counter(name).Value())
+			}
+			sc.Metrics.Gauge("serve.sessions.live").Max(reg.Gauge("serve.sessions.live").Value())
+		}
+		return u
+	},
+	Row: func(_ Scale, g Group) []string {
+		return []string{g.Key.Label, itoa(g.Key.Arg), itoa(g.Runs()), itoa(g.OKs()),
+			g.AvgOverOK("cmds"), g.AvgOverOK("steps"),
+			avg(g.Sum("cmds")*1000, g.Sum("steps")),
+			avg(g.Sum("msgs"), g.Sum("slots")),
+			g.AvgOverOK("dups")}
+	},
+	Finalize: func(sc Scale, t *Table, gs []Group) {
+		// Throughput per grid point (commands per kilo-step) and message
+		// cost per decided slot.
+		thru := map[string]map[int]float64{"batch": {}, "pipe": {}}
+		msgsPerSlot := map[string]map[int]float64{"batch": {}, "pipe": {}}
+		for _, g := range gs {
+			if g.OKs() == 0 {
+				t.Pass = false
+				return
+			}
+			thru[g.Key.Label][g.Key.Arg] = 1000 * float64(g.Sum("cmds")) / float64(g.Sum("steps"))
+			msgsPerSlot[g.Key.Label][g.Key.Arg] = float64(g.Sum("msgs")) / float64(g.Sum("slots"))
+		}
+		bLo, bHi := e18BatchGrid[0], e18BatchGrid[len(e18BatchGrid)-1]
+		pLo, pHi := e18PipeGrid[0], e18PipeGrid[len(e18PipeGrid)-1]
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("throughput, batch %d→%d: %.1f → %.1f cmds/kstep (%.1fx)",
+				bLo, bHi, thru["batch"][bLo], thru["batch"][bHi], thru["batch"][bHi]/thru["batch"][bLo]),
+			fmt.Sprintf("msgs per decided slot, pipeline %d→%d: %.1f → %.1f",
+				pLo, pHi, msgsPerSlot["pipe"][pLo], msgsPerSlot["pipe"][pHi]))
+		if thru["batch"][bHi] < 5*thru["batch"][bLo] {
+			t.Pass = false
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"FAIL: batching %d→%d should multiply throughput at least 5x", bLo, bHi))
+		}
+		if msgsPerSlot["pipe"][pHi] > 1.5*msgsPerSlot["pipe"][pLo] {
+			t.Pass = false
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"FAIL: message cost per slot should stay flat as the window deepens (%d→%d grew %.1f→%.1f)",
+				pLo, pHi, msgsPerSlot["pipe"][pLo], msgsPerSlot["pipe"][pHi]))
+		}
+	},
+}

@@ -11,7 +11,7 @@ var tiny = Scale{Seeds: 1, MaxSteps: 30000}
 // TestRegistryComplete ensures the registry matches EXPERIMENTS.md's index.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7"}
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs() = %v", got)
@@ -32,7 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 // expensive DAG-extraction ones run in short form only when -short is not
 // set.
 func TestFastExperimentsPass(t *testing.T) {
-	fast := []string{"E1", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "Q1", "Q2", "Q5", "Q7"}
+	fast := []string{"E1", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E18", "Q1", "Q2", "Q5", "Q7"}
 	for _, id := range fast {
 		id := id
 		t.Run(id, func(t *testing.T) {

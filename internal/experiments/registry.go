@@ -22,6 +22,7 @@ var Registry = map[string]*Spec{
 	"E15": e15Spec,
 	"E16": e16Spec,
 	"E17": e17Spec,
+	"E18": e18Spec,
 	"Q1":  q1Spec,
 	"Q2":  q2Spec,
 	"Q3":  q3Spec,

@@ -210,3 +210,27 @@ func encodeDeltaUseAfterPut(adds [][2]uint64) []byte {
 	wire.PutBuf(frame)
 	return frame // want `pooled buffer frame returned after PutBuf \(line 210\)`
 }
+
+// writeFrameShape is the serve client-protocol write path (cmd/nucd's
+// reply sender): lease a frame, reserve the length hole, append the
+// encoded batch, write it out, recycle. Clean steady state.
+func writeFrameShape(cmds []uint64) {
+	frame := wire.GetBuf(128)
+	frame = append(frame, 0) // length hole
+	for _, c := range cmds {
+		frame = append(frame, byte(c))
+	}
+	consume(frame)
+	wire.PutBuf(frame)
+}
+
+// stashBatchBody: parking a decoded batch frame in a long-lived body
+// table after recycling it aliases storage the pool now owns — the
+// applier must copy commands out before the frame goes back.
+var bodyTable = map[int][]byte{}
+
+func stashBatchBody(id int) {
+	frame := wire.GetBuf(128)
+	wire.PutBuf(frame)
+	bodyTable[id] = frame // want `pooled buffer frame stored after PutBuf \(line 234\)`
+}

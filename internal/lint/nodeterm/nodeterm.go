@@ -37,6 +37,10 @@ var CriticalPackages = []string{
 	"internal/transform",
 	"internal/quorum",
 	"internal/explore",
+	// The serving layer is shared verbatim between E18's deterministic
+	// sim runs and cmd/nucd's real TCP path; the split keeps nondeterminism
+	// (wall time, goroutines) in cmd/nucd, which nodeterm does not cover.
+	"internal/serve",
 }
 
 // ExemptPackages maps the remaining internal/ packages to the reason they

@@ -78,6 +78,18 @@ func TestExploreStaysCritical(t *testing.T) {
 	}
 }
 
+// TestServeStaysCritical pins the classification of the serving layer:
+// internal/serve is shared verbatim between E18's deterministic sim runs
+// (whose tables must be byte-identical at any worker count) and cmd/nucd's
+// real TCP path, so wall time, ambient randomness and goroutines must stay
+// out of it — the nondeterministic half (batch flush timers, connection
+// goroutines) lives in cmd/nucd, which nodeterm does not cover.
+func TestServeStaysCritical(t *testing.T) {
+	if !nodeterm.Critical("nuconsensus/internal/serve") {
+		t.Error("internal/serve must stay determinism-critical: it is shared by E18's sim runs and cmd/nucd")
+	}
+}
+
 // TestSubstrateStaysExempt pins the classification of the substrate layer:
 // internal/substrate hosts the shared concurrent cluster driver, whose
 // timing sites (yield sleeps, delay timers, goroutine spawns) are

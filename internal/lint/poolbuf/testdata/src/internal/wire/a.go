@@ -64,3 +64,24 @@ type deltaBatch struct {
 }
 
 var deltaBatchPool = sync.Pool{New: func() interface{} { return new(deltaBatch) }} // want `sync.Pool New returns \*deltaBatch`
+
+// The serve batch codec's decode scratch: client commands are flat
+// pointer-free records, so a pooled command slice follows the doctrine.
+type command struct {
+	Client uint32
+	Seq    uint64
+	Op     byte
+	Key    uint64
+	Val    int64
+}
+
+var cmdScratch = sync.Pool{New: func() interface{} { return new([]command) }}
+
+// A batch that embeds its command slice cannot be pooled: recycling it
+// aliases commands still referenced by an applier's body table.
+type cmdBatch struct {
+	ID   int
+	Cmds []command
+}
+
+var cmdBatchPool = sync.Pool{New: func() interface{} { return new(cmdBatch) }} // want `sync.Pool New returns \*cmdBatch`

@@ -1,0 +1,239 @@
+package rsm_test
+
+import (
+	"testing"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/sim"
+)
+
+// testSink collects sunk entries per process, in arrival order.
+type testSink struct {
+	entries map[model.ProcessID][]sunk
+}
+
+type sunk struct {
+	slot int
+	v    int
+}
+
+func newTestSink() *testSink { return &testSink{entries: map[model.ProcessID][]sunk{}} }
+
+func (s *testSink) OnEntry(p model.ProcessID, slot, v int) {
+	s.entries[p] = append(s.entries[p], sunk{slot, v})
+}
+
+// runPipelined drives a pipelined (optionally sinking) log to completion.
+func runPipelined(t *testing.T, cmds [][]int, slots, depth int, crashes map[model.ProcessID]model.Time, seed int64, sink *testSink, shared bool) ([][]int, bool, int) {
+	t.Helper()
+	n := len(cmds)
+	pattern := model.PatternFromCrashes(n, crashes)
+	var aut *rsm.Log
+	var hist model.History
+	if shared {
+		sampler := rsm.SamplerForLog(pattern, 80, seed)
+		aut = rsm.NewSharedLog(cmds, slots).WithSampler(sampler)
+		hist = sampler
+	} else {
+		aut = rsm.NewLog(cmds, slots)
+		hist = rsm.PairForLog(pattern, 80, seed)
+	}
+	aut = aut.WithPipeline(depth)
+	stop := rsm.AllAppended(pattern, slots)
+	if sink != nil {
+		aut = aut.WithEntrySink(sink)
+		// Sink mode keeps no entries in the state; stop on the sink's view.
+		correct := pattern.Correct()
+		stop = func(c *model.Configuration, _ model.Time) bool {
+			done := true
+			correct.ForEach(func(p model.ProcessID) {
+				if len(sink.entries[p]) < slots {
+					done = false
+				}
+			})
+			return done
+		}
+	}
+	res, err := sim.Run(sim.Exec{
+		Automaton: aut,
+		Pattern:   pattern,
+		History:   hist,
+		Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
+		MaxSteps:  200000,
+		StopWhen:  stop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := make([][]int, n)
+	for i, s := range res.Config.States {
+		if lh, ok := s.(rsm.LogHolder); ok {
+			logs[i] = lh.Entries()
+		}
+	}
+	return logs, res.Stopped, res.Steps
+}
+
+// TestPipelinedAgreement: with k slots in flight, correct logs still agree
+// slot-for-slot, every entry is someone's command or a no-op, and no
+// command is decided into two different slots more often than the window
+// permits — table-driven across depths, modes and adversarial seeds (short
+// stabilization keeps the pre-GST failure-detector noise in play).
+func TestPipelinedAgreement(t *testing.T) {
+	cases := []struct {
+		name    string
+		depth   int
+		shared  bool
+		crashes map[model.ProcessID]model.Time
+	}{
+		{"depth2-owned", 2, false, nil},
+		{"depth4-owned", 4, false, map[model.ProcessID]model.Time{3: 60}},
+		{"depth2-shared", 2, true, map[model.ProcessID]model.Time{3: 60}},
+		{"depth4-shared", 4, true, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				cmds := [][]int{{10, 11, 12}, {20, 21}, {30, 31}, {40}}
+				const slots = 8
+				logs, done, _ := runPipelined(t, cmds, slots, tc.depth, tc.crashes, seed, nil, tc.shared)
+				if !done {
+					t.Fatalf("seed=%d: log never filled", seed)
+				}
+				pattern := model.PatternFromCrashes(4, tc.crashes)
+				var ref []int
+				pattern.Correct().ForEach(func(p model.ProcessID) {
+					if ref == nil {
+						ref = logs[p]
+						return
+					}
+					if len(logs[p]) != slots {
+						t.Fatalf("seed=%d: p%d has %d entries, want %d", seed, p, len(logs[p]), slots)
+					}
+					for i := range ref {
+						if logs[p][i] != ref[i] {
+							t.Fatalf("seed=%d: logs diverge at slot %d: %v vs %v", seed, i, logs[p], ref)
+						}
+					}
+				})
+				valid := map[int]bool{rsm.NoOp: true}
+				for _, qs := range cmds {
+					for _, c := range qs {
+						valid[c] = true
+					}
+				}
+				for _, v := range ref {
+					if !valid[v] {
+						t.Fatalf("seed=%d: log contains unproposed command %d", seed, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedDrainsCommands: pipelining must not starve anyone — with
+// slots to spare, every process's commands land.
+func TestPipelinedDrainsCommands(t *testing.T) {
+	cmds := [][]int{{1, 2}, {3}, {4}}
+	logs, done, _ := runPipelined(t, cmds, 10, 4, nil, 3, nil, true)
+	if !done {
+		t.Fatal("log never filled")
+	}
+	appended := map[int]bool{}
+	for _, v := range logs[0] {
+		appended[v] = true
+	}
+	for p, qs := range cmds {
+		for _, c := range qs {
+			if !appended[c] {
+				t.Errorf("p%d's command %d never appended in %v", p, c, logs[0])
+			}
+		}
+	}
+}
+
+// TestEntrySinkOrder: sink mode delivers exactly the appended entries, in
+// slot order per process, while the state itself retains none of them.
+func TestEntrySinkOrder(t *testing.T) {
+	sink := newTestSink()
+	cmds := [][]int{{10, 11}, {20}, {30}}
+	const slots = 6
+	logs, done, _ := runPipelined(t, cmds, slots, 2, nil, 5, sink, true)
+	if !done {
+		t.Fatal("log never filled")
+	}
+	for p := model.ProcessID(0); p < 3; p++ {
+		got := sink.entries[p]
+		if len(got) < slots {
+			t.Fatalf("p%d sank %d entries, want >= %d", p, len(got), slots)
+		}
+		for i, e := range got[:slots] {
+			if e.slot != i {
+				t.Fatalf("p%d entry %d has slot %d (out of order): %v", p, i, e.slot, got)
+			}
+		}
+		if len(logs[p]) != 0 {
+			t.Fatalf("p%d retained %d entries in sink mode", p, len(logs[p]))
+		}
+	}
+	// All correct sinks agree on the decided prefix.
+	for p := model.ProcessID(1); p < 3; p++ {
+		for i := 0; i < slots; i++ {
+			if sink.entries[p][i].v != sink.entries[0][i].v {
+				t.Fatalf("sinks diverge at slot %d: p%d=%d p0=%d", i, p, sink.entries[p][i].v, sink.entries[0][i].v)
+			}
+		}
+	}
+}
+
+// TestInject: commands injected mid-run are forwarded and eventually
+// appended, and injecting before the announce step produces no duplicate
+// CommandPayload broadcast.
+func TestInject(t *testing.T) {
+	aut := rsm.NewLog([][]int{{}, {}, {}}, 4)
+	st := aut.InitState(0)
+	// Before the first step: announce has not run, so Inject stays silent.
+	st, sends := aut.Inject(st, 7)
+	if len(sends) != 0 {
+		t.Fatalf("pre-announce Inject broadcast %d sends, want 0", len(sends))
+	}
+	// First step performs the announce, forwarding the injected command.
+	st, out := aut.Step(0, st, nil, nil)
+	var cmdSends int
+	for _, s := range out {
+		if c, ok := s.Payload.(rsm.CommandPayload); ok {
+			if c.Cmd != 7 {
+				t.Fatalf("announced command %d, want 7", c.Cmd)
+			}
+			cmdSends++
+		}
+	}
+	if cmdSends != 2 {
+		t.Fatalf("announce forwarded to %d peers, want 2", cmdSends)
+	}
+	// After the announce, Inject broadcasts immediately.
+	_, sends = aut.Inject(st, 8)
+	cmdSends = 0
+	for _, s := range sends {
+		if c, ok := s.Payload.(rsm.CommandPayload); ok && c.Cmd == 8 {
+			cmdSends++
+		}
+	}
+	if cmdSends != 2 {
+		t.Fatalf("post-announce Inject forwarded to %d peers, want 2", cmdSends)
+	}
+}
+
+// TestFloorOf starts at zero and the exported accessor tolerates foreign
+// states.
+func TestFloorOf(t *testing.T) {
+	aut := rsm.NewLog([][]int{{1}, {2}}, 2)
+	if got := rsm.FloorOf(aut.InitState(0)); got != 0 {
+		t.Fatalf("initial floor = %d, want 0", got)
+	}
+	if got := rsm.FloorOf(nonLogState{}); got != 0 {
+		t.Fatalf("foreign-state floor = %d, want 0", got)
+	}
+}

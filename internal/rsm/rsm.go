@@ -93,9 +93,47 @@ type Log struct {
 	slots int     // stop appending after this many slots
 	inner *consensus.ANuc
 
-	shared  bool        // one shared history store per process (see shared.go)
-	metrics *logMetrics // pre-resolved obs instruments; nil if unmetered
-	sampler *fd.Sampler // shared FD sample source; nil unless attached
+	shared   bool        // one shared history store per process (see shared.go)
+	metrics  *logMetrics // pre-resolved obs instruments; nil if unmetered
+	sampler  *fd.Sampler // shared FD sample source; nil unless attached
+	pipeline int         // in-flight slot instances; <=1 means sequential
+	sink     EntrySink   // decided entries leave the state; nil keeps them
+}
+
+// EntrySink receives decided entries the moment a process appends them,
+// in slot order per process. Sink mode keeps the automaton state O(window)
+// instead of O(log length): entries are not retained in logState, so
+// CloneState stops scaling with how much has been decided. The sink is a
+// per-process external resource (like the shared fd.Sampler): it is only
+// sound on linear executions — sim.Run and the concurrent substrates —
+// never under explore, which branches states.
+type EntrySink interface {
+	OnEntry(p model.ProcessID, slot int, v int)
+}
+
+// WithPipeline keeps up to k slot instances in flight: slots
+// [frontier, frontier+k) all run A_nuc concurrently, and each outer step
+// advances one of them round-robin, so the per-step send budget — and
+// therefore msgs/slot — stays flat as k grows. Decisions can land out of
+// order; entries are still appended in slot order, and a command decided
+// in two slots (possible when a re-proposal races its own decision) is the
+// serving layer's dedup problem. k <= 1 is the sequential log, unchanged.
+func (a *Log) WithPipeline(k int) *Log {
+	if k < 1 {
+		panic("rsm: pipeline depth must be >= 1")
+	}
+	a.pipeline = k
+	return a
+}
+
+// WithEntrySink routes appended entries to sink instead of retaining them
+// in the state. See EntrySink for the linear-execution restriction.
+func (a *Log) WithEntrySink(sink EntrySink) *Log {
+	if sink == nil {
+		panic("rsm: nil entry sink")
+	}
+	a.sink = sink
+	return a
 }
 
 // NewLog returns the replicated-log automaton: process p wants cmds[p]
@@ -132,14 +170,36 @@ type logState struct {
 
 	announced bool                // own commands forwarded to the others
 	instances map[int]model.State // live slot instances (current and older)
+	parked    map[int][]parkedMsg // messages for slots not yet opened here
 	progress  []int               // known progress of every process
 	pump      int                 // round-robin cursor over older instances
 	steps     int                 // own step counter (pump throttling)
+	appended  int                 // entries appended (== len(entries) unless sinking)
+
+	// Pipeline mode only (Log.pipeline > 1); nil maps otherwise.
+	decided map[int]int // out-of-order decisions >= slot, not yet appended
+	myProp  map[int]int // own proposal per open in-flight slot
+	rr      int         // round-robin cursor over in-flight instances
 
 	// Shared-store mode only (see shared.go); all nil/empty in owned mode.
 	store      *sharedStore
 	sentVer    []uint64 // per destination: store version last shipped there
 	appliedVer []uint64 // per sender: that sender's version applied through
+}
+
+// parkedMsg is a message that arrived for a slot whose instance this
+// process has not opened yet. A_nuc's liveness assumes reliable links: a
+// process that misses, say, the stable leader's round-k LEAD message waits
+// for it forever — the sender transmits each phase message exactly once.
+// Lazily opened slot instances would violate that assumption if arrivals
+// before the open were dropped, so they are parked instead and replayed,
+// in arrival order, the moment the instance opens (see replayParked). The
+// payload is stored post-delta-resolution (applyIncoming runs at arrival),
+// so replay never re-applies a history delta.
+type parkedMsg struct {
+	from model.ProcessID
+	seq  uint64
+	pl   model.Payload
 }
 
 // CloneState implements model.State.
@@ -149,12 +209,30 @@ func (s *logState) CloneState() model.State {
 	c.known = append([]int(nil), s.known...)
 	c.entries = append([]int(nil), s.entries...)
 	c.progress = append([]int(nil), s.progress...)
+	if s.parked != nil {
+		c.parked = make(map[int][]parkedMsg, len(s.parked))
+		for k, v := range s.parked {
+			c.parked[k] = append([]parkedMsg(nil), v...)
+		}
+	}
 	if s.store != nil {
 		// Clone the shared store ONCE, then rebind every cloned instance:
 		// the instances' own CloneStore is identity for shared stores.
 		c.store = s.store.clone()
 		c.sentVer = append([]uint64(nil), s.sentVer...)
 		c.appliedVer = append([]uint64(nil), s.appliedVer...)
+	}
+	if s.decided != nil {
+		c.decided = make(map[int]int, len(s.decided))
+		for k, v := range s.decided {
+			c.decided[k] = v
+		}
+	}
+	if s.myProp != nil {
+		c.myProp = make(map[int]int, len(s.myProp))
+		for k, v := range s.myProp {
+			c.myProp[k] = v
+		}
 	}
 	c.instances = make(map[int]model.State, len(s.instances))
 	for k, v := range s.instances {
@@ -174,7 +252,7 @@ func (s *logState) Entries() []int { return append([]int(nil), s.entries...) }
 // drivers use it as the stop condition.
 func (s *logState) Decision() (int, bool) {
 	if s.slot >= s.slots {
-		return len(s.entries), true
+		return s.appended, true
 	}
 	return 0, false
 }
@@ -198,6 +276,12 @@ func (a *Log) InitState(p model.ProcessID) model.State {
 		st.store = newSharedStore(a.n)
 		st.sentVer = make([]uint64, a.n)
 		st.appliedVer = make([]uint64, a.n)
+	}
+	if a.pipeline > 1 {
+		st.decided = make(map[int]int, a.pipeline)
+		st.myProp = make(map[int]int, a.pipeline)
+		st.openWindow(a, nil) // nothing parked at init: no sends, no FD use
+		return st
 	}
 	st.instances[0] = a.newInstance(p, st)
 	return st
@@ -232,7 +316,7 @@ func (a *Log) Step(p model.ProcessID, s model.State, m *model.Message, d model.F
 	if m != nil {
 		switch pl := m.Payload.(type) {
 		case CommandPayload:
-			st.learnCommand(pl.Cmd)
+			st.learnCommand(a, pl.Cmd)
 		case ProgressPayload:
 			if pl.Slot > st.progress[m.From] {
 				st.progress[m.From] = pl.Slot
@@ -251,10 +335,25 @@ func (a *Log) Step(p model.ProcessID, s model.State, m *model.Message, d model.F
 				ns, sends := a.inner.Step(p, inst, inner, d)
 				st.instances[pl.Slot] = ns
 				out = append(out, st.wrap(pl.Slot, sends)...)
-				currentGotMsg = pl.Slot == st.slot
-				if pl.Slot == st.slot {
+				currentGotMsg = pl.Slot >= st.slot
+				if a.pipeline > 1 {
+					if pl.Slot >= st.slot {
+						out = append(out, st.harvest(a, d)...)
+					}
+				} else if pl.Slot == st.slot {
 					out = append(out, st.checkDecided(a, d)...)
 				}
+			} else if pl.Slot >= st.slot && pl.Slot < st.slots {
+				// The sender is ahead: it opened this slot before we did.
+				// Park the message for replay when our instance opens —
+				// dropping it would break the reliable-link assumption
+				// A_nuc's termination proof rests on (see parkedMsg). Slots
+				// below st.slot really are droppable: we decided them, and
+				// retirement means every process has.
+				if st.parked == nil {
+					st.parked = make(map[int][]parkedMsg)
+				}
+				st.parked[pl.Slot] = append(st.parked[pl.Slot], parkedMsg{from: m.From, seq: m.Seq, pl: payload})
 			}
 		default:
 			panic(fmt.Sprintf("rsm: unknown payload %T", m.Payload))
@@ -269,10 +368,19 @@ func (a *Log) Step(p model.ProcessID, s model.State, m *model.Message, d model.F
 		}
 	}
 
-	// Advance the current slot's instance (λ step if it did not just
-	// receive the message).
+	// Advance one in-flight instance (λ step if none just received the
+	// message): the current slot sequentially, or the round-robin next of
+	// the k open slots under pipelining — one inner step either way, so
+	// pipelining does not inflate the per-step send budget.
 	if st.slot < a.slots && !currentGotMsg {
-		if inst, live := st.instances[st.slot]; live {
+		if a.pipeline > 1 {
+			if slot, ok := st.nextInflight(a); ok {
+				ns, sends := a.inner.Step(p, st.instances[slot], nil, d)
+				st.instances[slot] = ns
+				out = append(out, st.wrap(slot, sends)...)
+				out = append(out, st.harvest(a, d)...)
+			}
+		} else if inst, live := st.instances[st.slot]; live {
 			ns, sends := a.inner.Step(p, inst, nil, d)
 			st.instances[st.slot] = ns
 			out = append(out, st.wrap(st.slot, sends)...)
@@ -307,7 +415,7 @@ func (a *Log) Step(p model.ProcessID, s model.State, m *model.Message, d model.F
 // instance, and gossips progress. It loops because (in principle) the next
 // instance could already be decided... it cannot on creation, but keeping
 // the loop makes the invariant local.
-func (s *logState) checkDecided(a *Log, _ model.FDValue) []model.Send {
+func (s *logState) checkDecided(a *Log, d model.FDValue) []model.Send {
 	var out []model.Send
 	for s.slot < a.slots {
 		inst := s.instances[s.slot]
@@ -315,27 +423,185 @@ func (s *logState) checkDecided(a *Log, _ model.FDValue) []model.Send {
 		if !ok {
 			break
 		}
-		s.entries = append(s.entries, v)
+		s.appendEntry(a, v)
 		s.forgetCommand(v)
 		s.slot++
 		s.progress[s.p] = s.slot
 		out = append(out, model.Broadcast(model.FullSet(len(s.progress)).Remove(s.p), ProgressPayload{Slot: s.slot})...)
 		if s.slot < a.slots {
 			s.instances[s.slot] = a.newInstance(s.p, s)
+			out = append(out, s.replayParked(a, s.slot, d)...)
 		}
 		s.retire()
 	}
 	return out
 }
 
+// appendEntry commits the decided value of the current slot: into the
+// retained entries slice, or out through the sink in sink mode.
+func (s *logState) appendEntry(a *Log, v int) {
+	if a.sink != nil {
+		a.sink.OnEntry(s.p, s.slot, v)
+	} else {
+		s.entries = append(s.entries, v)
+	}
+	s.appended++
+}
+
+// harvest is checkDecided's pipelined counterpart: collect decisions from
+// every in-flight slot (they can land out of order), append the contiguous
+// prefix at the frontier, gossip progress, and refill the window with
+// fresh instances. A decided value leaves the proposal pools immediately —
+// before it is appended — so the window never proposes it a second time.
+func (s *logState) harvest(a *Log, d model.FDValue) []model.Send {
+	end := s.slot + a.pipeline
+	if end > s.slots {
+		end = s.slots
+	}
+	for slot := s.slot; slot < end; slot++ {
+		if _, done := s.decided[slot]; done {
+			continue
+		}
+		inst, live := s.instances[slot]
+		if !live {
+			continue
+		}
+		if v, ok := model.DecisionOf(inst); ok {
+			s.decided[slot] = v
+			s.forgetCommand(v)
+			delete(s.myProp, slot)
+		}
+	}
+	var out []model.Send
+	for s.slot < a.slots {
+		v, ok := s.decided[s.slot]
+		if !ok {
+			break
+		}
+		delete(s.decided, s.slot)
+		delete(s.myProp, s.slot)
+		s.appendEntry(a, v)
+		s.slot++
+		s.progress[s.p] = s.slot
+		out = append(out, model.Broadcast(model.FullSet(len(s.progress)).Remove(s.p), ProgressPayload{Slot: s.slot})...)
+		s.retire()
+	}
+	out = append(out, s.openWindow(a, d)...)
+	return out
+}
+
+// openWindow opens an instance for every in-flight slot that lacks one,
+// assigning each a proposal no other open slot is already carrying, and
+// replays any messages that arrived for those slots before they opened.
+func (s *logState) openWindow(a *Log, d model.FDValue) []model.Send {
+	end := s.slot + a.pipeline
+	if end > s.slots {
+		end = s.slots
+	}
+	var out []model.Send
+	for slot := s.slot; slot < end; slot++ {
+		if _, done := s.decided[slot]; done {
+			continue
+		}
+		if _, live := s.instances[slot]; live {
+			continue
+		}
+		v := s.nextFreeProposal(a)
+		s.myProp[slot] = v
+		if s.store != nil {
+			s.instances[slot] = a.inner.InitStateProposingWith(s.p, v, s.store)
+		} else {
+			s.instances[slot] = a.inner.InitStateProposing(s.p, v)
+		}
+		out = append(out, s.replayParked(a, slot, d)...)
+	}
+	return out
+}
+
+// replayParked delivers the messages that arrived for slot before its
+// instance opened, in arrival order (which preserves per-sender FIFO). The
+// burst of inner steps runs under one outer step: each parked message
+// already paid for an outer step when it arrived, so the per-step send
+// budget holds amortized. The parked list for a slot is bounded by what
+// faster processes sent between opening the slot themselves and our window
+// reaching it — a few rounds of phase messages per peer in practice.
+func (s *logState) replayParked(a *Log, slot int, d model.FDValue) []model.Send {
+	msgs := s.parked[slot]
+	if len(msgs) == 0 {
+		return nil
+	}
+	delete(s.parked, slot)
+	var out []model.Send
+	for _, pm := range msgs {
+		inner := &model.Message{From: pm.from, To: s.p, Seq: pm.seq, Payload: pm.pl}
+		ns, sends := a.inner.Step(s.p, s.instances[slot], inner, d)
+		s.instances[slot] = ns
+		out = append(out, s.wrap(slot, sends)...)
+	}
+	return out
+}
+
+// nextFreeProposal returns the first pending-then-known command not
+// already proposed in an open in-flight slot, or NoOp.
+func (s *logState) nextFreeProposal(a *Log) int {
+	for _, c := range s.pending {
+		if !s.proposedInWindow(a, c) {
+			return c
+		}
+	}
+	for _, c := range s.known {
+		if !s.proposedInWindow(a, c) {
+			return c
+		}
+	}
+	return NoOp
+}
+
+// proposedInWindow reports whether c is my live proposal at some in-flight
+// slot. The scan walks slot numbers, not the map, to stay order-free.
+func (s *logState) proposedInWindow(a *Log, c int) bool {
+	for slot := s.slot; slot < s.slot+a.pipeline && slot < s.slots; slot++ {
+		if v, ok := s.myProp[slot]; ok && v == c {
+			return true
+		}
+	}
+	return false
+}
+
+// nextInflight picks the in-flight slot whose instance advances this step,
+// rotating round-robin so every open slot — decided ones included, their
+// instances must keep cycling for laggards — advances infinitely often.
+func (s *logState) nextInflight(a *Log) (int, bool) {
+	end := s.slot + a.pipeline
+	if end > s.slots {
+		end = s.slots
+	}
+	k := end - s.slot
+	for i := 0; i < k; i++ {
+		slot := s.slot + (s.rr+i)%k
+		if _, live := s.instances[slot]; live {
+			s.rr = (s.rr + i + 1) % k
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
 // learnCommand records a forwarded command unless it is already appended,
-// pending, or known.
-func (s *logState) learnCommand(c int) {
+// pending, known, or decided-in-flight. (In sink mode the entries scan is
+// vacuous: a late re-learn of an appended command costs one duplicate
+// slot, which the serving layer's session dedup absorbs.)
+func (s *logState) learnCommand(a *Log, c int) {
 	if c == NoOp {
 		return
 	}
 	for _, v := range s.entries {
 		if v == c {
+			return
+		}
+	}
+	for slot := s.slot; slot < s.slot+a.pipeline && slot < s.slots; slot++ {
+		if v, ok := s.decided[slot]; ok && v == c {
 			return
 		}
 	}
@@ -413,6 +679,41 @@ func wrapSends(slot int, sends []model.Send) []model.Send {
 		out[i] = model.Send{To: snd.To, Payload: SlotPayload{Slot: slot, Inner: snd.Payload}}
 	}
 	return out
+}
+
+// Inject appends freshly arrived commands to a process's pending queue
+// outside the message-driven step cycle — the serving layer's ingress
+// path. It returns the updated state plus the CommandPayload broadcasts
+// forwarding the commands; if the state has not announced yet, the initial
+// announce will forward them instead and no sends are produced here.
+func (a *Log) Inject(s model.State, cmds ...int) (model.State, []model.Send) {
+	st := s.CloneState().(*logState)
+	var out []model.Send
+	for _, c := range cmds {
+		st.pending = append(st.pending, c)
+		if st.announced {
+			out = append(out, model.Broadcast(model.FullSet(a.n).Remove(st.p), CommandPayload{Cmd: c})...)
+		}
+	}
+	return st, out
+}
+
+// FloorOf returns the retirement floor a log state knows: the minimum
+// appended-slot progress across all processes. Every process has appended
+// every slot below the floor, so decided values there can no longer be
+// re-proposed — the serving layer keys its dedup-table compaction on it.
+func FloorOf(s model.State) int {
+	st, ok := s.(*logState)
+	if !ok {
+		return 0
+	}
+	min := st.progress[0]
+	for _, pr := range st.progress[1:] {
+		if pr < min {
+			min = pr
+		}
+	}
+	return min
 }
 
 // AllAppended returns a stop predicate: every correct process has filled

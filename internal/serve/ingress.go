@@ -1,0 +1,42 @@
+package serve
+
+import "sync"
+
+// Ingress is the hand-off between a node's client front end (cmd/nucd's
+// connection goroutines) and its stepping replica: the front end pushes
+// groups of commands, the replica drains one group per step into the log.
+// On the sim substrate the queue is pre-loaded before the run, so draining
+// stays deterministic.
+type Ingress struct {
+	mu sync.Mutex
+	q  [][]Command
+}
+
+// Push enqueues one group of commands destined for a single batch.
+func (in *Ingress) Push(cmds []Command) {
+	if len(cmds) == 0 {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.q = append(in.q, cmds)
+}
+
+// Poll removes and returns the oldest pushed group.
+func (in *Ingress) Poll() ([]Command, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.q) == 0 {
+		return nil, false
+	}
+	cmds := in.q[0]
+	in.q = in.q[1:]
+	return cmds, true
+}
+
+// Len returns how many groups are waiting.
+func (in *Ingress) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.q)
+}

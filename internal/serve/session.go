@@ -1,0 +1,105 @@
+package serve
+
+// replyWindow bounds how many recent cached replies a session retains for
+// retried commands; older duplicates get StatusRetired instead of the
+// original result.
+const replyWindow = 256
+
+// session is one client's exactly-once bookkeeping. The applied set is
+// exact, not a high-water mark: with slot pipelining a client's later
+// batch can commit in an earlier slot than a retried earlier batch, so
+// "seq <= max seen" would wrongly suppress first arrivals. low is the
+// contiguous frontier (every seq <= low applied); above holds the applied
+// seqs beyond it, bounded by the pipelining window.
+type session struct {
+	low      uint64
+	above    map[uint64]struct{}
+	replies  map[uint64]cachedReply
+	lastSlot int // slot of the latest applied command, for compaction
+}
+
+type cachedReply struct {
+	status byte
+	val    int64
+}
+
+// Sessions is the per-replica dedup table. Like Machine it is driven only
+// under the Applier's lock.
+type Sessions struct {
+	m map[uint32]*session
+}
+
+// NewSessions returns an empty dedup table.
+func NewSessions() *Sessions { return &Sessions{m: make(map[uint32]*session)} }
+
+// Len returns the number of live sessions.
+func (s *Sessions) Len() int { return len(s.m) }
+
+// Applied reports whether (client, seq) has already been applied.
+func (s *Sessions) Applied(client uint32, seq uint64) bool {
+	sess, ok := s.m[client]
+	if !ok {
+		return false
+	}
+	if seq <= sess.low {
+		return true
+	}
+	_, done := sess.above[seq]
+	return done
+}
+
+// Reply returns the cached result of an applied command, distinguishing a
+// cache hit from one that aged out of the reply window.
+func (s *Sessions) Reply(client uint32, seq uint64) (cachedReply, bool) {
+	sess, ok := s.m[client]
+	if !ok {
+		return cachedReply{}, false
+	}
+	r, hit := sess.replies[seq]
+	return r, hit
+}
+
+// Record marks (client, seq) applied at slot with the given result,
+// advancing the contiguous frontier and pruning replies that fell out of
+// the window.
+func (s *Sessions) Record(client uint32, seq uint64, slot int, status byte, val int64) {
+	sess, ok := s.m[client]
+	if !ok {
+		sess = &session{above: make(map[uint64]struct{}), replies: make(map[uint64]cachedReply)}
+		s.m[client] = sess
+	}
+	sess.above[seq] = struct{}{}
+	for {
+		if _, ok := sess.above[sess.low+1]; !ok {
+			break
+		}
+		delete(sess.above, sess.low+1)
+		sess.low++
+	}
+	sess.replies[seq] = cachedReply{status: status, val: val}
+	if seq > replyWindow {
+		// Deleting by probe keeps this O(1) amortized: each Record removes
+		// at most as many entries as it inserted.
+		delete(sess.replies, seq-replyWindow)
+	}
+	if slot > sess.lastSlot {
+		sess.lastSlot = slot
+	}
+}
+
+// Compact drops the cached replies — the heavy part of the table — of
+// every session whose last activity is below the retirement floor (every
+// replica has appended those slots; see rsm.FloorOf). The applied-seq
+// bookkeeping survives, so exactly-once holds even for arbitrarily late
+// duplicates; only the cached *result* of such a duplicate is gone
+// (StatusRetired). Returns how many sessions were compacted.
+func (s *Sessions) Compact(floor int) int {
+	n := 0
+	for _, sess := range s.m {
+		if sess.lastSlot < floor && len(sess.replies) > 0 {
+			sess.replies = make(map[uint64]cachedReply)
+			n++
+		}
+	}
+	return n
+}

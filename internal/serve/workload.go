@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload parameterizes a generated client command stream — the same
+// knobs cmd/nucload exposes on the wire and E18 drives in-process.
+type Workload struct {
+	Commands  int     // total distinct commands
+	Batch     int     // commands per batch (consensus value)
+	Clients   int     // client sessions, ids 1..Clients
+	Keys      uint64  // key-space size
+	Zipf      float64 // Zipf s parameter; <=1 means uniform keys
+	QueueFrac float64 // fraction of ops on queues (push/pop) vs kv (put/del)
+	DelFrac   float64 // fraction of kv ops that are deletes
+}
+
+// Gen generates the per-process initial batches for a deterministic run:
+// commands round-robin across client sessions with per-session contiguous
+// seqs, keys drawn Zipf-skewed (the contention knob) from the seeded rng,
+// batches round-robin across origin processes. Batch IDs are left zero;
+// NewCluster mints them.
+func (w Workload) Gen(rng *rand.Rand, n int) [][]Batch {
+	if w.Commands <= 0 || n <= 0 {
+		return nil
+	}
+	if w.Batch < 1 {
+		w.Batch = 1
+	}
+	if w.Clients < 1 {
+		w.Clients = 1
+	}
+	if w.Keys < 1 {
+		w.Keys = 1
+	}
+	var zipf *rand.Zipf
+	if w.Zipf > 1 {
+		zipf = rand.NewZipf(rng, w.Zipf, 1, w.Keys-1)
+	}
+	key := func() uint64 {
+		if zipf != nil {
+			return zipf.Uint64()
+		}
+		return rng.Uint64() % w.Keys
+	}
+	seqs := make([]uint64, w.Clients+1)
+	out := make([][]Batch, n)
+	var cur []Command
+	batches := 0
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		p := batches % n
+		out[p] = append(out[p], Batch{Cmds: cur})
+		batches++
+		cur = nil
+	}
+	for i := 0; i < w.Commands; i++ {
+		client := uint32(i%w.Clients) + 1
+		seqs[client]++
+		c := Command{Client: client, Seq: seqs[client], Key: key(), Val: int64(rng.Int31())}
+		switch {
+		case rng.Float64() < w.QueueFrac:
+			if rng.Intn(2) == 0 {
+				c.Op = OpQPush
+			} else {
+				c.Op = OpQPop
+			}
+		case rng.Float64() < w.DelFrac:
+			c.Op = OpDel
+		default:
+			c.Op = OpPut
+		}
+		cur = append(cur, c)
+		if len(cur) >= w.Batch {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Batches returns how many batches the workload generates.
+func (w Workload) Batches() int {
+	if w.Commands <= 0 {
+		return 0
+	}
+	b := w.Batch
+	if b < 1 {
+		b = 1
+	}
+	return (w.Commands + b - 1) / b
+}
+
+// String renders the workload shape for run labels.
+func (w Workload) String() string {
+	return fmt.Sprintf("cmds=%d batch=%d clients=%d keys=%d zipf=%.2f", w.Commands, w.Batch, w.Clients, w.Keys, w.Zipf)
+}

@@ -5,6 +5,7 @@ import (
 
 	"nuconsensus/internal/consensus"
 	"nuconsensus/internal/model"
+	"nuconsensus/internal/serve"
 	"nuconsensus/internal/wire"
 )
 
@@ -20,6 +21,12 @@ func FuzzDecodePayload(f *testing.F) {
 		consensus.AckPayload{Q: model.SetOf(1), K: 8},
 		consensus.LeadDeltaPayload{K: 3, V: -7, Delta: sampleDelta()},
 		consensus.ProposalDeltaPayload{K: 5, HasV: true, V: 2, Delta: sampleDelta()},
+		serve.BatchPayload{ID: serve.BatchID(1, 0), Cmds: []serve.Command{
+			{Client: 1, Seq: 1, Op: serve.OpPut, Key: 9, Val: -42},
+			{Client: 2, Seq: 7, Op: serve.OpQPush, Key: 3, Val: 5},
+		}},
+		serve.RequestPayload{Client: 3, Seq: 11, Op: serve.OpGet, Key: 12, Lin: true},
+		serve.ReplyPayload{Client: 3, Seq: 11, Status: serve.StatusOK, Val: 77},
 	}
 	for _, pl := range seed {
 		b, err := wire.EncodePayload(pl)

@@ -25,6 +25,7 @@ import (
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/quorum"
 	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/serve"
 	"nuconsensus/internal/transform"
 )
 
@@ -47,6 +48,9 @@ const (
 	tagDecide
 	tagLeadDelta
 	tagProposalDelta
+	tagBatch
+	tagServeRequest
+	tagServeReply
 )
 
 // Failure-detector value tags.
@@ -70,6 +74,11 @@ func (w *buf) putByte(v byte)      { w.b = append(w.b, v) }
 // putInt zigzag-encodes a signed integer (proposal values may be negative).
 func (w *buf) putInt(v int) {
 	x := int64(v)
+	w.putUvarint(uint64((x << 1) ^ (x >> 63)))
+}
+
+// putInt64 zigzag-encodes a signed 64-bit value (serve command values).
+func (w *buf) putInt64(x int64) {
 	w.putUvarint(uint64((x << 1) ^ (x >> 63)))
 }
 
@@ -97,6 +106,14 @@ func (r *buf) int() (int, error) {
 		return 0, err
 	}
 	return int(int64(v>>1) ^ -int64(v&1)), nil
+}
+
+func (r *buf) int64() (int64, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(v>>1) ^ -int64(v&1), nil
 }
 
 // EncodePayload serializes any payload defined by this repository.
@@ -197,10 +214,66 @@ func encodePayload(w *buf, pl model.Payload) error {
 			w.putByte(0)
 		}
 		encodeDelta(w, p.Delta)
+	case serve.BatchPayload:
+		w.putByte(tagBatch)
+		w.putInt(p.ID)
+		w.putUvarint(uint64(len(p.Cmds)))
+		for _, c := range p.Cmds {
+			encodeCommand(w, c)
+		}
+	case serve.RequestPayload:
+		w.putByte(tagServeRequest)
+		encodeCommand(w, serve.Command{Client: p.Client, Seq: p.Seq, Op: p.Op, Key: p.Key, Val: p.Val})
+		if p.Lin {
+			w.putByte(1)
+		} else {
+			w.putByte(0)
+		}
+	case serve.ReplyPayload:
+		w.putByte(tagServeReply)
+		w.putUvarint(uint64(p.Client))
+		w.putUvarint(p.Seq)
+		w.putByte(p.Status)
+		w.putInt64(p.Val)
 	default:
 		return fmt.Errorf("wire: unknown payload type %T", pl)
 	}
 	return nil
+}
+
+// encodeCommand writes one serve command — the unit both the BATCH gossip
+// and the client request frame share.
+func encodeCommand(w *buf, c serve.Command) {
+	w.putUvarint(uint64(c.Client))
+	w.putUvarint(c.Seq)
+	w.putByte(c.Op)
+	w.putUvarint(c.Key)
+	w.putInt64(c.Val)
+}
+
+func decodeCommand(r *buf) (serve.Command, error) {
+	var c serve.Command
+	client, err := r.uvarint()
+	if err != nil {
+		return c, err
+	}
+	if client > 0xffffffff {
+		return c, fmt.Errorf("wire: client id %d exceeds 32 bits", client)
+	}
+	c.Client = uint32(client)
+	if c.Seq, err = r.uvarint(); err != nil {
+		return c, err
+	}
+	if c.Op, err = r.byte(); err != nil {
+		return c, err
+	}
+	if c.Key, err = r.uvarint(); err != nil {
+		return c, err
+	}
+	if c.Val, err = r.int64(); err != nil {
+		return c, err
+	}
+	return c, nil
 }
 
 // DecodePayload parses a payload produced by EncodePayload.
@@ -388,6 +461,61 @@ func decodePayload(r *buf) (model.Payload, error) {
 			return nil, err
 		}
 		return consensus.ProposalDeltaPayload{K: k, V: v, HasV: hasV == 1, Delta: d}, nil
+	case tagBatch:
+		id, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Every command costs at least five bytes; a count exceeding the
+		// remaining input is forged — reject before allocating.
+		if n > uint64(len(r.b)-r.pos)/5 {
+			return nil, fmt.Errorf("wire: batch claims %d commands but only %d bytes remain", n, len(r.b)-r.pos)
+		}
+		b := serve.BatchPayload{ID: id}
+		if n > 0 {
+			b.Cmds = make([]serve.Command, n)
+			for i := range b.Cmds {
+				if b.Cmds[i], err = decodeCommand(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return b, nil
+	case tagServeRequest:
+		c, err := decodeCommand(r)
+		if err != nil {
+			return nil, err
+		}
+		lin, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		return serve.RequestPayload{Client: c.Client, Seq: c.Seq, Op: c.Op, Key: c.Key, Val: c.Val, Lin: lin == 1}, nil
+	case tagServeReply:
+		client, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if client > 0xffffffff {
+			return nil, fmt.Errorf("wire: client id %d exceeds 32 bits", client)
+		}
+		seq, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		status, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		val, err := r.int64()
+		if err != nil {
+			return nil, err
+		}
+		return serve.ReplyPayload{Client: uint32(client), Seq: seq, Status: status, Val: val}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown payload tag %d", tag)
 	}
@@ -739,6 +867,12 @@ var payloadPrototypes = map[byte]model.Payload{
 	// collapsing one in an inbox would break the receiver's version chain.
 	tagLeadDelta:     consensus.LeadDeltaPayload{},
 	tagProposalDelta: consensus.ProposalDeltaPayload{},
+	// Serving-layer payloads: batch bodies must never be collapsed (each
+	// carries distinct commands), and the client-protocol frames are
+	// point-to-point request/response — nothing supersedes.
+	tagBatch:        serve.BatchPayload{},
+	tagServeRequest: serve.RequestPayload{},
+	tagServeReply:   serve.ReplyPayload{},
 }
 
 // MessageHead is the envelope of an encoded message: everything a

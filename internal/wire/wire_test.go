@@ -1,6 +1,9 @@
 package wire_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"reflect"
 	"testing"
 
@@ -11,6 +14,7 @@ import (
 	"nuconsensus/internal/model"
 	"nuconsensus/internal/quorum"
 	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/serve"
 	"nuconsensus/internal/transform"
 	"nuconsensus/internal/wire"
 )
@@ -230,5 +234,104 @@ func TestRoundTripRSMPayloads(t *testing.T) {
 		if !reflect.DeepEqual(got, pl) {
 			t.Errorf("%T round trip: got %#v, want %#v", pl, got, pl)
 		}
+	}
+}
+
+func TestRoundTripServePayloads(t *testing.T) {
+	payloads := []model.Payload{
+		serve.BatchPayload{ID: serve.BatchID(0, 0)},
+		serve.BatchPayload{ID: serve.BatchID(2, 5), Cmds: []serve.Command{
+			{Client: 1, Seq: 1, Op: serve.OpPut, Key: 9, Val: -42},
+			{Client: 4100, Seq: 1 << 40, Op: serve.OpQPop, Key: 1 << 50, Val: 1<<62 - 1},
+		}},
+		serve.RequestPayload{Client: 3, Seq: 11, Op: serve.OpGet, Key: 12, Lin: true},
+		serve.RequestPayload{Client: 1, Seq: 2, Op: serve.OpPut, Val: -1},
+		serve.ReplyPayload{Client: 3, Seq: 11, Status: serve.StatusDup, Val: -77},
+		serve.ReplyPayload{Client: 9, Seq: 1, Status: serve.StatusRetired},
+	}
+	for _, pl := range payloads {
+		b, err := wire.EncodePayload(pl)
+		if err != nil {
+			t.Fatalf("%T: %v", pl, err)
+		}
+		got, err := wire.DecodePayload(b)
+		if err != nil {
+			t.Fatalf("%T: %v", pl, err)
+		}
+		if !reflect.DeepEqual(got, pl) {
+			t.Errorf("%T round trip: got %#v, want %#v", pl, got, pl)
+		}
+	}
+}
+
+func TestBatchDecodeRejectsForgedCount(t *testing.T) {
+	// An empty batch encodes as tag, id, count=0. Splice an absurd count
+	// over the trailing zero: the decoder must reject it before allocating.
+	good, err := wire.EncodePayload(serve.BatchPayload{ID: serve.BatchID(1, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := append(append([]byte{}, good[:len(good)-1]...), 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := wire.DecodePayload(forged); err == nil {
+		t.Fatal("forged batch command count must be rejected")
+	}
+}
+
+func TestServePayloadsNeverSupersede(t *testing.T) {
+	// Batch bodies each carry distinct commands, and the client frames are
+	// point-to-point request/response — inbox collapsing must skip them all.
+	for _, pl := range []model.Payload{
+		serve.BatchPayload{ID: serve.BatchID(0, 1)},
+		serve.RequestPayload{Client: 1, Seq: 1},
+		serve.ReplyPayload{Client: 1, Seq: 1},
+	} {
+		if _, ok := pl.(model.SupersededPayload); ok {
+			t.Fatalf("%T must not implement SupersededPayload", pl)
+		}
+		b, err := wire.EncodeMessage(&model.Message{From: 0, To: 1, Seq: 3, Payload: pl})
+		if err != nil {
+			t.Fatalf("%T: %v", pl, err)
+		}
+		h, err := wire.PeekMessage(b)
+		if err != nil {
+			t.Fatalf("%T: %v", pl, err)
+		}
+		if h.Kind != pl.Kind() || h.Supersedes {
+			t.Errorf("peek of %T = %+v", pl, h)
+		}
+	}
+}
+
+// TestPayloadFrameRoundTrip: the client-protocol framing (cmd/nucd ↔
+// cmd/nucload) round-trips payloads through a byte stream, and a frame
+// claiming an absurd length is rejected without allocation.
+func TestPayloadFrameRoundTrip(t *testing.T) {
+	var stream bytes.Buffer
+	payloads := []model.Payload{
+		serve.RequestPayload{Client: 2, Seq: 1, Op: serve.OpPut, Key: 7, Val: 700},
+		serve.RequestPayload{Client: 2, Seq: 2, Op: serve.OpGet, Key: 7, Lin: true},
+		serve.ReplyPayload{Client: 2, Seq: 2, Status: serve.StatusOK, Val: 700},
+	}
+	for _, pl := range payloads {
+		if err := wire.WritePayloadFrame(&stream, pl); err != nil {
+			t.Fatalf("%T: %v", pl, err)
+		}
+	}
+	r := bufio.NewReader(&stream)
+	for _, want := range payloads {
+		got, err := wire.ReadPayloadFrame(r)
+		if err != nil {
+			t.Fatalf("%T: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame round trip: got %#v, want %#v", got, want)
+		}
+	}
+	if _, err := wire.ReadPayloadFrame(r); err == nil {
+		t.Fatal("empty stream must error")
+	}
+	huge := binary.AppendUvarint(nil, wire.MaxFrameSize+1)
+	if _, err := wire.ReadPayloadFrame(bufio.NewReader(bytes.NewReader(huge))); err == nil {
+		t.Fatal("oversized frame length must be rejected")
 	}
 }
