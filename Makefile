@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-hot bench-report bench-check experiments experiments-full substrate-smoke explore-smoke obs-smoke e17-smoke serve-smoke fuzz fmt vet lint lint-flow lint-static ci clean
+.PHONY: all build test test-short race bench bench-hot bench-report bench-check experiments experiments-full substrate-smoke explore-smoke obs-smoke e17-smoke serve-smoke trace-smoke fuzz fmt vet lint lint-flow lint-static ci clean
+
+# Smoke-test artifacts (metrics dumps, span streams, Chrome traces) land
+# here; CI uploads the directory, .gitignore keeps it out of the tree.
+ARTIFACTS ?= artifacts
 
 all: build test
 
@@ -98,23 +102,60 @@ obs-smoke:
 # target if the replicas' machines diverge or the step budget runs out;
 # nucload fails it if any write goes unacked.
 serve-smoke:
-	$(GO) run ./cmd/experiments -e E18 -parallel 1 -metrics serve-smoke.p1.metrics > /dev/null
-	$(GO) run ./cmd/experiments -e E18 -parallel 8 -metrics serve-smoke.p8.metrics > /dev/null
-	diff serve-smoke.p1.metrics serve-smoke.p8.metrics
+	mkdir -p $(ARTIFACTS)
+	$(GO) run ./cmd/experiments -e E18 -parallel 1 -metrics $(ARTIFACTS)/serve-smoke.p1.metrics > /dev/null
+	$(GO) run ./cmd/experiments -e E18 -parallel 8 -metrics $(ARTIFACTS)/serve-smoke.p8.metrics > /dev/null
+	diff $(ARTIFACTS)/serve-smoke.p1.metrics $(ARTIFACTS)/serve-smoke.p8.metrics
 	$(GO) build -o nucd.smoke ./cmd/nucd
 	$(GO) build -o nucload.smoke ./cmd/nucload
-	rm -f serve-smoke.addrs
-	./nucd.smoke -n 3 -ops 300 -batch 8 -addr-file serve-smoke.addrs \
-	    -metrics nucd.metrics.jsonl & \
+	rm -f $(ARTIFACTS)/serve-smoke.addrs
+	./nucd.smoke -n 3 -ops 300 -batch 8 -addr-file $(ARTIFACTS)/serve-smoke.addrs \
+	    -metrics $(ARTIFACTS)/nucd.metrics.jsonl & \
 	pid=$$!; \
-	./nucload.smoke -addr-file serve-smoke.addrs -ops 300 -clients 4 -window 4 \
-	    -read-frac 0.3 -timeout 60s -metrics nucload.metrics.jsonl \
+	./nucload.smoke -addr-file $(ARTIFACTS)/serve-smoke.addrs -ops 300 -clients 4 -window 4 \
+	    -read-frac 0.3 -timeout 60s -metrics $(ARTIFACTS)/nucload.metrics.jsonl \
 	    || { kill $$pid 2>/dev/null; exit 1; }; \
 	wait $$pid
-	grep -q '"name":"serve.apply.commands"' nucd.metrics.jsonl
-	grep -q '"name":"load.write_us"' nucload.metrics.jsonl
-	@rm -f serve-smoke.p1.metrics serve-smoke.p8.metrics serve-smoke.addrs nucd.smoke nucload.smoke
+	grep -q '"name":"serve.apply.commands"' $(ARTIFACTS)/nucd.metrics.jsonl
+	grep -q '"name":"load.write_us"' $(ARTIFACTS)/nucload.metrics.jsonl
+	@rm -f nucd.smoke nucload.smoke
 	@echo "serve: E18 metrics byte-identical at -parallel 1 and 8; nucd+nucload TCP run clean"
+
+# trace-smoke is the end-to-end tracing gate: a 3-node cmd/nucd cluster
+# with -trace and the telemetry listener serves a traced cmd/nucload run;
+# /metrics, /healthz and /statusz are scraped over HTTP from the live
+# daemon (the Prometheus rendering must carry the span counter, the
+# status report the applier frontiers); then cmd/nuctrace joins the two
+# span streams and -check demands a complete ingress→batch→decide→apply→
+# reply chain, telescoping exactly to the end-to-end latency, for 100% of
+# acked requests. The Chrome export must parse as JSON.
+trace-smoke:
+	mkdir -p $(ARTIFACTS)
+	$(GO) build -o nucd.smoke ./cmd/nucd
+	$(GO) build -o nucload.smoke ./cmd/nucload
+	$(GO) build -o nuctrace.smoke ./cmd/nuctrace
+	rm -f $(ARTIFACTS)/trace-smoke.addrs $(ARTIFACTS)/trace-smoke.addrs.debug
+	./nucd.smoke -n 3 -ops 200 -batch 8 -addr-file $(ARTIFACTS)/trace-smoke.addrs \
+	    -trace $(ARTIFACTS)/nucd.trace.jsonl -debug-addr 127.0.0.1:0 -slow 250ms & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $(ARTIFACTS)/trace-smoke.addrs.debug ] && break; sleep 0.1; done; \
+	python3 -c "import urllib.request; \
+	addr = open('$(ARTIFACTS)/trace-smoke.addrs.debug').read().strip(); \
+	body = urllib.request.urlopen('http://%s/metrics' % addr).read().decode(); \
+	assert '# TYPE obs_spans counter' in body, body[:400]; \
+	assert urllib.request.urlopen('http://%s/healthz' % addr).read().decode().strip() == 'ok'; \
+	assert b'frontier' in urllib.request.urlopen('http://%s/statusz' % addr).read(); \
+	print('live scrape ok: /metrics /healthz /statusz')" \
+	    || { kill $$pid 2>/dev/null; exit 1; }; \
+	./nucload.smoke -addr-file $(ARTIFACTS)/trace-smoke.addrs -ops 200 -clients 4 -window 4 \
+	    -timeout 60s -trace $(ARTIFACTS)/nucload.trace.jsonl \
+	    || { kill $$pid 2>/dev/null; exit 1; }; \
+	wait $$pid
+	./nuctrace.smoke -check -chrome $(ARTIFACTS)/trace-smoke.chrome.json \
+	    $(ARTIFACTS)/nucd.trace.jsonl $(ARTIFACTS)/nucload.trace.jsonl
+	python3 -m json.tool $(ARTIFACTS)/trace-smoke.chrome.json > /dev/null
+	@rm -f nucd.smoke nucload.smoke nuctrace.smoke
+	@echo "trace: every acked request reconstructs a complete, telescoping span chain"
 
 # e17-smoke runs the long-log scale experiment (E17) end to end and checks
 # the shared-store transport contract on its obs metrics dump: byte-
@@ -173,6 +214,7 @@ ci: lint-static
 	$(MAKE) obs-smoke
 	$(MAKE) e17-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) trace-smoke
 
 clean:
 	$(GO) clean ./...

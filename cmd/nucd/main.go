@@ -16,6 +16,13 @@
 // the log is full. On exit it verifies cross-node machine agreement,
 // writes the metrics registry as JSONL (-metrics), and prints a summary.
 //
+// Observability: -trace writes the request span stream (ingress, seal,
+// decide, apply, reply — see internal/obs and cmd/nuctrace) as JSONL;
+// -debug-addr starts an HTTP listener with /metrics (Prometheus text
+// exposition of the live registry), /healthz and /statusz (per-node
+// applier progress, parked-message count, ingress depths); -slow logs any
+// write whose end-to-end latency exceeds the threshold.
+//
 // Usage:
 //
 //	nucd -n 4 -ops 2000 -batch 16 -addr-file /tmp/nucd.addrs &
@@ -24,11 +31,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -41,8 +50,6 @@ import (
 	"nuconsensus/internal/serve"
 	"nuconsensus/internal/substrate"
 	"nuconsensus/internal/wire"
-
-	"context"
 )
 
 func main() {
@@ -58,6 +65,9 @@ func main() {
 		maxSteps  = flag.Int("maxsteps", 50_000_000, "logical step budget")
 		addrFile  = flag.String("addr-file", "", "write the client listener addresses to this file (one per line)")
 		metrics   = flag.String("metrics", "", "write the metrics registry as JSONL to this file at exit")
+		trace     = flag.String("trace", "", "write the request span stream as JSONL to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, /statusz on this address (e.g. 127.0.0.1:0)")
+		slow      = flag.Duration("slow", 0, "log writes whose end-to-end latency exceeds this (0: off)")
 	)
 	flag.Parse()
 	if *n < 2 || *n > 64 {
@@ -65,11 +75,23 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatalf("nucd: trace file: %v", err)
+		}
+		// Hosts are exempt from the determinism contract, so the tracer
+		// gets the wall clock; the deterministic core below emits through
+		// the same tracer without ever touching the clock itself.
+		tracer = obs.NewTracer(f, obs.Wall{}, reg)
+	}
 	pattern := model.NewFailurePattern(*n)
 	cl := serve.NewCluster(serve.Config{
 		N: *n, Slots: *slots, Pipeline: *pipeline,
-		Target: *ops, Registry: reg,
+		Target: *ops, Registry: reg, Tracer: tracer,
 	})
+	cl.Log().WithMetrics(reg)
 	sampler := rsm.SamplerForLog(pattern, model.Time(*stabilize), *seed)
 	cl.Log().WithSampler(sampler)
 
@@ -96,24 +118,29 @@ func main() {
 	var conns sync.WaitGroup
 	batchers := make([]*batcher, *n)
 	for p := 0; p < *n; p++ {
-		batchers[p] = newBatcher(cl.Ingress(model.ProcessID(p)), *batch, *flush)
-		go serveClients(listeners[p], cl.Applier(model.ProcessID(p)), batchers[p], reg, &conns)
+		batchers[p] = newBatcher(p, cl.Ingress(model.ProcessID(p)), *batch, *flush, tracer)
+		go serveClients(listeners[p], &node{
+			p: p, ap: cl.Applier(model.ProcessID(p)), bt: batchers[p],
+			tracer: tracer, slow: *slow, reg: reg,
+		}, &conns)
 	}
 
-	// NUCD_DEBUG=1 prints per-node applier progress every 5s — the first
-	// thing to reach for when a run stops making progress (it is how the
-	// pipelined-window liveness wedge that motivated rsm's parked-message
-	// replay was diagnosed: every node frozen at frontier=2, cmds=0).
-	if os.Getenv("NUCD_DEBUG") != "" {
-		go func() {
-			for range time.Tick(5 * time.Second) {
-				for p := 0; p < *n; p++ {
-					st := cl.Applier(model.ProcessID(p)).StatsOf()
-					fmt.Printf("DEBUG node=%d frontier=%d applied=%d cmds=%d dups=%d batches=%d stalled=%d\n",
-						p, st.Frontier, st.Applied, st.Commands, st.Dups, st.Batches, st.Stalled)
-				}
+	// Live telemetry listener (replaces the old NUCD_DEBUG stats ticker):
+	// /metrics is the Prometheus rendering of the same registry the JSONL
+	// dump snapshots, /statusz the structured liveness view that diagnosed
+	// the pipelined-window wedge (every node frozen at frontier=2, cmds=0).
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("nucd: debug listener: %v", err)
+		}
+		fmt.Printf("debug addr=%s\n", ln.Addr().String())
+		if *addrFile != "" {
+			if err := writeAddrFile(*addrFile+".debug", []string{ln.Addr().String()}); err != nil {
+				log.Fatalf("nucd: %v", err)
 			}
-		}()
+		}
+		go serveDebug(ln, cl, reg, *n, *pipeline, batchers)
 	}
 
 	sub, err := substrate.Get("tcp")
@@ -170,6 +197,12 @@ func main() {
 		res.Decided, res.Steps, elapsed.Round(time.Millisecond), applied,
 		float64(applied)/elapsed.Seconds(), res.BytesSent)
 
+	if err := tracer.Close(); err != nil {
+		log.Fatalf("nucd: trace file: %v", err)
+	}
+	if tracer != nil {
+		fmt.Printf("trace spans=%d file=%s\n", tracer.Spans(), *trace)
+	}
 	if *metrics != "" {
 		if err := writeMetricsJSONL(*metrics, reg); err != nil {
 			log.Fatalf("nucd: %v", err)
@@ -215,18 +248,81 @@ func writeMetricsJSONL(path string, reg *obs.Registry) error {
 	return f.Close()
 }
 
+// nodeStatus is one node's entry in the /statusz report.
+type nodeStatus struct {
+	Node       int   `json:"node"`
+	Frontier   int   `json:"frontier"`
+	Applied    int   `json:"applied"`
+	Commands   int64 `json:"commands"`
+	Dups       int64 `json:"dups"`
+	Batches    int64 `json:"batches"`
+	Stalled    int   `json:"stalled"`
+	Sessions   int   `json:"sessions"`
+	ReplyCache int   `json:"reply_cache"`
+	IngressLen int   `json:"ingress_len"`
+	BatchOpen  int   `json:"batch_open"`
+}
+
+// statusReport is the /statusz body.
+type statusReport struct {
+	Pipeline int          `json:"pipeline"`
+	Parked   int64        `json:"parked"` // live parked messages: parked - replayed
+	Spans    int64        `json:"spans"`
+	Nodes    []nodeStatus `json:"nodes"`
+}
+
+// serveDebug runs the telemetry HTTP listener.
+func serveDebug(ln net.Listener, cl *serve.Cluster, reg *obs.Registry, n, pipeline int, batchers []*batcher) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		rep := statusReport{
+			Pipeline: pipeline,
+			Parked:   reg.Counter("rsm.parked_msgs").Value() - reg.Counter("rsm.parked_replayed").Value(),
+			Spans:    reg.Counter("obs.spans").Value(),
+		}
+		for p := 0; p < n; p++ {
+			st := cl.Applier(model.ProcessID(p)).StatsOf()
+			rep.Nodes = append(rep.Nodes, nodeStatus{
+				Node: p, Frontier: st.Frontier, Applied: st.Applied,
+				Commands: st.Commands, Dups: st.Dups, Batches: st.Batches,
+				Stalled: st.Stalled, Sessions: st.Sessions, ReplyCache: st.ReplyCache,
+				IngressLen: cl.Ingress(model.ProcessID(p)).Len(),
+				BatchOpen:  batchers[p].open(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
+	srv := &http.Server{Handler: mux}
+	srv.Serve(ln)
+}
+
 // batcher groups a node's incoming write commands into consensus batches:
 // a group is pushed to the node's ingress when it reaches the size cap or
-// when the flush ticker finds it aged.
+// when the flush ticker finds it aged. Sealing a group emits one seal span
+// per member command — the stage boundary between "waiting for the batch
+// to fill" and "waiting for consensus".
 type batcher struct {
 	mu      sync.Mutex
 	cur     []serve.Command
 	ingress *serve.Ingress
 	size    int
+	p       int
+	tracer  *obs.Tracer
 }
 
-func newBatcher(in *serve.Ingress, size int, flush time.Duration) *batcher {
-	b := &batcher{ingress: in, size: size}
+func newBatcher(p int, in *serve.Ingress, size int, flush time.Duration, tracer *obs.Tracer) *batcher {
+	b := &batcher{ingress: in, size: size, p: p, tracer: tracer}
 	go func() {
 		t := time.NewTicker(flush)
 		defer t.Stop()
@@ -248,16 +344,38 @@ func (b *batcher) add(c serve.Command) {
 	}
 }
 
+func (b *batcher) open() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.cur)
+}
+
 func (b *batcher) flushLocked() {
 	if len(b.cur) == 0 {
 		return
+	}
+	for _, c := range b.cur {
+		b.tracer.Span(obs.SpanEvent{
+			Stage: obs.StageSeal, P: b.p, Client: c.Client, Seq: c.Seq,
+			Slot: -1, N: len(b.cur),
+		})
 	}
 	b.ingress.Push(b.cur)
 	b.cur = nil
 }
 
+// node bundles the per-node resources a client connection serves against.
+type node struct {
+	p      int
+	ap     *serve.Applier
+	bt     *batcher
+	tracer *obs.Tracer
+	slow   time.Duration
+	reg    *obs.Registry
+}
+
 // serveClients accepts client connections for one node.
-func serveClients(ln net.Listener, ap *serve.Applier, bt *batcher, reg *obs.Registry, conns *sync.WaitGroup) {
+func serveClients(ln net.Listener, nd *node, conns *sync.WaitGroup) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -266,7 +384,7 @@ func serveClients(ln net.Listener, ap *serve.Applier, bt *batcher, reg *obs.Regi
 		conns.Add(1)
 		go func() {
 			defer conns.Done()
-			handleConn(conn, ap, bt, reg)
+			handleConn(conn, nd)
 		}()
 	}
 }
@@ -274,19 +392,19 @@ func serveClients(ln net.Listener, ap *serve.Applier, bt *batcher, reg *obs.Regi
 // handleConn speaks the framed SREQ/SREP protocol on one connection.
 // Writes are acked asynchronously when they apply (RegisterWaiter), so a
 // client may pipeline; replies share the connection under a write lock.
-func handleConn(conn net.Conn, ap *serve.Applier, bt *batcher, reg *obs.Registry) {
+func handleConn(conn net.Conn, nd *node) {
 	defer conn.Close()
 	var wmu sync.Mutex
-	reply := func(client uint32, seq uint64, status byte, val int64) {
+	reply := func(client uint32, seq uint64, status byte, val, t0 int64) {
 		wmu.Lock()
 		defer wmu.Unlock()
-		if err := wire.WritePayloadFrame(conn, serve.ReplyPayload{Client: client, Seq: seq, Status: status, Val: val}); err != nil {
+		if err := wire.WritePayloadFrame(conn, serve.ReplyPayload{Client: client, Seq: seq, Status: status, Val: val, T0: t0}); err != nil {
 			conn.Close() // reader sees the error and drops the conn
 		}
 	}
-	cReqs := reg.Counter("nucd.requests")
-	cReads := reg.Counter("nucd.reads")
-	cLin := reg.Counter("nucd.lin_reads")
+	cReqs := nd.reg.Counter("nucd.requests")
+	cReads := nd.reg.Counter("nucd.reads")
+	cLin := nd.reg.Counter("nucd.lin_reads")
 	r := bufio.NewReader(conn)
 	for {
 		pl, err := wire.ReadPayloadFrame(r)
@@ -305,21 +423,38 @@ func handleConn(conn net.Conn, ap *serve.Applier, bt *batcher, reg *obs.Registry
 			var hit bool
 			if req.Lin {
 				cLin.Add(1)
-				v, hit = ap.GetLin(req.Key)
+				v, hit = nd.ap.GetLin(req.Key)
 			} else {
-				v, hit = ap.Get(req.Key)
+				v, hit = nd.ap.Get(req.Key)
 			}
 			status := byte(serve.StatusOK)
 			if !hit {
 				status = serve.StatusMissing
 			}
-			reply(req.Client, req.Seq, status, v)
+			reply(req.Client, req.Seq, status, v, req.T0)
 		default:
-			// A write: ack when it applies, then batch it toward the log.
-			ap.RegisterWaiter(req.Client, req.Seq, func(status byte, val int64) {
-				reply(req.Client, req.Seq, status, val)
+			// A write: trace its ingress, ack when it applies (emitting the
+			// reply span and the slow-request log), then batch it toward
+			// the log.
+			nd.tracer.Span(obs.SpanEvent{
+				Stage: obs.StageIngress, P: nd.p, Client: req.Client, Seq: req.Seq,
+				Slot: -1, T0: req.T0,
 			})
-			bt.add(serve.Command{Client: req.Client, Seq: req.Seq, Op: req.Op, Key: req.Key, Val: req.Val})
+			client, seq, t0 := req.Client, req.Seq, req.T0
+			nd.ap.RegisterWaiter(client, seq, func(status byte, val int64) {
+				nd.tracer.Span(obs.SpanEvent{
+					Stage: obs.StageReply, P: nd.p, Client: client, Seq: seq,
+					Slot: -1, N: int(status),
+				})
+				if nd.slow > 0 && t0 > 0 {
+					if e2e := time.Duration(time.Now().UnixNano() - t0); e2e > nd.slow {
+						fmt.Printf("SLOW node=%d client=%d seq=%d status=%d e2e=%s\n",
+							nd.p, client, seq, status, e2e.Round(time.Microsecond))
+					}
+				}
+				reply(client, seq, status, val, t0)
+			})
+			nd.bt.add(serve.Command{Client: req.Client, Seq: req.Seq, Op: req.Op, Key: req.Key, Val: req.Val})
 		}
 	}
 }

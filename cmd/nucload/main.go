@@ -55,6 +55,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "abort if the run exceeds this")
 		metrics   = flag.String("metrics", "", "write the metrics registry as JSONL to this file")
+		trace     = flag.String("trace", "", "write client-side span events (send/recv per write) as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -67,6 +68,14 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatalf("nucload: trace file: %v", err)
+		}
+		tracer = obs.NewTracer(f, obs.Wall{}, reg)
+	}
 	var wg sync.WaitGroup
 	failed := make(chan error, *clients)
 	start := time.Now()
@@ -84,6 +93,8 @@ func main() {
 			s := &session{
 				id:      uint32(id + 1),
 				addr:    addrs[id%len(addrs)],
+				node:    id % len(addrs),
+				tracer:  tracer,
 				writes:  writes,
 				window:  *window,
 				rng:     rand.New(rand.NewSource(*seed + int64(id)*104729)),
@@ -116,8 +127,12 @@ func main() {
 	for _, class := range []string{"write", "read", "lin"} {
 		h := reg.Histogram("load."+class+"_us", latencyBuckets)
 		if h.Count() > 0 {
-			fmt.Printf("latency %-5s n=%d mean=%dµs\n", class, h.Count(), h.Sum()/h.Count())
+			fmt.Printf("latency %-5s n=%d mean=%dµs p50=%.0fµs p99=%.0fµs\n",
+				class, h.Count(), h.Sum()/h.Count(), h.Quantile(0.5), h.Quantile(0.99))
 		}
+	}
+	if err := tracer.Close(); err != nil {
+		log.Fatalf("nucload: trace file: %v", err)
 	}
 	if *metrics != "" {
 		if err := writeMetricsJSONL(*metrics, reg); err != nil {
@@ -180,6 +195,8 @@ const readSeqBit = uint64(1) << 63
 type session struct {
 	id      uint32
 	addr    string
+	node    int // index of the nucd node this session targets (span P field)
+	tracer  *obs.Tracer
 	writes  int
 	window  int
 	rng     *rand.Rand
@@ -266,6 +283,10 @@ func (s *session) run() error {
 		s.reg.Histogram("load."+class+"_us", latencyBuckets).Observe(time.Since(t0).Microseconds())
 		if class == "write" {
 			s.reg.Counter("load.writes_acked").Add(1)
+			s.tracer.Span(obs.SpanEvent{
+				Stage: obs.StageRecv, P: s.node, Client: s.id, Seq: rep.Seq,
+				Slot: -1, N: int(rep.Status),
+			})
 		} else {
 			s.reg.Counter("load.reads").Add(1)
 		}
@@ -305,10 +326,20 @@ func (s *session) readReq(key uint64) (serve.RequestPayload, string) {
 }
 
 func (s *session) send(req serve.RequestPayload, class string) error {
+	now := time.Now()
+	req.T0 = now.UnixNano()
 	if err := wire.WritePayloadFrame(s.conn, req); err != nil {
 		return err
 	}
-	s.sentAt[req.Seq] = time.Now()
+	s.sentAt[req.Seq] = now
 	s.class[req.Seq] = class
+	if class == "write" {
+		// Stamp the span with the same nanosecond the frame carries, so the
+		// client-side and server-side views of the send instant agree.
+		s.tracer.Span(obs.SpanEvent{
+			Stage: obs.StageSend, P: s.node, Client: s.id, Seq: req.Seq,
+			Slot: -1, Wall: req.T0,
+		})
+	}
 	return nil
 }

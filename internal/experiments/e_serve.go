@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync/atomic"
 
@@ -110,9 +111,14 @@ var e18Spec = &Spec{
 		}
 		pattern := model.NewFailurePattern(e18N)
 		reg := obs.NewRegistry()
+		// The tracer runs with the logical clock (nil) and a discarded
+		// stream: E18 exercises the span-emission path on every unit and
+		// folds the span count below, proving tracing adds nothing
+		// nondeterministic to the experiment bytes.
+		tracer := obs.NewTracer(io.Discard, nil, reg)
 		cl := serve.NewCluster(serve.Config{
 			N: e18N, Slots: e18Slots, Pipeline: pipe,
-			Workload: wl, Target: total, Registry: reg,
+			Workload: wl, Target: total, Registry: reg, Tracer: tracer,
 		})
 		sampler := rsm.SamplerForLog(pattern, 60, seed)
 		cl.Log().WithSampler(sampler)
@@ -170,6 +176,7 @@ var e18Spec = &Spec{
 				"serve.apply.batches", "serve.apply.dup_batches",
 				"serve.apply.noops", "serve.apply.stalls",
 				"serve.sessions.compactions",
+				"obs.spans",
 			} {
 				sc.Metrics.Counter(name).Add(reg.Counter(name).Value())
 			}

@@ -109,6 +109,27 @@ func TestObsStaysExempt(t *testing.T) {
 	}
 }
 
+// TestHostsStayUncovered pins the tracing split of DESIGN.md §12: the
+// span-emitting hosts (cmd/nucd stamping wall time on server spans,
+// cmd/nucload on client spans, cmd/nuctrace reading both) are process
+// entry points outside internal/, so nodeterm must never classify them as
+// critical — while internal/serve, which emits inject/decide/apply spans
+// through the injected tracer, stays on the critical list (pinned above),
+// which is what keeps span emission logical-time-only inside the core.
+// internal/rsm emits through the same injected tracer and must at least
+// stay classified (it is exempt with a reason, covered by its own
+// seeded-simulator tests).
+func TestHostsStayUncovered(t *testing.T) {
+	for _, pkg := range []string{"nuconsensus/cmd/nucd", "nuconsensus/cmd/nucload", "nuconsensus/cmd/nuctrace"} {
+		if nodeterm.Critical(pkg) {
+			t.Errorf("%s is a host binary and must not be determinism-critical (it owns the wall-clock tracer)", pkg)
+		}
+	}
+	if !nodeterm.Critical("nuconsensus/internal/rsm") && nodeterm.ExemptPackages["internal/rsm"] == "" {
+		t.Error("internal/rsm emits spans through the injected tracer and must stay classified (critical, or exempt with a reason)")
+	}
+}
+
 func TestSubstrateStaysExempt(t *testing.T) {
 	if reason := nodeterm.ExemptPackages["internal/substrate"]; reason == "" {
 		t.Error("internal/substrate must be exempt (it is the home of the sanctioned concurrent cluster driver)")

@@ -69,6 +69,58 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of samples; Sum their total.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// rank, the standard fixed-bucket estimator: the true quantile lies
+// somewhere in [lower bound, upper bound] of that bucket, and the
+// estimate assumes samples spread uniformly across it. Ranks landing in
+// the overflow bucket clamp to the last finite bound (there is no upper
+// edge to interpolate toward). Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: clamp to the largest finite bound.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return float64(h.bounds[len(h.bounds)-1])
+			}
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(h.bounds[i-1])
+			}
+			hi := float64(h.bounds[i])
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
 // Sum returns the total of all observed samples.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromName sanitizes a registry metric name into a legal Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's dotted names map their
+// dots (and any other illegal rune) to underscores; a leading digit gains
+// an underscore prefix. The mapping is not injective in general, but the
+// registry's own namespace (dotted lowercase words) survives uniquely.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE header per instrument, instruments in
+// the snapshot's sorted name order, histogram buckets cumulative with the
+// mandatory +Inf bucket plus _sum and _count series. The output is a pure
+// function of Snapshot(), so scrapes of a quiesced registry are
+// byte-identical to its JSONL dump modulo rendering.
+func WritePrometheus(w io.Writer, reg *Registry) (int64, error) {
+	var n int64
+	if reg == nil {
+		return 0, nil
+	}
+	for _, s := range reg.Snapshot() {
+		name := PromName(s.Name)
+		var b strings.Builder
+		switch s.Kind {
+		case "counter":
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Value)
+		case "gauge":
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, s.Value)
+		case "histogram":
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+			var cum int64
+			for i, c := range s.Buckets {
+				cum += c
+				if i < len(s.Bounds) {
+					fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, s.Bounds[i], cum)
+				} else {
+					fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+				}
+			}
+			fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, s.Sum, name, s.Value)
+		}
+		m, err := io.WriteString(w, b.String())
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

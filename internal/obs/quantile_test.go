@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestQuantileUniformBucket(t *testing.T) {
+	// 100 samples all landing in the (10, 100] bucket: the estimator
+	// interpolates linearly across it.
+	r := NewRegistry()
+	hh := r.Histogram("q", []int64{10, 100, 1000})
+	for i := 0; i < 100; i++ {
+		hh.Observe(50)
+	}
+	if got := hh.Quantile(0.5); !almostEq(got, 55) {
+		t.Errorf("p50 = %v, want 55 (midpoint interp of (10,100])", got)
+	}
+	if got := hh.Quantile(1); !almostEq(got, 100) {
+		t.Errorf("p100 = %v, want 100 (upper edge)", got)
+	}
+}
+
+func TestQuantileKnownDistribution(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{10, 20, 30})
+	// 10 samples <=10, 10 in (10,20], 10 in (20,30].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+		h.Observe(25)
+	}
+	// p50: rank 15 lands in the second bucket, halfway: 10 + 0.5*10 = 15.
+	if got := h.Quantile(0.5); !almostEq(got, 15) {
+		t.Errorf("p50 = %v, want 15", got)
+	}
+	// p90: rank 27 lands in the third bucket at frac 0.7: 20 + 7 = 27.
+	if got := h.Quantile(0.9); !almostEq(got, 27) {
+		t.Errorf("p90 = %v, want 27", got)
+	}
+	// Out-of-range q clamps.
+	if got := h.Quantile(-1); !almostEq(got, h.Quantile(0)) {
+		t.Errorf("q<0 should clamp to q=0, got %v", got)
+	}
+	if got := h.Quantile(2); !almostEq(got, 30) {
+		t.Errorf("q>1 should clamp to q=1 (=30), got %v", got)
+	}
+}
+
+func TestQuantileOverflowClampsToLastBound(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{10, 20})
+	for i := 0; i < 4; i++ {
+		h.Observe(999) // all overflow
+	}
+	if got := h.Quantile(0.5); !almostEq(got, 20) {
+		t.Errorf("overflow p50 = %v, want clamp to 20", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{10})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}

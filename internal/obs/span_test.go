@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// spanFixtures covers every stage with its meaningful field combination.
+var spanFixtures = []SpanEvent{
+	{Stage: StageSend, P: 1, Client: 3, Seq: 7, Slot: -1, Wall: 1000},
+	{Stage: StageIngress, P: 0, Client: 3, Seq: 7, Slot: -1, T0: 1000, Wall: 1200},
+	{Stage: StageSeal, P: 0, Client: 3, Seq: 7, Slot: -1, N: 8, Wall: 1300},
+	{Stage: StageInject, P: 0, Client: 3, Seq: 7, Batch: 130, Slot: -1, N: 8},
+	{Stage: StageDecide, P: 0, Batch: 130, Slot: 0, N: 2},
+	{Stage: StageDecide, P: 2, Batch: 131, Slot: 5, N: 1, Wall: 2000},
+	{Stage: StageApply, P: 0, Client: 3, Seq: 7, Batch: 130, Slot: 0, N: 0},
+	{Stage: StageReply, P: 0, Client: 3, Seq: 7, Slot: -1, N: 2, Wall: 2500},
+	{Stage: StageRecv, P: 1, Client: 3, Seq: 7, Slot: -1, Wall: 2600},
+}
+
+func TestSpanLineRoundTrip(t *testing.T) {
+	for _, ev := range spanFixtures {
+		line := SpanLine(ev)
+		if !strings.HasSuffix(line, "}\n") || !strings.HasPrefix(line, `{"k":"span"`) {
+			t.Fatalf("malformed span line: %q", line)
+		}
+		got, ok, err := ParseSpanLine(strings.TrimSpace(line))
+		if err != nil || !ok {
+			t.Fatalf("ParseSpanLine(%q): ok=%v err=%v", line, ok, err)
+		}
+		if got != ev {
+			t.Errorf("round trip changed the event:\n in  %+v\n out %+v", ev, got)
+		}
+	}
+}
+
+func TestSpanLineFixedBytes(t *testing.T) {
+	// The canonical byte format is what trace-smoke diffs ride on: pin it.
+	ev := SpanEvent{Stage: StageApply, P: 2, Client: 9, Seq: 4, Batch: 577, Slot: 12, N: 0, Wall: 0}
+	want := `{"k":"span","st":"apply","p":2,"c":9,"seq":4,"b":577,"slot":12}` + "\n"
+	if got := SpanLine(ev); got != want {
+		t.Errorf("SpanLine = %q, want %q", got, want)
+	}
+}
+
+func TestParseSpanLineSkipsOtherKinds(t *testing.T) {
+	_, ok, err := ParseSpanLine(`{"k":"step","t":3,"p":0,"l":1,"v":2}`)
+	if err != nil {
+		t.Fatalf("foreign kind should not error: %v", err)
+	}
+	if ok {
+		t.Error("foreign kind parsed as a span")
+	}
+	if _, _, err := ParseSpanLine(`{"k":`); err == nil {
+		t.Error("truncated JSON should error")
+	}
+}
+
+func TestTracerLogicalClockIsDeterministic(t *testing.T) {
+	emit := func() string {
+		var buf bytes.Buffer
+		reg := NewRegistry()
+		tr := NewTracer(&buf, nil, reg)
+		for _, ev := range spanFixtures {
+			ev.Wall = 0 // let the tracer stamp
+			tr.Span(ev)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if got := reg.Counter("obs.spans").Value(); got != int64(len(spanFixtures)) {
+			t.Fatalf("obs.spans = %d, want %d", got, len(spanFixtures))
+		}
+		return buf.String()
+	}
+	a, b := emit(), emit()
+	if a != b {
+		t.Errorf("two identical emissions under the Logical clock differ:\n%s\nvs\n%s", a, b)
+	}
+	if strings.Contains(a, `"w":`) {
+		t.Errorf("Logical clock leaked wall stamps into the span stream:\n%s", a)
+	}
+}
+
+func TestTracerReadSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, nil, nil)
+	for _, ev := range spanFixtures {
+		tr.Span(ev)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if tr.Spans() != int64(len(spanFixtures)) {
+		t.Fatalf("Spans() = %d, want %d", tr.Spans(), len(spanFixtures))
+	}
+	// Mix in a foreign JSONL line: ReadSpans must skim past it.
+	buf.WriteString(`{"k":"decide","t":9,"p":1,"l":4,"v":1}` + "\n")
+	got, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	if len(got) != len(spanFixtures) {
+		t.Fatalf("ReadSpans returned %d events, want %d", len(got), len(spanFixtures))
+	}
+	for i, ev := range spanFixtures {
+		if got[i] != ev {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], ev)
+		}
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, Wall{}, NewRegistry())
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Span(SpanEvent{Stage: StageApply, P: w, Client: uint32(w + 1), Seq: uint64(i + 1), Slot: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	evs, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	if len(evs) != workers*per {
+		t.Fatalf("got %d events, want %d (lines must never interleave)", len(evs), workers*per)
+	}
+	for _, ev := range evs {
+		if ev.Wall == 0 {
+			t.Fatal("Wall clock tracer left an event unstamped")
+		}
+	}
+}

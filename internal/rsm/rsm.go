@@ -111,6 +111,17 @@ type EntrySink interface {
 	OnEntry(p model.ProcessID, slot int, v int)
 }
 
+// RoundSink is an optional EntrySink extension: sinks that also implement
+// it additionally learn how many A_nuc rounds the slot's instance had
+// reached when this process observed the decision — the per-slot consensus
+// cost a tracing pipeline attributes to every command in the slot. Round
+// counts are per-process observations (a laggard sees a later round than
+// the process that drove the decision), which is exactly what a span
+// emitted by that process should carry.
+type RoundSink interface {
+	OnEntryRound(p model.ProcessID, slot int, v int, round int)
+}
+
 // WithPipeline keeps up to k slot instances in flight: slots
 // [frontier, frontier+k) all run A_nuc concurrently, and each outer step
 // advances one of them round-robin, so the per-step send budget — and
@@ -177,9 +188,10 @@ type logState struct {
 	appended  int                 // entries appended (== len(entries) unless sinking)
 
 	// Pipeline mode only (Log.pipeline > 1); nil maps otherwise.
-	decided map[int]int // out-of-order decisions >= slot, not yet appended
-	myProp  map[int]int // own proposal per open in-flight slot
-	rr      int         // round-robin cursor over in-flight instances
+	decided      map[int]int // out-of-order decisions >= slot, not yet appended
+	decidedRound map[int]int // round observed at harvest, keyed like decided
+	myProp       map[int]int // own proposal per open in-flight slot
+	rr           int         // round-robin cursor over in-flight instances
 
 	// Shared-store mode only (see shared.go); all nil/empty in owned mode.
 	store      *sharedStore
@@ -226,6 +238,12 @@ func (s *logState) CloneState() model.State {
 		c.decided = make(map[int]int, len(s.decided))
 		for k, v := range s.decided {
 			c.decided[k] = v
+		}
+	}
+	if s.decidedRound != nil {
+		c.decidedRound = make(map[int]int, len(s.decidedRound))
+		for k, v := range s.decidedRound {
+			c.decidedRound[k] = v
 		}
 	}
 	if s.myProp != nil {
@@ -279,6 +297,7 @@ func (a *Log) InitState(p model.ProcessID) model.State {
 	}
 	if a.pipeline > 1 {
 		st.decided = make(map[int]int, a.pipeline)
+		st.decidedRound = make(map[int]int, a.pipeline)
 		st.myProp = make(map[int]int, a.pipeline)
 		st.openWindow(a, nil) // nothing parked at init: no sends, no FD use
 		return st
@@ -354,6 +373,7 @@ func (a *Log) Step(p model.ProcessID, s model.State, m *model.Message, d model.F
 					st.parked = make(map[int][]parkedMsg)
 				}
 				st.parked[pl.Slot] = append(st.parked[pl.Slot], parkedMsg{from: m.From, seq: m.Seq, pl: payload})
+				a.metrics.parked()
 			}
 		default:
 			panic(fmt.Sprintf("rsm: unknown payload %T", m.Payload))
@@ -423,7 +443,8 @@ func (s *logState) checkDecided(a *Log, d model.FDValue) []model.Send {
 		if !ok {
 			break
 		}
-		s.appendEntry(a, v)
+		round, _ := model.RoundOf(inst)
+		s.appendEntry(a, v, round)
 		s.forgetCommand(v)
 		s.slot++
 		s.progress[s.p] = s.slot
@@ -438,9 +459,16 @@ func (s *logState) checkDecided(a *Log, d model.FDValue) []model.Send {
 }
 
 // appendEntry commits the decided value of the current slot: into the
-// retained entries slice, or out through the sink in sink mode.
-func (s *logState) appendEntry(a *Log, v int) {
+// retained entries slice, or out through the sink in sink mode. round is
+// the A_nuc round this process observed the decision at, forwarded to
+// RoundSink implementors.
+func (s *logState) appendEntry(a *Log, v, round int) {
 	if a.sink != nil {
+		// RoundSink first: a tracing sink emits the slot's decide span
+		// before OnEntry triggers the applies that causally follow it.
+		if rs, ok := a.sink.(RoundSink); ok {
+			rs.OnEntryRound(s.p, s.slot, v, round)
+		}
 		a.sink.OnEntry(s.p, s.slot, v)
 	} else {
 		s.entries = append(s.entries, v)
@@ -468,6 +496,9 @@ func (s *logState) harvest(a *Log, d model.FDValue) []model.Send {
 		}
 		if v, ok := model.DecisionOf(inst); ok {
 			s.decided[slot] = v
+			if r, has := model.RoundOf(inst); has {
+				s.decidedRound[slot] = r
+			}
 			s.forgetCommand(v)
 			delete(s.myProp, slot)
 		}
@@ -478,9 +509,11 @@ func (s *logState) harvest(a *Log, d model.FDValue) []model.Send {
 		if !ok {
 			break
 		}
+		round := s.decidedRound[s.slot]
 		delete(s.decided, s.slot)
+		delete(s.decidedRound, s.slot)
 		delete(s.myProp, s.slot)
-		s.appendEntry(a, v)
+		s.appendEntry(a, v, round)
 		s.slot++
 		s.progress[s.p] = s.slot
 		out = append(out, model.Broadcast(model.FullSet(len(s.progress)).Remove(s.p), ProgressPayload{Slot: s.slot})...)
@@ -531,6 +564,7 @@ func (s *logState) replayParked(a *Log, slot int, d model.FDValue) []model.Send 
 		return nil
 	}
 	delete(s.parked, slot)
+	a.metrics.replayed(len(msgs))
 	var out []model.Send
 	for _, pm := range msgs {
 		inner := &model.Message{From: pm.from, To: s.p, Seq: pm.seq, Payload: pm.pl}

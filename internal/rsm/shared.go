@@ -56,6 +56,8 @@ func (a *Log) WithMetrics(reg *obs.Registry) *Log {
 		storeBytes:    reg.Gauge("rsm.hist.store_bytes"),
 		storeEntries:  reg.Gauge("rsm.hist.store_entries"),
 		fdEpochs:      reg.Counter("rsm.fd.epochs"),
+		parkedMsgs:    reg.Counter("rsm.parked_msgs"),
+		parkedReplay:  reg.Counter("rsm.parked_replayed"),
 	}
 	return a
 }
@@ -85,6 +87,12 @@ type logMetrics struct {
 	storeBytes    *obs.Gauge // high-water wire size of one process's store
 	storeEntries  *obs.Gauge // high-water entry count of one process's store
 	fdEpochs      *obs.Counter
+	// parkedMsgs / parkedReplay count messages entering and leaving the
+	// park buffers (see parkedMsg). Both are monotone counters — the live
+	// parked population is their difference — because only commutative
+	// instruments keep metric dumps deterministic under concurrency.
+	parkedMsgs   *obs.Counter
+	parkedReplay *obs.Counter
 }
 
 func (m *logMetrics) hit() {
@@ -102,6 +110,18 @@ func (m *logMetrics) fallback() {
 func (m *logMetrics) gap() {
 	if m != nil {
 		m.deltaGaps.Add(1)
+	}
+}
+
+func (m *logMetrics) parked() {
+	if m != nil {
+		m.parkedMsgs.Add(1)
+	}
+}
+
+func (m *logMetrics) replayed(n int) {
+	if m != nil {
+		m.parkedReplay.Add(int64(n))
 	}
 }
 

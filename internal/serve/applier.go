@@ -40,6 +40,11 @@ type Applier struct {
 
 	waiters map[waiterKey]func(byte, int64)
 
+	// tracer emits decide/apply span events (nil: tracing off). The obs
+	// Tracer stamps wall time only through its injected clock, so the
+	// applier itself stays clock-free (obsclock contract).
+	tracer *obs.Tracer
+
 	cCommands, cDups, cBatches, cDupBatches *obs.Counter
 	cNoops, cStalls, cCompactions           *obs.Counter
 	gSessions                               *obs.Gauge
@@ -93,6 +98,22 @@ func NewApplier(p model.ProcessID, reg *obs.Registry, retain bool) *Applier {
 	}
 	a.cond = sync.NewCond(&a.mu)
 	return a
+}
+
+// WithTracer attaches the span tracer (nil keeps tracing off).
+func (a *Applier) WithTracer(t *obs.Tracer) *Applier {
+	a.tracer = t
+	return a
+}
+
+// OnEntryRound implements rsm.RoundSink: the slot's decide event, with the
+// round count this process observed the decision at. Batch-level — the
+// decided value IS the batch ID — so one decide span fans out to every
+// member command through the batch ID the inject/apply spans carry.
+func (a *Applier) OnEntryRound(_ model.ProcessID, slot, v, round int) {
+	if !NoOpEntry(v) {
+		a.tracer.Span(obs.SpanEvent{Stage: obs.StageDecide, P: int(a.p), Batch: v, Slot: slot, N: round})
+	}
 }
 
 // PutBody registers a batch body (from local ingress or BATCH gossip) and
@@ -201,6 +222,10 @@ func (a *Applier) applyLocked(e logEntry) []notice {
 			a.sessions.Record(c.Client, c.Seq, e.slot, status, val)
 			a.cCommands.Add(1)
 			a.nCommands++
+			a.tracer.Span(obs.SpanEvent{
+				Stage: obs.StageApply, P: int(a.p), Client: c.Client, Seq: c.Seq,
+				Batch: e.v, Slot: e.slot, N: int(status),
+			})
 		}
 		key := waiterKey{client: c.Client, seq: c.Seq}
 		if fn, ok := a.waiters[key]; ok {
@@ -306,13 +331,14 @@ func (a *Applier) GetLin(key uint64) (int64, bool) {
 
 // Stats is a consistent snapshot of the applier's progress.
 type Stats struct {
-	Frontier int // entries observed decided
-	Applied  int // entries applied
-	Commands int64
-	Dups     int64
-	Batches  int64
-	Stalled  int // entries currently waiting for a body
-	Sessions int
+	Frontier   int // entries observed decided
+	Applied    int // entries applied
+	Commands   int64
+	Dups       int64
+	Batches    int64
+	Stalled    int // entries currently waiting for a body
+	Sessions   int
+	ReplyCache int // cached replies across all live sessions
 }
 
 // StatsOf returns the applier's current stats.
@@ -320,13 +346,14 @@ func (a *Applier) StatsOf() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return Stats{
-		Frontier: a.frontier,
-		Applied:  a.applied,
-		Commands: a.nCommands,
-		Dups:     a.nDups,
-		Batches:  a.nBatches,
-		Stalled:  len(a.stalled),
-		Sessions: a.sessions.Len(),
+		Frontier:   a.frontier,
+		Applied:    a.applied,
+		Commands:   a.nCommands,
+		Dups:       a.nDups,
+		Batches:    a.nBatches,
+		Stalled:    len(a.stalled),
+		Sessions:   a.sessions.Len(),
+		ReplyCache: a.sessions.CachedReplies(),
 	}
 }
 

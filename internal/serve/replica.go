@@ -24,6 +24,11 @@ type Config struct {
 	Correct  model.ProcessSet
 	Registry *obs.Registry
 	Retain   bool // appliers keep decided values (tests, agreement checks)
+	// Tracer emits request span events from the deterministic core: inject
+	// on ingress drain, decide per slot, apply per command. nil: off. The
+	// clock lives inside the Tracer (hosts inject obs.Wall; sims keep the
+	// Logical default), so this package never touches wall time itself.
+	Tracer *obs.Tracer
 }
 
 // Cluster wires the serving stack for one run: a Replica automaton over a
@@ -66,7 +71,7 @@ func NewCluster(cfg Config) *Cluster {
 		ingress:  make([]*Ingress, cfg.N),
 	}
 	for p := 0; p < cfg.N; p++ {
-		c.appliers[p] = NewApplier(model.ProcessID(p), reg, cfg.Retain)
+		c.appliers[p] = NewApplier(model.ProcessID(p), reg, cfg.Retain).WithTracer(cfg.Tracer)
 		c.ingress[p] = &Ingress{}
 		for _, b := range initial[p] {
 			c.appliers[p].PutBody(b.ID, b.Cmds)
@@ -90,6 +95,7 @@ func NewCluster(cfg Config) *Cluster {
 		appliers: c.appliers,
 		ingress:  c.ingress,
 		initial:  initial,
+		tracer:   cfg.Tracer,
 	}
 	return c
 }
@@ -113,6 +119,12 @@ func (s sinkDispatch) OnEntry(p model.ProcessID, slot, v int) {
 	s.appliers[int(p)].OnEntry(p, slot, v)
 }
 
+// OnEntryRound implements rsm.RoundSink, forwarding the per-slot round
+// observation to the owning applier (which emits the decide span).
+func (s sinkDispatch) OnEntryRound(p model.ProcessID, slot, v, round int) {
+	s.appliers[int(p)].OnEntryRound(p, slot, v, round)
+}
+
 // Replica is the serving automaton: rsm.Log plus batch-body gossip,
 // ingress draining and applier advancement. Like the sink and sampler it
 // relies on per-process external resources, so it runs on linear
@@ -125,6 +137,7 @@ type Replica struct {
 	appliers []*Applier
 	ingress  []*Ingress
 	initial  [][]Batch
+	tracer   *obs.Tracer
 }
 
 // Name implements model.Automaton.
@@ -205,6 +218,7 @@ func (r *Replica) Step(p model.ProcessID, s model.State, m *model.Message, d mod
 		st.announced = true
 		for _, b := range r.initial[int(p)] {
 			out = append(out, model.Broadcast(model.FullSet(r.n).Remove(p), BatchPayload{ID: b.ID, Cmds: b.Cmds})...)
+			r.injectSpans(p, b.ID, b.Cmds)
 		}
 	}
 
@@ -219,6 +233,7 @@ func (r *Replica) Step(p model.ProcessID, s model.State, m *model.Message, d mod
 			var sends []model.Send
 			st.inner, sends = r.log.Inject(st.inner, id)
 			out = append(out, sends...)
+			r.injectSpans(p, id, cmds)
 		}
 	}
 
@@ -232,6 +247,21 @@ func (r *Replica) Step(p model.ProcessID, s model.State, m *model.Message, d mod
 		r.appliers[int(p)].Compact(floor)
 	}
 	return st, out
+}
+
+// injectSpans emits one inject span per member command the moment its
+// batch ID is minted into the log — the join point that later lets the
+// batch-level decide span fan out to its members.
+func (r *Replica) injectSpans(p model.ProcessID, id int, cmds []Command) {
+	if r.tracer == nil {
+		return
+	}
+	for _, c := range cmds {
+		r.tracer.Span(obs.SpanEvent{
+			Stage: obs.StageInject, P: int(p), Client: c.Client, Seq: c.Seq,
+			Batch: id, Slot: -1, N: len(cmds),
+		})
+	}
 }
 
 // DebugState renders a replica state for diagnostics.

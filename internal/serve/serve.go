@@ -117,7 +117,8 @@ type RequestPayload struct {
 	Op     byte
 	Key    uint64
 	Val    int64
-	Lin    bool // linearizable read-index read (reads only)
+	Lin    bool  // linearizable read-index read (reads only)
+	T0     int64 // client send stamp (wall ns); echoed on the reply, 0 when untraced
 }
 
 // Kind implements model.Payload.
@@ -134,6 +135,7 @@ type ReplyPayload struct {
 	Seq    uint64
 	Status byte
 	Val    int64
+	T0     int64 // request's send stamp echoed back, so the client can match without state
 }
 
 // Kind implements model.Payload.

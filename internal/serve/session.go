@@ -35,6 +35,16 @@ func NewSessions() *Sessions { return &Sessions{m: make(map[uint32]*session)} }
 // Len returns the number of live sessions.
 func (s *Sessions) Len() int { return len(s.m) }
 
+// CachedReplies counts the cached replies across all live sessions — the
+// heavy part of the table, what Compact reclaims.
+func (s *Sessions) CachedReplies() int {
+	n := 0
+	for _, sess := range s.m {
+		n += len(sess.replies)
+	}
+	return n
+}
+
 // Applied reports whether (client, seq) has already been applied.
 func (s *Sessions) Applied(client uint32, seq uint64) bool {
 	sess, ok := s.m[client]

@@ -1,0 +1,116 @@
+package serve_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nuconsensus/internal/model"
+	"nuconsensus/internal/obs"
+	"nuconsensus/internal/rsm"
+	"nuconsensus/internal/serve"
+	"nuconsensus/internal/sim"
+	"nuconsensus/internal/substrate"
+)
+
+// runTraced drives one ingress-fed cluster run with a Logical-clock tracer
+// attached and returns the raw span stream.
+func runTraced(t *testing.T, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf, nil, nil)
+	cfg := serve.Config{N: 3, Slots: 6, Target: 2, Retain: true, Tracer: tracer}
+	pattern := model.PatternFromCrashes(3, nil)
+	cl := serve.NewCluster(cfg)
+	sampler := rsm.SamplerForLog(pattern, 60, seed)
+	cl.Log().WithSampler(sampler)
+	cl.Ingress(0).Push([]serve.Command{
+		{Client: 1, Seq: 1, Op: serve.OpPut, Key: 1, Val: 7},
+		{Client: 1, Seq: 2, Op: serve.OpPut, Key: 2, Val: 8},
+	})
+	res, err := sim.Run(sim.Exec{
+		Automaton: cl.Automaton(),
+		Pattern:   pattern,
+		History:   sampler,
+		Scheduler: sim.NewFairScheduler(seed, 0.8, 3),
+		MaxSteps:  200000,
+		StopWhen:  substrate.AllCorrectDecided(pattern),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("cluster never reached target")
+	}
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministicAndComplete: under the Logical clock the span
+// stream is a pure function of the execution — two identical sim runs
+// produce byte-identical streams with no wall stamps — and every applied
+// command has a complete inject→decide→apply chain on every replica,
+// joined through the batch ID.
+func TestTraceDeterministicAndComplete(t *testing.T) {
+	a := runTraced(t, 5)
+	b := runTraced(t, 5)
+	if !bytes.Equal(a, b) {
+		t.Error("span streams differ between identical sim runs")
+	}
+	if bytes.Contains(a, []byte(`"w":`)) {
+		t.Error("Logical-clock run leaked wall stamps into spans")
+	}
+
+	evs, err := obs.ReadSpans(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per process: the batch each traced command injected under, and the
+	// slots that decided / applied each batch.
+	type key struct {
+		p   int
+		c   uint32
+		seq uint64
+	}
+	injected := map[key]int{}         // command → batch
+	decided := map[int]map[int]bool{} // p → batch decided
+	applied := map[key]int{}          // command → batch applied under
+	for _, ev := range evs {
+		switch ev.Stage {
+		case obs.StageInject:
+			injected[key{ev.P, ev.Client, ev.Seq}] = ev.Batch
+		case obs.StageDecide:
+			if decided[ev.P] == nil {
+				decided[ev.P] = map[int]bool{}
+			}
+			decided[ev.P][ev.Batch] = true
+			if ev.Slot < 0 {
+				t.Errorf("decide span without a slot: %+v", ev)
+			}
+			if ev.N < 1 {
+				t.Errorf("decide span with round %d, want >= 1: %+v", ev.N, ev)
+			}
+		case obs.StageApply:
+			applied[key{ev.P, ev.Client, ev.Seq}] = ev.Batch
+		}
+	}
+	for p := 0; p < 3; p++ {
+		for seq := uint64(1); seq <= 2; seq++ {
+			k := key{p, 1, seq}
+			batch, ok := applied[k]
+			if !ok {
+				t.Fatalf("p%d: no apply span for (c1, seq%d)", p, seq)
+			}
+			if !decided[p][batch] {
+				t.Errorf("p%d: batch %d applied without a decide span", p, batch)
+			}
+			// The injecting replica (origin 0) also recorded the same batch.
+			if seq == 1 || seq == 2 {
+				if got, ok := injected[key{0, 1, seq}]; !ok || got != batch {
+					t.Errorf("origin inject batch %d (ok=%v) != applied batch %d", got, ok, batch)
+				}
+			}
+		}
+	}
+}

@@ -25,8 +25,8 @@ func FuzzDecodePayload(f *testing.F) {
 			{Client: 1, Seq: 1, Op: serve.OpPut, Key: 9, Val: -42},
 			{Client: 2, Seq: 7, Op: serve.OpQPush, Key: 3, Val: 5},
 		}},
-		serve.RequestPayload{Client: 3, Seq: 11, Op: serve.OpGet, Key: 12, Lin: true},
-		serve.ReplyPayload{Client: 3, Seq: 11, Status: serve.StatusOK, Val: 77},
+		serve.RequestPayload{Client: 3, Seq: 11, Op: serve.OpGet, Key: 12, Lin: true, T0: 1722000000123456789},
+		serve.ReplyPayload{Client: 3, Seq: 11, Status: serve.StatusOK, Val: 77, T0: 1722000000123456789},
 	}
 	for _, pl := range seed {
 		b, err := wire.EncodePayload(pl)

@@ -229,12 +229,14 @@ func encodePayload(w *buf, pl model.Payload) error {
 		} else {
 			w.putByte(0)
 		}
+		w.putInt64(p.T0)
 	case serve.ReplyPayload:
 		w.putByte(tagServeReply)
 		w.putUvarint(uint64(p.Client))
 		w.putUvarint(p.Seq)
 		w.putByte(p.Status)
 		w.putInt64(p.Val)
+		w.putInt64(p.T0)
 	default:
 		return fmt.Errorf("wire: unknown payload type %T", pl)
 	}
@@ -494,7 +496,11 @@ func decodePayload(r *buf) (model.Payload, error) {
 		if err != nil {
 			return nil, err
 		}
-		return serve.RequestPayload{Client: c.Client, Seq: c.Seq, Op: c.Op, Key: c.Key, Val: c.Val, Lin: lin == 1}, nil
+		t0, err := r.int64()
+		if err != nil {
+			return nil, err
+		}
+		return serve.RequestPayload{Client: c.Client, Seq: c.Seq, Op: c.Op, Key: c.Key, Val: c.Val, Lin: lin == 1, T0: t0}, nil
 	case tagServeReply:
 		client, err := r.uvarint()
 		if err != nil {
@@ -515,7 +521,11 @@ func decodePayload(r *buf) (model.Payload, error) {
 		if err != nil {
 			return nil, err
 		}
-		return serve.ReplyPayload{Client: uint32(client), Seq: seq, Status: status, Val: val}, nil
+		t0, err := r.int64()
+		if err != nil {
+			return nil, err
+		}
+		return serve.ReplyPayload{Client: uint32(client), Seq: seq, Status: status, Val: val, T0: t0}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown payload tag %d", tag)
 	}

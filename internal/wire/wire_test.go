@@ -244,9 +244,9 @@ func TestRoundTripServePayloads(t *testing.T) {
 			{Client: 1, Seq: 1, Op: serve.OpPut, Key: 9, Val: -42},
 			{Client: 4100, Seq: 1 << 40, Op: serve.OpQPop, Key: 1 << 50, Val: 1<<62 - 1},
 		}},
-		serve.RequestPayload{Client: 3, Seq: 11, Op: serve.OpGet, Key: 12, Lin: true},
+		serve.RequestPayload{Client: 3, Seq: 11, Op: serve.OpGet, Key: 12, Lin: true, T0: 1722000000123456789},
 		serve.RequestPayload{Client: 1, Seq: 2, Op: serve.OpPut, Val: -1},
-		serve.ReplyPayload{Client: 3, Seq: 11, Status: serve.StatusDup, Val: -77},
+		serve.ReplyPayload{Client: 3, Seq: 11, Status: serve.StatusDup, Val: -77, T0: -5},
 		serve.ReplyPayload{Client: 9, Seq: 1, Status: serve.StatusRetired},
 	}
 	for _, pl := range payloads {
